@@ -1,0 +1,314 @@
+//! The Lemma 3 attack: a `(0,∞)`-late adversary isolates a newcomer.
+//!
+//! Lemma 3 shows that if the adversary always has *up-to-date* information
+//! about the topology (lateness `a = 0`), it can cut a freshly joined node off
+//! from the network in `O(log n)` rounds, no matter what the protocol does:
+//!
+//! 1. let a node `w` join via a node `v`;
+//! 2. immediately churn out `v` and everything `v` contacted, so nobody who
+//!    could spread `w`'s identifier survives;
+//! 3. from then on churn out every node `w` communicates with, so no new node
+//!    ever learns `w`'s identifier;
+//! 4. meanwhile erode the original node set `V_0` (which contains everybody
+//!    `w` might still know) and replace it with fresh nodes.
+//!
+//! Once all of `V_0` is gone, `w` only knows departed nodes and nobody knows
+//! `w` — the network is partitioned. Experiment E1 runs this strategy against
+//! the full maintenance protocol with `a = 0` and reports the number of rounds
+//! until isolation; running the same strategy with the paper's `a = 2`
+//! demonstrates why two steps of lateness are enough to survive.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use tsa_sim::{Adversary, ChurnPlan, JoinPlan, KnowledgeView, NodeId, Round};
+
+use crate::util::{oldest_members, pick_random_members, spread_joins};
+
+/// The phase the attack is currently in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the configured start round, then injecting the victim.
+    WaitingToInject,
+    /// The victim joined last round via `sponsor`; kill the sponsor's
+    /// neighbourhood as soon as it becomes visible.
+    Injected { sponsor: NodeId },
+    /// Steady state: suppress every node the victim talks to and erode `V_0`.
+    Suppressing,
+}
+
+/// The Lemma 3 newcomer-isolation adversary.
+#[derive(Clone, Debug)]
+pub struct IsolateNewcomerAdversary {
+    /// Round at which the victim is injected.
+    pub inject_round: Round,
+    /// Budget share used each round to erode the old node set.
+    pub erosion_per_round: usize,
+    victim: Option<NodeId>,
+    phase: Phase,
+    rng: ChaCha8Rng,
+}
+
+impl IsolateNewcomerAdversary {
+    /// Creates the attack; the victim joins at `inject_round`.
+    pub fn new(inject_round: Round, erosion_per_round: usize, seed: u64) -> Self {
+        IsolateNewcomerAdversary {
+            inject_round,
+            erosion_per_round,
+            victim: None,
+            phase: Phase::WaitingToInject,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x1501_A7E0),
+        }
+    }
+
+    /// The injected victim node, once it exists.
+    pub fn victim(&self) -> Option<NodeId> {
+        self.victim
+    }
+
+    /// Nodes the victim contacted in the newest graph the lateness allows us
+    /// to see.
+    fn victim_contacts(&self, view: &KnowledgeView<'_>) -> Vec<NodeId> {
+        let Some(victim) = self.victim else {
+            return Vec::new();
+        };
+        let mut contacts = Vec::new();
+        if let Some(graph) = view.latest_topology() {
+            contacts.extend(graph.successors(victim));
+            contacts.extend(graph.predecessors(victim));
+        }
+        contacts.retain(|id| *id != victim && view.contains(*id));
+        contacts.sort();
+        contacts.dedup();
+        contacts
+    }
+}
+
+impl Adversary for IsolateNewcomerAdversary {
+    fn plan(&mut self, round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
+        match self.phase {
+            Phase::WaitingToInject => {
+                if round < self.inject_round {
+                    return ChurnPlan::none();
+                }
+                // Inject the victim via an arbitrary eligible bootstrap node.
+                let Some(&sponsor) = view.eligible_bootstraps().first() else {
+                    return ChurnPlan::none();
+                };
+                self.phase = Phase::Injected { sponsor };
+                ChurnPlan {
+                    departures: Vec::new(),
+                    joins: vec![JoinPlan { bootstrap: sponsor }],
+                }
+            }
+            Phase::Injected { sponsor } => {
+                // The engine allocated the victim's id last round: it is the
+                // member with the newest join round.
+                if self.victim.is_none() {
+                    self.victim = view
+                        .members()
+                        .filter(|(_, info)| info.joined_at + 1 == round)
+                        .map(|(id, _)| id)
+                        .max();
+                }
+                self.phase = Phase::Suppressing;
+                // Kill the sponsor and everything the sponsor contacted in the
+                // newest graph the lateness lets us see (the proof's set `D_2`).
+                // For a 0-late adversary that is the round in which the sponsor
+                // introduced the victim, so nobody who could spread the
+                // victim's identifier survives; a 2-late adversary reads a
+                // graph from before the introduction and removes the wrong set.
+                let mut departures = vec![sponsor];
+                if let Some(graph) = view.latest_topology() {
+                    departures.extend(graph.successors(sponsor));
+                }
+                departures.sort();
+                departures.dedup();
+                departures.retain(|id| view.contains(*id) && Some(*id) != self.victim);
+                // Spend the whole budget on this critical step: if one of the
+                // sponsor's contacts survives, it will spread the victim's
+                // identifier and the attack is over.
+                departures.truncate(view.remaining_budget());
+                ChurnPlan {
+                    departures,
+                    joins: Vec::new(),
+                }
+            }
+            Phase::Suppressing => {
+                let budget = view.remaining_budget();
+                let mut departures = self.victim_contacts(view);
+                departures.truncate(budget / 2);
+                // Erode the old stable core with whatever budget remains.
+                let erosion_budget = (budget / 2)
+                    .saturating_sub(departures.len())
+                    .min(self.erosion_per_round);
+                for id in oldest_members(view, erosion_budget + departures.len()) {
+                    if departures.len() >= budget / 2 {
+                        break;
+                    }
+                    if Some(id) != self.victim && !departures.contains(&id) {
+                        departures.push(id);
+                    }
+                }
+                departures.retain(|id| Some(*id) != self.victim);
+                let joins = spread_joins(&*view, &mut self.rng, departures.len(), &departures, 2);
+                ChurnPlan { departures, joins }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "isolate-newcomer"
+    }
+}
+
+/// A helper used by experiment E1 to decide whether the victim is isolated in
+/// a given communication graph: nobody sends to it and it sends to nobody that
+/// is still a member.
+pub fn victim_is_isolated(view_members: &[NodeId], graph_edges: &[(NodeId, NodeId)], victim: NodeId) -> bool {
+    if !view_members.contains(&victim) {
+        return false; // it left the network, which is not the same as isolation
+    }
+    let talks_to_someone_alive = graph_edges
+        .iter()
+        .any(|(f, t)| *f == victim && view_members.contains(t) && *t != victim);
+    let heard_by_someone = graph_edges.iter().any(|(_, t)| *t == victim);
+    !talks_to_someone_alive && !heard_by_someone
+}
+
+/// A generic random-erosion helper adversary used by both impossibility
+/// experiments: churns old nodes and replaces them, never touching `protected`.
+#[derive(Clone, Debug)]
+pub struct ErodeOldGuardAdversary {
+    /// Nodes eroded per round.
+    pub per_round: usize,
+    /// Node that must never be churned (the experiment's observation target).
+    pub protected: Option<NodeId>,
+    rng: ChaCha8Rng,
+}
+
+impl ErodeOldGuardAdversary {
+    /// Creates an erosion adversary.
+    pub fn new(per_round: usize, seed: u64) -> Self {
+        ErodeOldGuardAdversary {
+            per_round,
+            protected: None,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0xE20D_E011),
+        }
+    }
+}
+
+impl Adversary for ErodeOldGuardAdversary {
+    fn plan(&mut self, _round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
+        let budget = view.remaining_budget() / 2;
+        let mut departures = pick_random_members(
+            view,
+            &mut self.rng,
+            budget.min(self.per_round),
+            &self.protected.map(|p| vec![p]).unwrap_or_default(),
+        );
+        departures.truncate(budget);
+        let joins = spread_joins(&*view, &mut self.rng, departures.len(), &departures, 2);
+        ChurnPlan { departures, joins }
+    }
+
+    fn name(&self) -> &'static str {
+        "erode-old-guard"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_sim::prelude::*;
+    use tsa_sim::ChurnRules;
+
+    /// Every node keeps talking to everyone it has ever heard from.
+    #[derive(Default)]
+    struct Gossip {
+        known: Vec<NodeId>,
+    }
+    impl Process for Gossip {
+        type Msg = ();
+        fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, inbox: &[Envelope<()>]) {
+            for env in inbox {
+                if !self.known.contains(&env.from) {
+                    self.known.push(env.from);
+                }
+            }
+            // Contact a couple of well-known identifiers plus everyone heard from.
+            let me = ctx.id();
+            for id in [NodeId(0), NodeId(1), NodeId(2)] {
+                if id != me {
+                    ctx.send(id, ());
+                }
+            }
+            let known = self.known.clone();
+            for id in known {
+                if id != me {
+                    ctx.send(id, ());
+                }
+            }
+        }
+    }
+
+    fn rules() -> ChurnRules {
+        ChurnRules {
+            max_events: Some(10_000),
+            window: 1000,
+            ..ChurnRules::default()
+        }
+    }
+
+    #[test]
+    fn attack_injects_exactly_one_victim() {
+        let adv = IsolateNewcomerAdversary::new(2, 2, 1);
+        let config = SimConfig::default()
+            .with_churn_rules(rules())
+            .with_lateness(Lateness::zero_late_topology());
+        let mut sim = Simulator::new(config, adv, Box::new(|_, _| Gossip::default()));
+        sim.seed_nodes(16);
+        sim.run(6);
+        let victim = sim.adversary().victim();
+        assert!(victim.is_some(), "a victim must have been injected");
+        assert!(sim.member_ids().contains(&victim.unwrap()), "the victim itself is never churned");
+    }
+
+    #[test]
+    fn suppression_churns_victim_contacts() {
+        let adv = IsolateNewcomerAdversary::new(2, 4, 2);
+        let config = SimConfig::default()
+            .with_churn_rules(rules())
+            .with_lateness(Lateness::zero_late_topology());
+        let mut sim = Simulator::new(config, adv, Box::new(|_, _| Gossip::default()));
+        sim.seed_nodes(24);
+        sim.run(12);
+        let churned: usize = sim.metrics().rounds().iter().map(|m| m.departures).sum();
+        assert!(churned > 0, "the attack must spend churn");
+        // Node 0 is contacted by everyone (including the victim), so the
+        // suppression phase removes it quickly.
+        assert!(!sim.member_ids().contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn isolation_predicate() {
+        let members = vec![NodeId(1), NodeId(2), NodeId(3)];
+        let edges = vec![(NodeId(1), NodeId(2))];
+        assert!(victim_is_isolated(&members, &edges, NodeId(3)));
+        assert!(!victim_is_isolated(&members, &edges, NodeId(1)), "node 1 talks to node 2");
+        assert!(!victim_is_isolated(&members, &edges, NodeId(2)), "node 2 is heard by node 1");
+        assert!(!victim_is_isolated(&members, &edges, NodeId(9)), "non-members are not isolated");
+    }
+
+    #[test]
+    fn erosion_adversary_protects_its_target() {
+        let mut adv = ErodeOldGuardAdversary::new(4, 3);
+        adv.protected = Some(NodeId(0));
+        let config = SimConfig::default().with_churn_rules(rules());
+        let mut sim = Simulator::new(config, adv, Box::new(|_, _| Gossip::default()));
+        sim.seed_nodes(16);
+        sim.run(20);
+        assert!(sim.member_ids().contains(&NodeId(0)));
+        assert!(sim.metrics().rounds().iter().map(|m| m.departures).sum::<usize>() > 10);
+    }
+}

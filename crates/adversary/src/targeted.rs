@@ -1,0 +1,257 @@
+//! Topology-aware adversaries: the strongest attacks the `(2, b)`-late model
+//! allows.
+//!
+//! Both strategies read the newest communication graph the lateness filter
+//! exposes (`G_{t-2}` for the paper's adversary) and concentrate their churn
+//! budget on structurally important nodes:
+//!
+//! * [`TargetedSwarmAdversary`] picks a pivot node and removes the pivot plus
+//!   everything it communicated with — in an overlay that does *not* relocate
+//!   nodes this wipes out a whole swarm / neighbourhood and partitions the
+//!   network; against the maintenance protocol it should be no better than
+//!   random churn (Lemma 16), which is exactly what experiment E8 measures.
+//! * [`DegreeAttackAdversary`] removes the highest-degree nodes of the observed
+//!   graph, the classic "behead the hubs" attack.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use tsa_sim::{Adversary, ChurnPlan, CommGraph, KnowledgeView, NodeId, Round};
+
+use crate::util::spread_joins;
+
+/// Churns a pivot node together with its observed communication neighbourhood.
+#[derive(Clone, Debug)]
+pub struct TargetedSwarmAdversary {
+    /// Maximum nodes removed per active round.
+    pub departures_per_round: usize,
+    /// Whether every departure is matched by a join (keeps `|V_t|` stable).
+    pub replace_departures: bool,
+    /// Act only every `period` rounds.
+    pub period: u64,
+    rng: ChaCha8Rng,
+}
+
+impl TargetedSwarmAdversary {
+    /// Creates a targeted-swarm adversary with the given per-round volume.
+    pub fn new(departures_per_round: usize, seed: u64) -> Self {
+        TargetedSwarmAdversary {
+            departures_per_round,
+            replace_departures: true,
+            period: 1,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5357_4152),
+        }
+    }
+
+    /// Acts only every `period` rounds.
+    pub fn with_period(mut self, period: u64) -> Self {
+        self.period = period.max(1);
+        self
+    }
+
+    /// Chooses the victim set from the latest visible graph: a random pivot
+    /// and its outgoing neighbourhood, breadth-first until the budget is used.
+    fn victims(&mut self, graph: &CommGraph, view: &KnowledgeView<'_>, limit: usize) -> Vec<NodeId> {
+        let mut members: Vec<NodeId> = graph
+            .members
+            .iter()
+            .copied()
+            .filter(|id| view.contains(*id))
+            .collect();
+        if members.is_empty() {
+            return Vec::new();
+        }
+        members.shuffle(&mut self.rng);
+        let mut victims: Vec<NodeId> = Vec::with_capacity(limit);
+        let mut frontier: Vec<NodeId> = Vec::new();
+        let mut member_iter = members.into_iter();
+        while victims.len() < limit {
+            let pivot = match frontier.pop() {
+                Some(p) => p,
+                None => match member_iter.next() {
+                    Some(p) => p,
+                    None => break,
+                },
+            };
+            if victims.contains(&pivot) {
+                continue;
+            }
+            if view.contains(pivot) {
+                victims.push(pivot);
+            }
+            for succ in graph.successors(pivot) {
+                if !victims.contains(&succ) && view.contains(succ) {
+                    frontier.push(succ);
+                }
+            }
+        }
+        victims
+    }
+}
+
+impl Adversary for TargetedSwarmAdversary {
+    fn plan(&mut self, round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
+        if round % self.period != 0 {
+            return ChurnPlan::none();
+        }
+        let Some(graph) = view.latest_topology().cloned() else {
+            return ChurnPlan::none();
+        };
+        let budget = view.remaining_budget();
+        let half_budget = if self.replace_departures {
+            budget / 2
+        } else {
+            budget
+        };
+        let limit = half_budget.min(self.departures_per_round);
+        let departures = self.victims(&graph, view, limit);
+        let joins = if self.replace_departures {
+            spread_joins(view, &mut self.rng, departures.len(), &departures, 2)
+        } else {
+            Vec::new()
+        };
+        ChurnPlan { departures, joins }
+    }
+
+    fn name(&self) -> &'static str {
+        "targeted-swarm"
+    }
+}
+
+/// Removes the highest-degree nodes of the newest visible communication graph.
+#[derive(Clone, Debug)]
+pub struct DegreeAttackAdversary {
+    /// Maximum nodes removed per active round.
+    pub departures_per_round: usize,
+    /// Whether to replace departures with joins.
+    pub replace_departures: bool,
+    rng: ChaCha8Rng,
+}
+
+impl DegreeAttackAdversary {
+    /// Creates a degree-targeting adversary.
+    pub fn new(departures_per_round: usize, seed: u64) -> Self {
+        DegreeAttackAdversary {
+            departures_per_round,
+            replace_departures: true,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x4445_4752),
+        }
+    }
+}
+
+impl Adversary for DegreeAttackAdversary {
+    fn plan(&mut self, _round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
+        let Some(graph) = view.latest_topology() else {
+            return ChurnPlan::none();
+        };
+        let budget = view.remaining_budget();
+        let half_budget = if self.replace_departures {
+            budget / 2
+        } else {
+            budget
+        };
+        let limit = half_budget.min(self.departures_per_round);
+        let mut by_degree: Vec<(usize, NodeId)> = graph
+            .members
+            .iter()
+            .copied()
+            .filter(|id| view.contains(*id))
+            .map(|id| (graph.out_degree(id) + graph.in_degree(id), id))
+            .collect();
+        by_degree.sort_by(|a, b| b.cmp(a));
+        let departures: Vec<NodeId> = by_degree.into_iter().take(limit).map(|(_, id)| id).collect();
+        let joins = if self.replace_departures {
+            spread_joins(view, &mut self.rng, departures.len(), &departures, 2)
+        } else {
+            Vec::new()
+        };
+        ChurnPlan { departures, joins }
+    }
+
+    fn name(&self) -> &'static str {
+        "degree-attack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_sim::prelude::*;
+    use tsa_sim::ChurnRules;
+
+    /// A star protocol: everyone talks to node 0, so node 0 is the obvious hub.
+    struct Star;
+    impl Process for Star {
+        type Msg = ();
+        fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[Envelope<()>]) {
+            if ctx.id() != NodeId(0) {
+                ctx.send(NodeId(0), ());
+            }
+        }
+    }
+
+    fn rules() -> ChurnRules {
+        ChurnRules {
+            max_events: Some(10_000),
+            window: 100,
+            ..ChurnRules::default()
+        }
+    }
+
+    #[test]
+    fn degree_attack_kills_the_hub() {
+        let adv = DegreeAttackAdversary::new(1, 1);
+        let config = SimConfig::default()
+            .with_churn_rules(rules())
+            .with_lateness(Lateness { topology: 2, state: 100 });
+        let mut sim = Simulator::new(config, adv, Box::new(|_, _| Star));
+        sim.seed_nodes(16);
+        sim.run(5);
+        assert!(
+            !sim.member_ids().contains(&NodeId(0)),
+            "the hub must be removed once the adversary can see the topology"
+        );
+    }
+
+    #[test]
+    fn targeted_swarm_respects_budget_and_replaces() {
+        let adv = TargetedSwarmAdversary::new(6, 2);
+        let config = SimConfig::default()
+            .with_churn_rules(ChurnRules {
+                max_events: Some(12),
+                window: 1000,
+                ..ChurnRules::default()
+            })
+            .with_lateness(Lateness { topology: 2, state: 100 });
+        let mut sim = Simulator::new(config, adv, Box::new(|_, _| Star));
+        sim.seed_nodes(32);
+        sim.run(6);
+        let total_events: usize = sim
+            .metrics()
+            .rounds()
+            .iter()
+            .map(|m| m.departures + m.joins)
+            .sum();
+        assert!(total_events <= 12);
+        assert!(sim.node_count() >= 26, "departures are replaced where budget allows");
+    }
+
+    #[test]
+    fn targeted_swarm_does_nothing_when_blind() {
+        let adv = TargetedSwarmAdversary::new(8, 3);
+        let config = SimConfig::default()
+            .with_churn_rules(rules())
+            .with_lateness(Lateness::oblivious());
+        let mut sim = Simulator::new(config, adv, Box::new(|_, _| Star));
+        sim.seed_nodes(16);
+        sim.run(4);
+        assert_eq!(sim.node_count(), 16, "an oblivious view gives the strategy nothing to target");
+    }
+
+    #[test]
+    fn adversary_names() {
+        assert_eq!(TargetedSwarmAdversary::new(1, 0).name(), "targeted-swarm");
+        assert_eq!(DegreeAttackAdversary::new(1, 0).name(), "degree-attack");
+    }
+}

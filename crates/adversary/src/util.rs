@@ -1,0 +1,125 @@
+//! Shared helpers for adversary strategies.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tsa_sim::{JoinPlan, KnowledgeView, NodeId};
+
+/// Picks up to `count` distinct current members uniformly at random,
+/// excluding `exclude`.
+pub fn pick_random_members<R: Rng + ?Sized>(
+    view: &KnowledgeView<'_>,
+    rng: &mut R,
+    count: usize,
+    exclude: &[NodeId],
+) -> Vec<NodeId> {
+    let mut candidates: Vec<NodeId> = view
+        .members()
+        .map(|(id, _)| id)
+        .filter(|id| !exclude.contains(id))
+        .collect();
+    candidates.shuffle(rng);
+    candidates.truncate(count);
+    candidates
+}
+
+/// Builds `count` join plans spread over eligible bootstrap nodes, excluding
+/// the nodes in `exclude` (e.g. nodes about to be churned out) and respecting
+/// the per-bootstrap fan-in `max_per_bootstrap`.
+pub fn spread_joins<R: Rng + ?Sized>(
+    view: &KnowledgeView<'_>,
+    rng: &mut R,
+    count: usize,
+    exclude: &[NodeId],
+    max_per_bootstrap: usize,
+) -> Vec<JoinPlan> {
+    let mut bootstraps: Vec<NodeId> = view
+        .eligible_bootstraps()
+        .into_iter()
+        .filter(|id| !exclude.contains(id))
+        .collect();
+    if bootstraps.is_empty() || max_per_bootstrap == 0 {
+        return Vec::new();
+    }
+    bootstraps.shuffle(rng);
+    let mut joins = Vec::with_capacity(count);
+    let mut idx = 0usize;
+    let mut used_on_current = 0usize;
+    while joins.len() < count {
+        if idx >= bootstraps.len() {
+            break; // every bootstrap is saturated
+        }
+        joins.push(JoinPlan {
+            bootstrap: bootstraps[idx],
+        });
+        used_on_current += 1;
+        if used_on_current >= max_per_bootstrap {
+            idx += 1;
+            used_on_current = 0;
+        }
+    }
+    joins
+}
+
+/// The oldest members first (by join round, ties by id): the adversary often
+/// wants to erode the stable core `V_0`.
+pub fn oldest_members(view: &KnowledgeView<'_>, count: usize) -> Vec<NodeId> {
+    let mut members: Vec<(u64, NodeId)> = view
+        .members()
+        .map(|(id, info)| (info.joined_at, id))
+        .collect();
+    members.sort();
+    members.into_iter().take(count).map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeMap;
+    use tsa_sim::{Lateness, MemberInfo};
+
+    fn members(n: u64) -> BTreeMap<NodeId, MemberInfo> {
+        (0..n)
+            .map(|i| (NodeId(i), MemberInfo { joined_at: i / 4 }))
+            .collect()
+    }
+
+    #[test]
+    fn pick_random_members_respects_count_and_exclusions() {
+        let m = members(20);
+        let records = Vec::new();
+        let view = KnowledgeView::new(10, Lateness::oblivious(), &records, &m, 100, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let picked = pick_random_members(&view, &mut rng, 5, &[NodeId(0), NodeId(1)]);
+        assert_eq!(picked.len(), 5);
+        assert!(!picked.contains(&NodeId(0)));
+        assert!(!picked.contains(&NodeId(1)));
+        let all = pick_random_members(&view, &mut rng, 100, &[]);
+        assert_eq!(all.len(), 20);
+    }
+
+    #[test]
+    fn spread_joins_honours_fanin() {
+        let m = members(8);
+        let records = Vec::new();
+        let view = KnowledgeView::new(10, Lateness::oblivious(), &records, &m, 100, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let joins = spread_joins(&view, &mut rng, 10, &[], 2);
+        assert_eq!(joins.len(), 10);
+        for b in view.eligible_bootstraps() {
+            let uses = joins.iter().filter(|j| j.bootstrap == b).count();
+            assert!(uses <= 2, "bootstrap {b} used {uses} times");
+        }
+        assert!(spread_joins(&view, &mut rng, 3, &[], 0).is_empty());
+    }
+
+    #[test]
+    fn oldest_members_sorts_by_join_round() {
+        let m = members(12);
+        let records = Vec::new();
+        let view = KnowledgeView::new(10, Lateness::oblivious(), &records, &m, 100, 2);
+        let oldest = oldest_members(&view, 4);
+        assert_eq!(oldest, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+}

@@ -1,0 +1,15 @@
+//! # tsa-analysis — measurement toolkit for the reproduction experiments
+//!
+//! Summary statistics, histograms, proportional fits, uniformity tests and
+//! markdown table rendering shared by the experiment binaries in `tsa-bench`
+//! and the integration tests.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod stats;
+pub mod uniformity;
+
+pub use report::{fmt_bool, fmt_f, Table};
+pub use stats::{fit_proportional, percentile_sorted, Histogram, Summary};
+pub use uniformity::{uniformity, UniformityReport};

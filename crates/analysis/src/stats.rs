@@ -1,0 +1,193 @@
+//! Summary statistics used by every experiment.
+
+use serde::Serialize;
+
+/// Summary of a sample of real values.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub std_dev: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`. Returns an all-zero summary for an
+    /// empty slice.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std_dev: 0.0,
+                median: 0.0,
+                p95: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: percentile_sorted(&sorted, 0.5),
+            p95: percentile_sorted(&sorted, 0.95),
+        }
+    }
+
+    /// Computes the summary of integer counts.
+    pub fn of_counts<I: IntoIterator<Item = usize>>(values: I) -> Summary {
+        let v: Vec<f64> = values.into_iter().map(|x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+/// The `q`-th percentile of an already sorted slice (nearest-rank).
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// A fixed-width histogram over `[min, max)`.
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    /// Left edge of the first bucket.
+    pub min: f64,
+    /// Right edge of the last bucket.
+    pub max: f64,
+    /// Bucket counts.
+    pub buckets: Vec<usize>,
+    /// Samples below `min` or at/above `max`.
+    pub outliers: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram with `buckets` equal-width buckets.
+    pub fn new(min: f64, max: f64, buckets: usize) -> Self {
+        Histogram {
+            min,
+            max,
+            buckets: vec![0; buckets.max(1)],
+            outliers: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, value: f64) {
+        if value < self.min || value >= self.max {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.max - self.min) / self.buckets.len() as f64;
+        let idx = ((value - self.min) / width) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Least-squares fit of `y ≈ a · x` (through the origin): returns `a` and the
+/// coefficient of determination `R²`. Used to check claims of the form
+/// "congestion grows like `k log^3 n`".
+pub fn fit_proportional(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    if sxx == 0.0 {
+        return (0.0, 0.0);
+    }
+    let a = sxy / sxx;
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - a * x).powi(2)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!(s.std_dev > 1.0 && s.std_dev < 1.2);
+        assert!(s.median >= 2.0 && s.median <= 3.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_counts() {
+        let s = Summary::of_counts([1usize, 3, 5]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let sorted: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 100.0);
+        assert!((percentile_sorted(&sorted, 0.5) - 50.0).abs() <= 1.0);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.5, 1.5, 2.5, 9.9, -1.0, 10.0] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[4], 1);
+    }
+
+    #[test]
+    fn proportional_fit_recovers_slope() {
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x).collect();
+        let (a, r2) = fit_proportional(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!(r2 > 0.999);
+        assert_eq!(fit_proportional(&[], &[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Uniformity tests for the peer-sampling experiment (Lemma 13).
+
+use std::collections::HashMap;
+
+/// Result of comparing an empirical distribution over `n` categories against
+/// the uniform distribution.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
+pub struct UniformityReport {
+    /// Number of categories (nodes).
+    pub categories: usize,
+    /// Total samples.
+    pub samples: usize,
+    /// Pearson chi-square statistic against the uniform distribution.
+    pub chi_square: f64,
+    /// Degrees of freedom (`categories - 1`).
+    pub degrees_of_freedom: usize,
+    /// Total-variation distance to the uniform distribution, in `[0, 1]`.
+    pub total_variation: f64,
+    /// Ratio of the largest to the smallest category count (∞ if a category
+    /// was never hit, encoded as `f64::INFINITY`).
+    pub max_min_ratio: f64,
+}
+
+impl UniformityReport {
+    /// A crude acceptance rule: chi-square within `k` standard deviations of
+    /// its expectation (`df ± k·sqrt(2·df)`) and small total variation.
+    pub fn looks_uniform(&self, k: f64, tv_threshold: f64) -> bool {
+        let df = self.degrees_of_freedom as f64;
+        let dev = (2.0 * df).sqrt();
+        self.chi_square <= df + k * dev && self.total_variation <= tv_threshold
+    }
+}
+
+/// Compares hit counts (over exactly `categories` possible outcomes, missing
+/// entries count as zero) against the uniform distribution.
+pub fn uniformity<K: std::hash::Hash + Eq>(
+    hits: &HashMap<K, usize>,
+    categories: usize,
+) -> UniformityReport {
+    let samples: usize = hits.values().sum();
+    if categories == 0 || samples == 0 {
+        return UniformityReport {
+            categories,
+            samples,
+            chi_square: 0.0,
+            degrees_of_freedom: categories.saturating_sub(1),
+            total_variation: 0.0,
+            max_min_ratio: 1.0,
+        };
+    }
+    let expected = samples as f64 / categories as f64;
+    let mut chi = 0.0;
+    let mut tv = 0.0;
+    let mut max = 0usize;
+    let mut min = usize::MAX;
+    let mut seen = 0usize;
+    for &count in hits.values() {
+        chi += (count as f64 - expected).powi(2) / expected;
+        tv += (count as f64 / samples as f64 - 1.0 / categories as f64).abs();
+        max = max.max(count);
+        min = min.min(count);
+        seen += 1;
+    }
+    // Categories never hit.
+    let missing = categories.saturating_sub(seen);
+    chi += missing as f64 * expected;
+    tv += missing as f64 / categories as f64;
+    if missing > 0 {
+        min = 0;
+    }
+    UniformityReport {
+        categories,
+        samples,
+        chi_square: chi,
+        degrees_of_freedom: categories - 1,
+        total_variation: tv / 2.0,
+        max_min_ratio: if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfectly_uniform_counts_pass() {
+        let hits: HashMap<u64, usize> = (0..100u64).map(|i| (i, 50)).collect();
+        let r = uniformity(&hits, 100);
+        assert_eq!(r.samples, 5000);
+        assert!(r.chi_square < 1e-9);
+        assert!(r.total_variation < 1e-9);
+        assert_eq!(r.max_min_ratio, 1.0);
+        assert!(r.looks_uniform(3.0, 0.05));
+    }
+
+    #[test]
+    fn random_uniform_sampling_passes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let categories = 200usize;
+        let mut hits: HashMap<u64, usize> = HashMap::new();
+        for _ in 0..40_000 {
+            *hits.entry(rng.gen_range(0..categories as u64)).or_insert(0) += 1;
+        }
+        let r = uniformity(&hits, categories);
+        assert!(r.looks_uniform(4.0, 0.1), "uniform sample rejected: {r:?}");
+    }
+
+    #[test]
+    fn heavily_skewed_counts_fail() {
+        let mut hits: HashMap<u64, usize> = HashMap::new();
+        hits.insert(0, 9_000);
+        for i in 1..100u64 {
+            hits.insert(i, 10);
+        }
+        let r = uniformity(&hits, 100);
+        assert!(!r.looks_uniform(4.0, 0.1));
+        assert!(r.total_variation > 0.5);
+    }
+
+    #[test]
+    fn missing_categories_are_penalized() {
+        let hits: HashMap<u64, usize> = (0..50u64).map(|i| (i, 100)).collect();
+        let r = uniformity(&hits, 100);
+        assert_eq!(r.max_min_ratio, f64::INFINITY);
+        assert!(r.total_variation > 0.4);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let hits: HashMap<u64, usize> = HashMap::new();
+        let r = uniformity(&hits, 0);
+        assert_eq!(r.samples, 0);
+        assert_eq!(r.chi_square, 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Chord with swarms (Fiat, Saia & Young [7]): every virtual Chord address is
+//! maintained by a swarm of `Θ(log n)` nodes, the construction the LDS borrows
+//! its swarm idea from. Static baseline for Table 1.
+
+use rand::Rng;
+
+use tsa_overlay::{OverlayGraph, OverlayParams, Position, SwarmIndex};
+use tsa_sim::NodeId;
+
+/// A Chord-with-swarms snapshot: nodes at random ring positions, each
+/// connected to its own swarm and to the swarms at the classic Chord finger
+/// distances `2^{-i}`.
+#[derive(Clone, Debug)]
+pub struct ChordSwarm {
+    params: OverlayParams,
+    index: SwarmIndex,
+    positions: Vec<(NodeId, Position)>,
+}
+
+impl ChordSwarm {
+    /// Builds a Chord-with-swarms overlay with uniformly random positions.
+    pub fn random<R: Rng + ?Sized>(params: OverlayParams, nodes: Vec<NodeId>, rng: &mut R) -> Self {
+        let positions: Vec<(NodeId, Position)> = nodes
+            .into_iter()
+            .map(|id| (id, Position::new(rng.gen::<f64>())))
+            .collect();
+        let index = SwarmIndex::build(positions.iter().copied());
+        ChordSwarm {
+            params,
+            index,
+            positions,
+        }
+    }
+
+    /// Number of finger levels (`λ`).
+    pub fn fingers(&self) -> u32 {
+        self.params.lambda()
+    }
+
+    /// The neighbours of one node: its own swarm plus the swarm at each finger
+    /// distance.
+    pub fn neighbors(&self, node: NodeId, position: Position) -> Vec<NodeId> {
+        let r = self.params.swarm_radius();
+        let mut out = self.index.within(position, r);
+        for i in 1..=self.fingers() {
+            let finger = position.offset(1.0 / (1u64 << i) as f64);
+            out.extend(self.index.within(finger, r));
+        }
+        out.sort();
+        out.dedup();
+        out.retain(|&id| id != node);
+        out
+    }
+
+    /// Materializes the graph.
+    pub fn to_graph(&self) -> OverlayGraph {
+        let mut g = OverlayGraph::with_vertices(self.positions.iter().map(|(id, _)| *id));
+        for &(id, p) in &self.positions {
+            for w in self.neighbors(id, p) {
+                g.add_edge(id, w);
+            }
+        }
+        g
+    }
+
+    /// The positions of all nodes.
+    pub fn positions(&self) -> &[(NodeId, Position)] {
+        &self.positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn chord_swarm_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let params = OverlayParams::with_default_c(128);
+        let c = ChordSwarm::random(params, (0..128).map(NodeId).collect(), &mut rng);
+        assert!(c.to_graph().is_connected());
+        assert!(c.fingers() >= 7);
+        assert_eq!(c.positions().len(), 128);
+    }
+
+    #[test]
+    fn neighbors_exclude_self_and_are_deduplicated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let params = OverlayParams::with_default_c(64);
+        let c = ChordSwarm::random(params, (0..64).map(NodeId).collect(), &mut rng);
+        let (id, p) = c.positions()[0];
+        let nbrs = c.neighbors(id, p);
+        assert!(!nbrs.contains(&id));
+        let mut sorted = nbrs.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), nbrs.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! The H_d graph of Drees, Gmyr & Scheideler [4]: the union of `d` random
+//! rings ("random cycles"), a constant-degree structured expander.
+//!
+//! Used as a Table-1 baseline: it tolerates enormous churn against an
+//! `O(log log n)`-late adversary, but a 2-late adversary that can see the
+//! (static) topology simply removes one node's entire neighbourhood.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use tsa_overlay::OverlayGraph;
+use tsa_sim::NodeId;
+
+/// A union of `d` independent uniformly random rings over the node set.
+#[derive(Clone, Debug)]
+pub struct HdGraph {
+    /// The node set.
+    pub nodes: Vec<NodeId>,
+    /// The `d` rings, each a permutation of the node set.
+    pub rings: Vec<Vec<NodeId>>,
+}
+
+impl HdGraph {
+    /// Samples an H_d graph over `nodes` with `d` rings.
+    pub fn random<R: Rng + ?Sized>(nodes: Vec<NodeId>, d: usize, rng: &mut R) -> Self {
+        let mut rings = Vec::with_capacity(d);
+        for _ in 0..d {
+            let mut ring = nodes.clone();
+            ring.shuffle(rng);
+            rings.push(ring);
+        }
+        HdGraph { nodes, rings }
+    }
+
+    /// The number of rings `d`.
+    pub fn d(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Materializes the (undirected) edge set.
+    pub fn to_graph(&self) -> OverlayGraph {
+        let mut g = OverlayGraph::with_vertices(self.nodes.iter().copied());
+        for ring in &self.rings {
+            let len = ring.len();
+            if len < 2 {
+                continue;
+            }
+            for i in 0..len {
+                g.add_undirected_edge(ring[i], ring[(i + 1) % len]);
+            }
+        }
+        g
+    }
+
+    /// Maximum degree (at most `2d`).
+    pub fn max_degree(&self) -> usize {
+        self.to_graph().max_out_degree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn nodes(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn hd_graph_is_connected_and_low_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = HdGraph::random(nodes(128), 3, &mut rng);
+        assert_eq!(g.d(), 3);
+        let graph = g.to_graph();
+        assert!(graph.is_connected());
+        assert!(g.max_degree() <= 6, "degree is at most 2d");
+    }
+
+    #[test]
+    fn single_ring_is_a_cycle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = HdGraph::random(nodes(10), 1, &mut rng);
+        let graph = g.to_graph();
+        assert!(graph.is_connected());
+        assert_eq!(graph.edge_count(), 20, "10 undirected cycle edges = 20 directed");
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = HdGraph::random(nodes(1), 2, &mut rng);
+        assert!(g.to_graph().is_connected());
+    }
+}

@@ -1,0 +1,201 @@
+//! Churn-resilience trials over static topology snapshots.
+//!
+//! These trials drive the Table-1 comparison: given a topology snapshot, an
+//! adversary that can see it (because it is static and the adversary is only
+//! 2-late) removes its churn budget either *randomly* (what an oblivious
+//! adversary can do) or *targeted* — concentrating on one node's neighbourhood
+//! to carve out a cut. The maintained LDS is exercised separately through the
+//! full protocol; here we quantify how every non-reconfiguring structure
+//! collapses under the same budget.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::Serialize;
+
+use tsa_overlay::OverlayGraph;
+use tsa_sim::NodeId;
+
+/// How the trial spends its removal budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum AttackMode {
+    /// Remove uniformly random nodes (oblivious adversary).
+    Random,
+    /// Remove a pivot node's neighbourhood (and, budget permitting, the
+    /// neighbourhoods of its neighbours) — what a topology-aware adversary
+    /// does to a static overlay.
+    TargetedNeighborhood,
+}
+
+/// Result of one resilience trial.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ResilienceOutcome {
+    /// Nodes before the attack.
+    pub nodes_before: usize,
+    /// Nodes removed.
+    pub removed: usize,
+    /// Whether the surviving graph is still connected.
+    pub connected_after: bool,
+    /// Fraction of survivors in the largest component.
+    pub largest_component_fraction: f64,
+    /// Number of survivors that ended up isolated (degree 0).
+    pub isolated_survivors: usize,
+}
+
+/// Removes `budget` nodes from `graph` according to `mode` and measures what
+/// is left.
+pub fn attack_trial<R: Rng + ?Sized>(
+    graph: &OverlayGraph,
+    budget: usize,
+    mode: AttackMode,
+    rng: &mut R,
+) -> ResilienceOutcome {
+    let mut vertices: Vec<NodeId> = graph.vertices().collect();
+    vertices.sort();
+    let nodes_before = vertices.len();
+    let budget = budget.min(nodes_before.saturating_sub(1));
+
+    let mut removed: HashSet<NodeId> = HashSet::new();
+    match mode {
+        AttackMode::Random => {
+            vertices.shuffle(rng);
+            removed.extend(vertices.iter().copied().take(budget));
+        }
+        AttackMode::TargetedNeighborhood => {
+            vertices.shuffle(rng);
+            let mut frontier: Vec<NodeId> = Vec::new();
+            let mut source = vertices.into_iter();
+            while removed.len() < budget {
+                let pivot = match frontier.pop() {
+                    Some(p) => p,
+                    None => match source.next() {
+                        Some(p) => p,
+                        None => break,
+                    },
+                };
+                if !removed.insert(pivot) {
+                    continue;
+                }
+                for &n in graph.neighbors(pivot) {
+                    if !removed.contains(&n) {
+                        frontier.push(n);
+                    }
+                }
+            }
+            while removed.len() > budget {
+                // We may have overshot by inserting the last pivot; trim back.
+                let extra = *removed.iter().next().unwrap();
+                removed.remove(&extra);
+            }
+        }
+    }
+
+    let survivors: HashSet<NodeId> = graph
+        .vertices()
+        .filter(|v| !removed.contains(v))
+        .collect();
+    let restricted = graph.restrict_to(&survivors);
+    let isolated = survivors
+        .iter()
+        .filter(|v| restricted.out_degree(**v) == 0)
+        .count();
+    ResilienceOutcome {
+        nodes_before,
+        removed: removed.len(),
+        connected_after: restricted.is_connected(),
+        largest_component_fraction: restricted.largest_component_fraction(),
+        isolated_survivors: isolated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ring(n: u64) -> OverlayGraph {
+        let mut g = OverlayGraph::new();
+        for i in 0..n {
+            g.add_undirected_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        g
+    }
+
+    /// A clique is connected no matter which nodes are removed.
+    fn clique(n: u64) -> OverlayGraph {
+        let mut g = OverlayGraph::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_undirected_edge(NodeId(i), NodeId(j));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn clique_survives_any_attack() {
+        let g = clique(32);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for mode in [AttackMode::Random, AttackMode::TargetedNeighborhood] {
+            let out = attack_trial(&g, 8, mode, &mut rng);
+            assert!(out.connected_after, "{mode:?} must not disconnect a clique");
+            assert_eq!(out.removed, 8);
+            assert_eq!(out.isolated_survivors, 0);
+        }
+    }
+
+    /// A star graph: node 0 is the hub, everyone else is a leaf.
+    fn star(n: u64) -> OverlayGraph {
+        let mut g = OverlayGraph::new();
+        for i in 1..n {
+            g.add_undirected_edge(NodeId(0), NodeId(i));
+        }
+        g
+    }
+
+    #[test]
+    fn targeted_attack_shatters_a_star() {
+        // The first pivot is a leaf, whose only neighbour is the hub, so the
+        // hub is removed almost immediately and the survivors are isolated.
+        let g = star(64);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let out = attack_trial(&g, 8, AttackMode::TargetedNeighborhood, &mut rng);
+        assert!(
+            out.largest_component_fraction < 0.1,
+            "hub removal must shatter the star: {out:?}"
+        );
+        assert!(out.isolated_survivors > 40);
+    }
+
+    #[test]
+    fn targeted_attack_carves_a_contiguous_block_from_a_ring() {
+        // A ring survives as a path when one contiguous block is removed; the
+        // point is that the removal is contiguous (no isolated survivors).
+        let g = ring(64);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let out = attack_trial(&g, 8, AttackMode::TargetedNeighborhood, &mut rng);
+        assert_eq!(out.removed, 8);
+        assert_eq!(out.isolated_survivors, 0);
+    }
+
+    #[test]
+    fn budget_is_respected_and_capped() {
+        let g = ring(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = attack_trial(&g, 100, AttackMode::Random, &mut rng);
+        assert_eq!(out.removed, 9, "budget capped to n-1");
+        assert_eq!(out.nodes_before, 10);
+    }
+
+    #[test]
+    fn zero_budget_changes_nothing() {
+        let g = ring(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let out = attack_trial(&g, 0, AttackMode::TargetedNeighborhood, &mut rng);
+        assert_eq!(out.removed, 0);
+        assert!(out.connected_after);
+        assert_eq!(out.largest_component_fraction, 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! A SPARTAN-style overlay (Augustine & Sivasubramaniam [2]): a wrapped
+//! butterfly of *virtual* nodes, each simulated by a committee of `Θ(log n)`
+//! real nodes.
+//!
+//! The real SPARTAN protocol continuously rotates nodes through committees;
+//! for the Table-1 comparison we only need its *structure*, because the point
+//! of the comparison is what a 2-late adversary can do to a topology whose
+//! committee membership it can observe: removing a single committee
+//! disconnects the corresponding virtual node and with it the butterfly's
+//! routing paths.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use tsa_overlay::OverlayGraph;
+use tsa_sim::NodeId;
+
+/// A butterfly-of-committees overlay.
+#[derive(Clone, Debug)]
+pub struct SpartanOverlay {
+    /// Number of butterfly levels (`log m` for `m` virtual nodes per level).
+    pub levels: usize,
+    /// Virtual nodes per level.
+    pub per_level: usize,
+    /// `committees[level][index]` = the real nodes simulating that virtual node.
+    pub committees: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl SpartanOverlay {
+    /// Distributes `nodes` over a wrapped butterfly with committees of size
+    /// roughly `committee_size`.
+    pub fn build<R: Rng + ?Sized>(mut nodes: Vec<NodeId>, committee_size: usize, rng: &mut R) -> Self {
+        nodes.shuffle(rng);
+        let committee_size = committee_size.max(1);
+        let total_committees = (nodes.len() / committee_size).max(1);
+        // Choose per_level as a power of two and levels = log2(per_level),
+        // the canonical wrapped-butterfly shape.
+        let mut per_level = 1usize;
+        while per_level * (per_level.trailing_zeros() as usize + 1).max(1) * 2 <= total_committees {
+            per_level *= 2;
+        }
+        let levels = per_level.trailing_zeros().max(1) as usize;
+        let needed = per_level * levels;
+        let mut committees = vec![vec![Vec::new(); per_level]; levels];
+        for (i, node) in nodes.iter().enumerate() {
+            let c = i % needed;
+            let level = c / per_level;
+            let idx = c % per_level;
+            committees[level][idx].push(*node);
+        }
+        SpartanOverlay {
+            levels,
+            per_level,
+            committees,
+        }
+    }
+
+    /// The committee of a virtual node.
+    pub fn committee(&self, level: usize, index: usize) -> &[NodeId] {
+        &self.committees[level][index]
+    }
+
+    /// The smallest committee size (zero means a virtual node is unpopulated
+    /// and the butterfly is broken).
+    pub fn min_committee_size(&self) -> usize {
+        self.committees
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|c| c.len())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Materializes the real-node graph: full connectivity inside each
+    /// committee and between committees adjacent in the wrapped butterfly
+    /// (straight edge and cross edge to the next level).
+    pub fn to_graph(&self) -> OverlayGraph {
+        let mut g = OverlayGraph::new();
+        for level in 0..self.levels {
+            for idx in 0..self.per_level {
+                let members = &self.committees[level][idx];
+                for &m in members {
+                    g.add_vertex(m);
+                }
+                // Intra-committee clique.
+                for (i, &a) in members.iter().enumerate() {
+                    for &b in members.iter().skip(i + 1) {
+                        g.add_undirected_edge(a, b);
+                    }
+                }
+                // Butterfly edges to the next level (wrapped).
+                let next_level = (level + 1) % self.levels;
+                let bit = 1usize << (level % usize::BITS as usize).min(self.per_level.trailing_zeros() as usize);
+                let straight = idx;
+                let cross = idx ^ bit.min(self.per_level / 2);
+                for &target in [straight, cross].iter() {
+                    for &a in members {
+                        for &b in &self.committees[next_level][target % self.per_level] {
+                            if a != b {
+                                g.add_undirected_edge(a, b);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn nodes(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn butterfly_is_connected_and_committees_populated() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = SpartanOverlay::build(nodes(256), 8, &mut rng);
+        assert!(s.levels >= 1);
+        assert!(s.min_committee_size() >= 1, "every virtual node needs a committee");
+        assert!(s.to_graph().is_connected());
+    }
+
+    #[test]
+    fn committee_access() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let s = SpartanOverlay::build(nodes(64), 4, &mut rng);
+        let c = s.committee(0, 0);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn small_networks_do_not_panic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = SpartanOverlay::build(nodes(5), 4, &mut rng);
+        assert!(s.min_committee_size() >= 1);
+        let g = s.to_graph();
+        assert_eq!(g.vertex_count(), 5);
+    }
+}

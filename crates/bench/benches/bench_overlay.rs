@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the overlay substrate: building an LDS snapshot,
+//! swarm range queries, and trajectory computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use tsa_overlay::{Lds, OverlayParams, Position, Trajectory};
+use tsa_sim::NodeId;
+
+fn bench_lds_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lds_build");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let params = OverlayParams::with_default_c(n);
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                let lds = Lds::random(params, (0..n as u64).map(NodeId), &mut rng);
+                std::hint::black_box(lds.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_swarm_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm_query");
+    group.sample_size(20);
+    for &n in &[1024usize, 8192] {
+        let params = OverlayParams::with_default_c(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let lds = Lds::random(params, (0..n as u64).map(NodeId), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            b.iter(|| {
+                let p = Position::new(rng.gen::<f64>());
+                std::hint::black_box(lds.swarm(p).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectory(c: &mut Criterion) {
+    c.bench_function("trajectory_lambda_20", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            let v = Position::new(rng.gen::<f64>());
+            let p = Position::new(rng.gen::<f64>());
+            std::hint::black_box(Trajectory::compute(v, p, 20).len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_lds_build, bench_swarm_queries, bench_trajectory);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of `A_ROUTING` and `A_SAMPLING` (wall-clock cost of
+//! the Lemma 9 / Lemma 13 workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use tsa_overlay::{Lds, OverlayParams};
+use tsa_routing::{sample_many, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
+use tsa_sim::NodeId;
+
+fn bench_route_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_k1_messages");
+    group.sample_size(10);
+    for &n in &[128usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let series = RoutableSeries::new(
+                OverlayParams::with_default_c(n),
+                11,
+                (0..n as u64).map(NodeId),
+            );
+            let messages = uniform_workload(&series, 1, 3);
+            let sim = RoutingSim::new(&series, RoutingConfig::default().with_replication(3));
+            b.iter(|| std::hint::black_box(sim.route_all(0, &messages).delivered));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_1000_draws");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let overlay = Lds::random(
+                OverlayParams::with_default_c(n),
+                (0..n as u64).map(NodeId),
+                &mut rng,
+            );
+            b.iter(|| std::hint::black_box(sample_many(&overlay, 1000, 7).delivered()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_all, bench_sampling);
+criterion_main!(benches);

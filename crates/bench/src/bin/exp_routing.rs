@@ -1,0 +1,56 @@
+//! Experiment E4/E5 — Lemmas 9–12: `A_ROUTING` delivery rate, exact dilation
+//! `2λ+2`, congestion `O(k log n)`, and trajectory-crossing counts.
+
+use tsa_analysis::{fmt_f, Table};
+use tsa_overlay::{Interval, OverlayParams, Position};
+use tsa_routing::{trajectory_crossings, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
+use tsa_sim::NodeId;
+
+fn main() {
+    // Lemma 9: delivery + dilation + congestion over n and k.
+    let mut table = Table::new(
+        "Lemma 9 (measured): A_ROUTING with 25% holder failure per step",
+        &["n", "lambda", "k", "delivered", "dilation (rounds)", "max congestion", "congestion / (k·λ)"],
+    );
+    for &n in &[128usize, 256, 512] {
+        let params = OverlayParams::with_default_c(n);
+        let series = RoutableSeries::new(params, 7, (0..n as u64).map(NodeId));
+        for k in [1usize, 4] {
+            let config = RoutingConfig::default()
+                .with_replication(4)
+                .with_holder_failure(0.25)
+                .with_seed(5 + k as u64);
+            let report = RoutingSim::new(&series, config)
+                .route_all(0, &uniform_workload(&series, k, 3 + k as u64));
+            table.row(vec![
+                n.to_string(),
+                params.lambda().to_string(),
+                k.to_string(),
+                format!("{}/{}", report.delivered, report.total),
+                report.dilation.to_string(),
+                report.max_congestion.to_string(),
+                fmt_f(report.max_congestion as f64 / (k as f64 * params.lambda() as f64)),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+
+    // Lemma 12: trajectory crossings of an interval vs the k·n·|I| prediction.
+    let n = 512usize;
+    let params = OverlayParams::with_default_c(n);
+    let series = RoutableSeries::new(params, 9, (0..n as u64).map(NodeId));
+    let k = 2usize;
+    let msgs = uniform_workload(&series, k, 13);
+    let overlay = series.overlay(0);
+    let interval = Interval::around(Position::new(0.42), 0.05);
+    let expected = k as f64 * n as f64 * interval.length();
+    let mut table = Table::new(
+        "Lemma 12 (measured): trajectories crossing an interval of length 0.1 (n = 512, k = 2)",
+        &["trajectory step j", "measured crossings", "predicted k·n·|I|"],
+    );
+    for j in [1usize, 3, 5, 7, params.lambda() as usize] {
+        let crossings = trajectory_crossings(&overlay, &msgs, j, &interval);
+        table.row(vec![j.to_string(), crossings.to_string(), fmt_f(expected)]);
+    }
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,111 @@
+//! Experiment T1 — Table 1, re-measured.
+//!
+//! The paper's Table 1 compares adversary models from the literature. We turn
+//! it into an executable comparison: every *static* overlay structure from the
+//! related work (H_d graph, SPARTAN-style butterfly committees, Chord with
+//! swarms, a static LDS) is attacked with the same churn budget `αn`, once by
+//! an oblivious (random) adversary and once by a topology-aware one — which is
+//! what 2-lateness amounts to against a structure that never changes. The
+//! maintained LDS (this paper) is exercised through the full protocol against
+//! the 2-late targeted adversary.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use tsa_adversary::TargetedSwarmAdversary;
+use tsa_analysis::{fmt_bool, fmt_f, Table};
+use tsa_baselines::{attack_trial, AttackMode, ChordSwarm, HdGraph, SpartanOverlay};
+use tsa_bench::experiment_params;
+use tsa_core::MaintenanceHarness;
+use tsa_overlay::{Lds, OverlayGraph, OverlayParams};
+use tsa_sim::{ChurnRules, NodeId};
+
+fn trial(name: &str, graph: &OverlayGraph, budget: usize, table: &mut Table, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let random = attack_trial(graph, budget, AttackMode::Random, &mut rng);
+    let targeted = attack_trial(graph, budget, AttackMode::TargetedNeighborhood, &mut rng);
+    // The budget a topology-aware adversary needs to eclipse (cut off) one
+    // node of a *static* overlay: the size of that node's fixed neighbourhood.
+    let eclipse_budget = graph
+        .vertices()
+        .map(|v| graph.out_degree(v))
+        .min()
+        .unwrap_or(0);
+    table.row(vec![
+        name.to_string(),
+        "static".to_string(),
+        fmt_f(random.largest_component_fraction),
+        fmt_f(targeted.largest_component_fraction),
+        format!("{} + {}", targeted.removed, targeted.isolated_survivors),
+        eclipse_budget.to_string(),
+    ]);
+}
+
+fn main() {
+    let n = 256usize;
+    let budget = n / 4; // αn with α = 1/4: a harsh but survivable budget
+    let params = OverlayParams::with_default_c(n);
+    let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    let mut table = Table::new(
+        &format!("Table 1 (measured): survival of an {budget}-node churn burst, n = {n}"),
+        &[
+            "overlay", "maintenance", "largest comp (random churn)", "largest comp (targeted churn)",
+            "nodes lost to targeted churn (removed + eclipsed)", "budget to eclipse one node",
+        ],
+    );
+
+    let hd = HdGraph::random(nodes.clone(), 3, &mut rng).to_graph();
+    trial("H_d graph (Drees et al. [4])", &hd, budget, &mut table, 11);
+
+    let spartan = SpartanOverlay::build(nodes.clone(), params.lambda() as usize, &mut rng).to_graph();
+    trial("SPARTAN butterfly [2]", &spartan, budget, &mut table, 12);
+
+    let chord = ChordSwarm::random(params, nodes.clone(), &mut rng).to_graph();
+    trial("Chord with swarms [7]", &chord, budget, &mut table, 13);
+
+    let static_lds = Lds::random(params, nodes.clone(), &mut rng).to_graph();
+    trial("LDS, never reconfigured", &static_lds, budget, &mut table, 14);
+
+    // The maintained LDS: the full protocol against a 2-late targeted-swarm
+    // adversary spending (roughly) the same budget over one churn window.
+    let mp = experiment_params(96);
+    let rules = ChurnRules {
+        max_events: Some(96 / 4),
+        window: mp.overlay.churn_window(),
+        bootstrap_rounds: mp.bootstrap_rounds(),
+        ..ChurnRules::default()
+    };
+    let mut harness = MaintenanceHarness::with_rules(
+        mp,
+        TargetedSwarmAdversary::new(2, 5),
+        3,
+        rules,
+        mp.paper_lateness(),
+    );
+    harness.run_bootstrap();
+    harness.run(2 * mp.maturity_age());
+    let report = harness.report();
+    let unwired = report.mature_count - report.participating;
+    table.row(vec![
+        "LDS + maintenance (this paper)".to_string(),
+        "rebuilt every 2 rounds".to_string(),
+        "-".to_string(),
+        format!("{} ({})", fmt_f(report.largest_component_fraction), fmt_bool(report.connected)),
+        format!("{} churned + {} unwired", report.node_count.saturating_sub(report.participating).min(96), unwired),
+        "unbounded (positions relocate every 2 rounds)".to_string(),
+    ]);
+
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading: every structure keeps a giant component under a single oblivious burst, but\n\
+         against a *static* overlay a topology-aware adversary (which is what 2-lateness means\n\
+         when the topology never changes) only needs a budget equal to one node's fixed\n\
+         neighbourhood to eclipse it — a handful of removals for the constant-degree H_d graph,\n\
+         Θ(log n) for the committee/swarm structures — and it can repeat this every window.\n\
+         The maintained LDS (n = 96, full message-level protocol, same 2-late targeted\n\
+         adversary) offers no such static target: the neighbourhood it observes is stale two\n\
+         reconfigurations later, and every mature node stays wired in."
+    );
+}

@@ -1,0 +1,47 @@
+//! # tsa-bench — experiment harness and Criterion benchmarks
+//!
+//! Each binary in `src/bin/` regenerates one exhibit of the paper (or one
+//! quantitative claim of a lemma/theorem); the Criterion benches in `benches/`
+//! measure the wall-clock cost of the core operations. `EXPERIMENTS.md` in the
+//! repository root records the outputs.
+//!
+//! | binary            | exhibit / claim |
+//! |--------------------|-----------------|
+//! | `exp_table1`       | Table 1 — adversary-model comparison, measured as survival under a 2-late targeted attack |
+//! | `exp_fig1`         | Figure 1 — LDS neighbourhood structure (swarm sizes, edge counts, swarm property) |
+//! | `exp_routing`      | Lemmas 9–12 — delivery, dilation `2λ+2`, congestion `O(k log n)`, trajectory crossings |
+//! | `exp_sampling`     | Lemma 13 — sampling uniformity and discard probability |
+//! | `exp_maintenance`  | Theorem 14, Lemmas 16/17/20/22/24 — routability under churn, lateness ablation, connect load, congestion scaling |
+//! | `exp_ablation`     | Robustness parameter `c`, replication `r` sweeps |
+
+#![warn(missing_docs)]
+
+use tsa_core::MaintenanceParams;
+
+/// The standard network sizes used by the experiments. They are deliberately
+/// modest so every experiment finishes in minutes on a laptop; the asymptotic
+/// trends are already visible at these sizes.
+pub const EXPERIMENT_SIZES: [usize; 3] = [64, 128, 256];
+
+/// Maintenance-protocol parameters used across the experiments: slightly
+/// reduced constants (`c`, `τ`, `r`) keep the message volume manageable while
+/// preserving every qualitative property.
+pub fn experiment_params(n: usize) -> MaintenanceParams {
+    MaintenanceParams::new(n)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_params_scale() {
+        let small = experiment_params(64);
+        let large = experiment_params(256);
+        assert!(large.lambda() > small.lambda());
+        assert_eq!(small.replication, 2);
+    }
+}

@@ -1,0 +1,339 @@
+//! A convenience harness wiring the maintenance protocol, an adversary and the
+//! simulator together, plus the routability / health reporting used by the
+//! experiments.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use tsa_overlay::{Lds, OverlayGraph, Position};
+use tsa_sim::{
+    Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, NullAdversary, Round, SimConfig,
+    Simulator,
+};
+
+use crate::node::ProtocolNode;
+use crate::params::MaintenanceParams;
+use crate::snapshot::NodeSnapshot;
+
+/// Health report of the maintained overlay at one instant.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct MaintenanceReport {
+    /// The round the report was taken after.
+    pub round: Round,
+    /// The overlay epoch that round belongs to.
+    pub epoch: u64,
+    /// Nodes currently in the network.
+    pub node_count: usize,
+    /// Nodes that count as mature.
+    pub mature_count: usize,
+    /// Mature nodes that hold a non-empty neighbour set for the current epoch.
+    pub participating: usize,
+    /// `participating / mature_count`.
+    pub participation_rate: f64,
+    /// Whether the actual neighbour graph over participating nodes is
+    /// connected.
+    pub connected: bool,
+    /// Fraction of participating nodes in the largest component.
+    pub largest_component_fraction: f64,
+    /// Mean degree of participating nodes.
+    pub mean_degree: f64,
+    /// Smallest swarm size of the *ideal* overlay over participating nodes
+    /// (empty swarms make the overlay unroutable).
+    pub min_swarm_size: usize,
+    /// Maximum messages received by one node in the most recent round.
+    pub max_congestion: usize,
+}
+
+impl MaintenanceReport {
+    /// The routability criterion used by the experiments: every mature node is
+    /// wired in, the graph is connected, and no swarm is empty.
+    pub fn is_routable(&self) -> bool {
+        self.connected && self.participation_rate > 0.9 && self.min_swarm_size > 0
+    }
+}
+
+/// The maintenance protocol running inside the simulator against an adversary.
+pub struct MaintenanceHarness<A: Adversary> {
+    sim: Simulator<ProtocolNode, A>,
+    params: MaintenanceParams,
+}
+
+impl MaintenanceHarness<NullAdversary> {
+    /// A harness with no churn at all (bootstrap and steady-state testing).
+    pub fn without_churn(params: MaintenanceParams, seed: u64) -> Self {
+        Self::new(params, NullAdversary, seed)
+    }
+}
+
+impl<A: Adversary> MaintenanceHarness<A> {
+    /// Creates a harness with the paper's churn rules and lateness.
+    pub fn new(params: MaintenanceParams, adversary: A, seed: u64) -> Self {
+        Self::with_rules(
+            params,
+            adversary,
+            seed,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+        )
+    }
+
+    /// Creates a harness with explicit churn rules and adversary lateness
+    /// (used by the impossibility and ablation experiments).
+    pub fn with_rules(
+        params: MaintenanceParams,
+        adversary: A,
+        seed: u64,
+        churn_rules: ChurnRules,
+        lateness: Lateness,
+    ) -> Self {
+        let n = params.overlay.n;
+        let genesis: Arc<Vec<NodeId>> = Arc::new((0..n as u64).map(NodeId).collect());
+        let config = SimConfig::default()
+            .with_seed(seed)
+            .with_churn_rules(churn_rules)
+            .with_lateness(lateness)
+            .with_parallel(true)
+            .with_history_window(64);
+        let factory_params = params;
+        let mut sim = Simulator::new(
+            config,
+            adversary,
+            Box::new(move |_, round| {
+                let genesis_ref = if round == 0 {
+                    Some(genesis.clone())
+                } else {
+                    None
+                };
+                ProtocolNode::new(factory_params, genesis_ref)
+            }),
+        );
+        sim.seed_nodes(n);
+        MaintenanceHarness { sim, params }
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &MaintenanceParams {
+        &self.params
+    }
+
+    /// The current round.
+    pub fn round(&self) -> Round {
+        self.sim.round()
+    }
+
+    /// The current overlay epoch.
+    pub fn epoch(&self) -> u64 {
+        self.sim.round() / 2
+    }
+
+    /// Number of nodes currently in the network.
+    pub fn node_count(&self) -> usize {
+        self.sim.node_count()
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        self.sim.run(rounds);
+    }
+
+    /// Runs the full churn-free bootstrap phase.
+    pub fn run_bootstrap(&mut self) {
+        self.run(self.params.bootstrap_rounds());
+    }
+
+    /// Executes a single round.
+    pub fn step(&mut self) {
+        self.sim.step();
+    }
+
+    /// Direct access to the underlying simulator.
+    pub fn simulator(&self) -> &Simulator<ProtocolNode, A> {
+        &self.sim
+    }
+
+    /// The per-round message metrics (congestion, Lemma 24).
+    pub fn metrics(&self) -> &MetricsHistory {
+        self.sim.metrics()
+    }
+
+    /// Snapshots of every node's observable state.
+    pub fn snapshots(&self) -> Vec<(NodeId, NodeSnapshot)> {
+        let now = self.sim.round().saturating_sub(1);
+        self.sim
+            .nodes()
+            .map(|(id, node)| (id, node.snapshot(now)))
+            .collect()
+    }
+
+    /// The health report for the most recently completed round.
+    pub fn report(&self) -> MaintenanceReport {
+        let round = self.sim.round().saturating_sub(1);
+        let epoch = round / 2;
+        let snapshots = self.snapshots();
+        let node_count = snapshots.len();
+        let mature: Vec<&(NodeId, NodeSnapshot)> =
+            snapshots.iter().filter(|(_, s)| s.mature).collect();
+        let participating: Vec<&(NodeId, NodeSnapshot)> = mature
+            .iter()
+            .copied()
+            .filter(|(_, s)| s.participating)
+            .collect();
+        let participating_ids: HashSet<NodeId> =
+            participating.iter().map(|(id, _)| *id).collect();
+
+        // The actual neighbour graph over participating nodes.
+        let mut graph = OverlayGraph::with_vertices(participating_ids.iter().copied());
+        for (id, snap) in &participating {
+            for n in &snap.neighbors {
+                if participating_ids.contains(n) {
+                    graph.add_edge(*id, *n);
+                }
+            }
+        }
+        let connected = !participating.is_empty() && graph.is_connected();
+        let largest = if participating.is_empty() {
+            0.0
+        } else {
+            graph.largest_component_fraction()
+        };
+        let mean_degree = if participating.is_empty() {
+            0.0
+        } else {
+            participating.iter().map(|(_, s)| s.degree()).sum::<usize>() as f64
+                / participating.len() as f64
+        };
+
+        // Ideal overlay over participating nodes: the smallest swarm size
+        // determines whether routing can still make progress everywhere.
+        let min_swarm_size = if participating.is_empty() {
+            0
+        } else {
+            let lds = Lds::from_hash(
+                self.params.overlay,
+                participating_ids.iter().copied(),
+                self.sim.config().hash_seed,
+                epoch,
+            );
+            let survivors: HashSet<NodeId> = participating_ids.clone();
+            lds.goodness_stats(&survivors, 0.75).min_swarm_size
+        };
+
+        let participation_rate = if mature.is_empty() {
+            0.0
+        } else {
+            participating.len() as f64 / mature.len() as f64
+        };
+
+        MaintenanceReport {
+            round,
+            epoch,
+            node_count,
+            mature_count: mature.len(),
+            participating: participating.len(),
+            participation_rate,
+            connected,
+            largest_component_fraction: largest,
+            mean_degree,
+            min_swarm_size,
+            max_congestion: self
+                .metrics()
+                .last()
+                .map(|m| m.max_received_per_node)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Per-node connect counts of the last round, keyed by node — the quantity
+    /// bounded by Lemma 22.
+    pub fn connect_load(&self) -> HashMap<NodeId, usize> {
+        self.snapshots()
+            .into_iter()
+            .map(|(id, s)| (id, s.stats.connects_received_last_round))
+            .collect()
+    }
+
+    /// The current positions (ideal overlay) of all participating mature
+    /// nodes, for analyses that need them.
+    pub fn ideal_positions(&self) -> Vec<(NodeId, Position)> {
+        let epoch = self.epoch();
+        let hash_seed = self.sim.config().hash_seed;
+        self.snapshots()
+            .into_iter()
+            .filter(|(_, s)| s.mature && s.participating)
+            .map(|(id, _)| {
+                (
+                    id,
+                    Position::new(tsa_sim::rng::position_hash(hash_seed, id, epoch)),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> MaintenanceParams {
+        MaintenanceParams::new(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+    }
+
+    #[test]
+    fn bootstrap_produces_a_connected_participating_overlay() {
+        let params = small_params();
+        let mut h = MaintenanceHarness::without_churn(params, 1);
+        h.run_bootstrap();
+        // Run a couple of epochs beyond the bootstrap so the overlay is fully
+        // CREATE-driven rather than genesis-driven.
+        h.run(6);
+        let report = h.report();
+        assert_eq!(report.node_count, 48);
+        assert_eq!(report.mature_count, 48);
+        assert!(
+            report.participation_rate > 0.95,
+            "participation {} too low: {report:?}",
+            report.participation_rate
+        );
+        assert!(report.connected, "overlay must be connected: {report:?}");
+        assert!(report.min_swarm_size > 0);
+        assert!(report.is_routable());
+    }
+
+    #[test]
+    fn overlay_is_rebuilt_every_epoch() {
+        let params = small_params();
+        let mut h = MaintenanceHarness::without_churn(params, 2);
+        h.run_bootstrap();
+        h.run(4);
+        let a = h.ideal_positions();
+        h.run(2);
+        let b = h.ideal_positions();
+        let map_a: HashMap<NodeId, Position> = a.into_iter().collect();
+        let moved = b
+            .iter()
+            .filter(|(id, p)| {
+                map_a
+                    .get(id)
+                    .map(|q| q.distance(*p) > 1e-9)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(
+            moved > 40,
+            "positions must be completely re-drawn every epoch, only {moved} moved"
+        );
+    }
+
+    #[test]
+    fn report_before_any_round_is_safe() {
+        let params = small_params();
+        let h = MaintenanceHarness::without_churn(params, 3);
+        let report = h.report();
+        assert_eq!(report.node_count, 48);
+        // Nothing has run yet, so nobody participates.
+        assert!(!report.is_routable() || report.participating > 0);
+    }
+}

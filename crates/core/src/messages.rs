@@ -1,0 +1,160 @@
+//! Protocol messages of `A_LDS` and `A_RANDOM` (Listings 3 and 4).
+
+use tsa_sim::NodeId;
+
+/// A message of the maintenance protocol.
+///
+/// Positions are carried as raw `f64` values (they are always in `[0,1)`);
+/// every message is `Copy` and a few dozen bytes, matching the model's
+/// `O(polylog n)`-bit budget per edge and round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProtocolMsg {
+    /// Introduction: "`node` sits at `position` in overlay epoch `epoch` and is
+    /// one of your neighbours there" (the `CREATE` message of Listing 3).
+    Create {
+        /// The introduced neighbour.
+        node: NodeId,
+        /// The overlay epoch the introduction is for.
+        epoch: u64,
+        /// The neighbour's position in that epoch.
+        position: f64,
+    },
+    /// A join announcement spread within the target neighbourhood after a join
+    /// request was delivered (the `JOIN` message exchanged between overlay
+    /// members in Listing 3).
+    AnnounceJoin {
+        /// The (re-)joining node.
+        node: NodeId,
+        /// The epoch whose overlay the node will be part of.
+        epoch: u64,
+        /// The node's position in that epoch (`h(node, epoch)`).
+        position: f64,
+    },
+    /// An in-flight join request travelling along its trajectory
+    /// (`A_ROUTING` applied to a `JOIN`).
+    RouteJoin {
+        /// The (re-)joining node.
+        node: NodeId,
+        /// The overlay epoch the join is destined for.
+        target_epoch: u64,
+        /// Number of de Bruijn steps already taken.
+        step: u32,
+        /// The current trajectory point `x_step`.
+        point: f64,
+    },
+    /// An in-flight token travelling to a uniformly random node
+    /// (`A_SAMPLING` applied to a `TOKEN`, Listing 4).
+    RouteToken {
+        /// The mature node whose identifier the token carries.
+        owner: NodeId,
+        /// The offset `Δ ∈ [0, 2cλ]` used by the sampling delivery rule.
+        delta: u32,
+        /// The uniformly random target point.
+        target: f64,
+        /// Number of de Bruijn steps already taken.
+        step: u32,
+        /// The current trajectory point.
+        point: f64,
+    },
+    /// A token handed directly to a node (either the sampling delivery, a
+    /// forward to a connect-slot occupant, or the supply given to a newly
+    /// joined node).
+    Token {
+        /// The mature node the token points to.
+        owner: NodeId,
+    },
+    /// A fresh node announcing itself to a mature node picked from its tokens
+    /// (the `CONNECT` message of Listing 4).
+    Connect {
+        /// The fresh node that wants to be known.
+        node: NodeId,
+    },
+}
+
+impl ProtocolMsg {
+    /// A short tag used by metrics and tests.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            ProtocolMsg::Create { .. } => MsgKind::Create,
+            ProtocolMsg::AnnounceJoin { .. } => MsgKind::AnnounceJoin,
+            ProtocolMsg::RouteJoin { .. } => MsgKind::RouteJoin,
+            ProtocolMsg::RouteToken { .. } => MsgKind::RouteToken,
+            ProtocolMsg::Token { .. } => MsgKind::Token,
+            ProtocolMsg::Connect { .. } => MsgKind::Connect,
+        }
+    }
+}
+
+/// The six message kinds of the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Neighbour introduction.
+    Create,
+    /// Join announcement spread inside a neighbourhood.
+    AnnounceJoin,
+    /// In-flight join request.
+    RouteJoin,
+    /// In-flight sampling token.
+    RouteToken,
+    /// Directly delivered token.
+    Token,
+    /// Fresh-node connect request.
+    Connect,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_variants() {
+        assert_eq!(
+            ProtocolMsg::Create {
+                node: NodeId(1),
+                epoch: 2,
+                position: 0.5
+            }
+            .kind(),
+            MsgKind::Create
+        );
+        assert_eq!(ProtocolMsg::Token { owner: NodeId(1) }.kind(), MsgKind::Token);
+        assert_eq!(ProtocolMsg::Connect { node: NodeId(1) }.kind(), MsgKind::Connect);
+        assert_eq!(
+            ProtocolMsg::RouteJoin {
+                node: NodeId(1),
+                target_epoch: 3,
+                step: 0,
+                point: 0.1
+            }
+            .kind(),
+            MsgKind::RouteJoin
+        );
+        assert_eq!(
+            ProtocolMsg::RouteToken {
+                owner: NodeId(1),
+                delta: 0,
+                target: 0.2,
+                step: 1,
+                point: 0.3
+            }
+            .kind(),
+            MsgKind::RouteToken
+        );
+        assert_eq!(
+            ProtocolMsg::AnnounceJoin {
+                node: NodeId(1),
+                epoch: 1,
+                position: 0.4
+            }
+            .kind(),
+            MsgKind::AnnounceJoin
+        );
+    }
+
+    #[test]
+    fn messages_are_small() {
+        // The model allows O(polylog n) bits per message; our envelope is a
+        // handful of machine words.
+        assert!(std::mem::size_of::<ProtocolMsg>() <= 48);
+    }
+}

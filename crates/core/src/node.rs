@@ -1,0 +1,950 @@
+//! The maintenance-protocol node: `A_LDS` (Listing 3) + `A_RANDOM` (Listing 4).
+//!
+//! Every node executes the same state machine on top of the round-synchronous
+//! simulator. Overlay epoch `e` spans the even round `2e` (forwarding step of
+//! `A_ROUTING` on the overlay `D_e`) and the odd round `2e + 1` (handover from
+//! `D_e` to `D_{e+1}` plus neighbour introductions for `D_{e+1}`).
+//!
+//! The life of a (re-)join request started by a mature node `u` in epoch `s`:
+//!
+//! 1. even round `2s`: `u` computes the future position `h(v, s+λ+1)` for
+//!    itself and every fresh node `v` it sponsors and sends the first
+//!    forwarding copies towards the trajectory point `x_1`;
+//! 2. the copies alternate forwarding (even rounds, current overlay) and
+//!    handover (odd rounds, next overlay) steps, reaching the swarm of the
+//!    target position after `λ` forwarding steps, in even round `2(s+λ)`;
+//! 3. the swarm members spread the announcement (`AnnounceJoin`) to every
+//!    current member whose position falls in the three responsibility
+//!    intervals of the announced position;
+//! 4. odd round `2(s+λ)+1`: every member that collected announcements
+//!    introduces future neighbours to each other (`Create` messages);
+//! 5. even round `2(s+λ+1)`: the `Create` messages arrive and form the
+//!    neighbour sets of `D_{s+λ+1}` — the overlay has been rebuilt from
+//!    scratch, two rounds after the adversary last saw anything about it.
+//!
+//! In parallel, `A_RANDOM` floats tokens (mature node identifiers) to uniform
+//! random members via the same routing pipeline; fresh nodes spend tokens to
+//! send `Connect` requests so that `Θ(δ)` mature nodes know them and keep
+//! re-injecting them into the overlay.
+//!
+//! Deviations from the paper (documented in DESIGN.md): the bootstrap
+//! construction of `D_0 … D_λ` is realized by letting the initial ("genesis")
+//! nodes derive their neighbourhoods from the known initial member set during
+//! the churn-free bootstrap phase, and token pools are small bounded FIFOs
+//! instead of being cleared every round.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use tsa_sim::{Ctx, Envelope, NodeId, Process, Round};
+
+use crate::messages::ProtocolMsg;
+use crate::params::MaintenanceParams;
+use crate::snapshot::{NodeSnapshot, NodeStats};
+
+/// A neighbour entry: identifier plus position in the relevant epoch.
+pub(crate) type Neighbor = (NodeId, f64);
+
+/// Ring distance on `[0,1)` for raw `f64` positions (hot path; avoids going
+/// through the `Position` newtype for every comparison).
+#[inline]
+pub(crate) fn ring_distance(a: f64, b: f64) -> f64 {
+    let d = (a - b).abs();
+    if d <= 0.5 {
+        d
+    } else {
+        1.0 - d
+    }
+}
+
+/// The node state machine of the maintenance protocol.
+pub struct ProtocolNode {
+    params: MaintenanceParams,
+    /// The initial member set, available only to genesis nodes and only used
+    /// for epochs `< genesis_epochs` (the bootstrap substitute).
+    genesis: Option<Arc<Vec<NodeId>>>,
+    joined_at: Option<Round>,
+    /// Neighbour set of the current overlay epoch.
+    d_neighbors: Vec<Neighbor>,
+    /// Epoch `d_neighbors` belongs to.
+    d_epoch: u64,
+    /// Announced `(node, position)` pairs for the *next* epoch, collected
+    /// during the current odd round (the `H_t` variable of Listing 3).
+    h_entries: Vec<Neighbor>,
+    /// Token pool (identifiers of mature nodes), bounded FIFO.
+    tokens: Vec<NodeId>,
+    /// Connect slots (`c_1 … c_{2δ}` of Listing 4).
+    slots: Vec<Option<NodeId>>,
+    /// Statistics for the experiments.
+    stats: NodeStats,
+}
+
+impl ProtocolNode {
+    /// Creates a node. `genesis` is `Some(initial member set)` for nodes
+    /// created before the simulation starts and `None` for nodes churned in
+    /// later.
+    pub fn new(params: MaintenanceParams, genesis: Option<Arc<Vec<NodeId>>>) -> Self {
+        let slots = vec![None; params.connect_slots()];
+        ProtocolNode {
+            params,
+            genesis,
+            joined_at: None,
+            d_neighbors: Vec::new(),
+            d_epoch: u64::MAX,
+            h_entries: Vec::new(),
+            tokens: Vec::new(),
+            slots,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &MaintenanceParams {
+        &self.params
+    }
+
+    /// `true` if this node was part of the initial network.
+    pub fn is_genesis(&self) -> bool {
+        self.genesis.is_some()
+    }
+
+    /// The node's age in rounds (0 before its first round).
+    pub fn age(&self, now: Round) -> Round {
+        self.joined_at.map(|j| now.saturating_sub(j)).unwrap_or(0)
+    }
+
+    /// `true` if the node counts as *mature* at `now` (genesis nodes are
+    /// mature from the start; others after `λ' = 2λ + 4` rounds).
+    pub fn is_mature(&self, now: Round) -> bool {
+        self.is_genesis() || self.age(now) >= self.params.maturity_age()
+    }
+
+    /// `true` if the node currently holds a neighbour set for epoch `epoch`
+    /// (i.e. it is actually wired into the overlay).
+    pub fn participates(&self, epoch: u64) -> bool {
+        self.d_epoch == epoch && !self.d_neighbors.is_empty()
+    }
+
+    /// A copy of the node's observable state for analysis.
+    pub fn snapshot(&self, now: Round) -> NodeSnapshot {
+        NodeSnapshot {
+            joined_at: self.joined_at.unwrap_or(now),
+            mature: self.is_mature(now),
+            genesis: self.is_genesis(),
+            epoch: self.d_epoch,
+            participating: !self.d_neighbors.is_empty(),
+            neighbors: self.d_neighbors.iter().map(|(id, _)| *id).collect(),
+            tokens_on_hand: self.tokens.len(),
+            slots_used: self.slots.iter().filter(|s| s.is_some()).count(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Neighbourhood helpers
+    // ------------------------------------------------------------------
+
+    /// The node's own position in overlay epoch `epoch`.
+    fn own_position(&self, ctx: &Ctx<'_, ProtocolMsg>, epoch: u64) -> f64 {
+        ctx.position_hash(ctx.id(), epoch)
+    }
+
+    /// `true` if the bootstrap substitute applies to `epoch` for this node.
+    fn genesis_applies(&self, epoch: u64) -> bool {
+        self.genesis.is_some() && epoch < self.params.genesis_epochs
+    }
+
+    /// Computes the Definition-5 neighbour set of this node for a genesis
+    /// epoch directly from the initial member set.
+    fn genesis_neighbors(&self, ctx: &Ctx<'_, ProtocolMsg>, epoch: u64) -> Vec<Neighbor> {
+        let Some(genesis) = &self.genesis else {
+            return Vec::new();
+        };
+        let own = self.own_position(ctx, epoch);
+        let list_r = self.params.overlay.list_radius();
+        let db_r = self.params.overlay.debruijn_radius();
+        let own_half = own / 2.0;
+        let own_half_plus = (own + 1.0) / 2.0;
+        let mut out = Vec::new();
+        for &v in genesis.iter() {
+            if v == ctx.id() {
+                continue;
+            }
+            let p = ctx.position_hash(v, epoch);
+            if ring_distance(p, own) <= list_r
+                || ring_distance(p, own_half) <= db_r
+                || ring_distance(p, own_half_plus) <= db_r
+                || ring_distance(own, p / 2.0) <= db_r
+                || ring_distance(own, (p + 1.0) / 2.0) <= db_r
+            {
+                out.push((v, p));
+            }
+        }
+        out
+    }
+
+    /// Members of the *current* overlay within `radius` of `point`, according
+    /// to this node's neighbour knowledge (plus itself if close enough).
+    fn current_members_near(
+        &self,
+        ctx: &Ctx<'_, ProtocolMsg>,
+        epoch: u64,
+        point: f64,
+        radius: f64,
+    ) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .d_neighbors
+            .iter()
+            .filter(|(_, p)| ring_distance(*p, point) <= radius)
+            .map(|(id, _)| *id)
+            .collect();
+        let own = self.own_position(ctx, epoch);
+        if ring_distance(own, point) <= radius {
+            out.push(ctx.id());
+        }
+        out
+    }
+
+    /// Members of the *next* overlay within `radius` of `point`: from the
+    /// collected announcements, or from genesis knowledge during bootstrap.
+    fn next_members_near(
+        &self,
+        ctx: &Ctx<'_, ProtocolMsg>,
+        next_epoch: u64,
+        point: f64,
+        radius: f64,
+    ) -> Vec<NodeId> {
+        if self.genesis_applies(next_epoch) {
+            let genesis = self.genesis.as_ref().expect("genesis_applies checked");
+            return genesis
+                .iter()
+                .filter(|&&v| ring_distance(ctx.position_hash(v, next_epoch), point) <= radius)
+                .copied()
+                .collect();
+        }
+        self.h_entries
+            .iter()
+            .filter(|(_, p)| ring_distance(*p, point) <= radius)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The three responsibility intervals of a position `p` in the next
+    /// overlay, expressed as `(center, radius)` pairs: `⟨p ± 2cλ/n⟩`,
+    /// `⟨p/2 ± 3cλ/2n⟩`, `⟨(p+1)/2 ± 3cλ/2n⟩`.
+    fn responsibility(&self, p: f64) -> [(f64, f64); 3] {
+        [
+            (p, self.params.overlay.list_radius()),
+            (p / 2.0, self.params.overlay.debruijn_radius()),
+            ((p + 1.0) / 2.0, self.params.overlay.debruijn_radius()),
+        ]
+    }
+
+    /// `true` if a node at position `q` is a Definition-5 neighbour (in either
+    /// direction) of a node at position `p`.
+    fn are_neighbors(&self, p: f64, q: f64) -> bool {
+        let list_r = self.params.overlay.list_radius();
+        let db_r = self.params.overlay.debruijn_radius();
+        ring_distance(p, q) <= list_r
+            || ring_distance(p / 2.0, q) <= db_r
+            || ring_distance((p + 1.0) / 2.0, q) <= db_r
+            || ring_distance(q / 2.0, p) <= db_r
+            || ring_distance((q + 1.0) / 2.0, p) <= db_r
+    }
+
+    /// The `i`-th most significant bit (1-indexed) of `target`'s λ-bit prefix.
+    fn target_bit(&self, target: f64, i: u32) -> u8 {
+        let lambda = self.params.lambda();
+        let bits = (target * (1u64 << lambda) as f64) as u64;
+        let bits = bits.min((1u64 << lambda) - 1);
+        ((bits >> (lambda - i)) & 1) as u8
+    }
+
+    // ------------------------------------------------------------------
+    // Even round: forwarding, delivery, join/token emission (Listing 3 even
+    // block + Listing 4).
+    // ------------------------------------------------------------------
+
+    fn even_round(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMsg>,
+        inbox: &[Envelope<ProtocolMsg>],
+        epoch: u64,
+    ) {
+        let lambda = self.params.lambda();
+        let swarm_r = self.params.swarm_radius();
+        let replication = self.params.replication;
+
+        // (1) Assemble this epoch's neighbour set from the CREATE messages
+        //     (or from genesis knowledge during the bootstrap phase).
+        let mut creates: Vec<Neighbor> = inbox
+            .iter()
+            .filter_map(|env| match env.payload {
+                ProtocolMsg::Create {
+                    node,
+                    epoch: e,
+                    position,
+                } if e == epoch && node != ctx.id() => Some((node, position)),
+                _ => None,
+            })
+            .collect();
+        creates.sort_by(|a, b| a.0.cmp(&b.0));
+        creates.dedup_by(|a, b| a.0 == b.0);
+        self.stats.creates_received += creates.len();
+        if self.genesis_applies(epoch) {
+            self.d_neighbors = self.genesis_neighbors(ctx, epoch);
+        } else {
+            self.d_neighbors = creates;
+        }
+        self.d_epoch = epoch;
+        let participating = !self.d_neighbors.is_empty();
+        if participating {
+            self.stats.epochs_participated += 1;
+        }
+
+        // (2) Advance in-flight route messages (forwarding step) and deliver
+        //     completed ones. Deduplicate copies of the same logical message.
+        let mut seen: HashSet<(u8, NodeId, u64, u32)> = HashSet::new();
+        let mut announce_out: Vec<(NodeId, u64, f64)> = Vec::new();
+        let mut forward_out: Vec<(NodeId, ProtocolMsg)> = Vec::new();
+        let mut token_deliveries: Vec<(NodeId, NodeId)> = Vec::new();
+
+        for env in inbox {
+            match env.payload {
+                ProtocolMsg::RouteJoin {
+                    node,
+                    target_epoch,
+                    step,
+                    point,
+                } => {
+                    self.stats.route_copies_received += 1;
+                    if !participating || !seen.insert((0, node, target_epoch, step)) {
+                        continue;
+                    }
+                    let target = ctx.position_hash(node, target_epoch);
+                    if step >= lambda {
+                        // Delivered: spread the announcement (Listing 3 line 10).
+                        announce_out.push((node, target_epoch, target));
+                    } else {
+                        let bit = self.target_bit(target, step + 1);
+                        let next_point = (point + bit as f64) / 2.0;
+                        let candidates =
+                            self.current_members_near(ctx, epoch, next_point, swarm_r);
+                        let chosen =
+                            choose_up_to(&candidates, replication, &mut ctx.rng);
+                        for to in chosen {
+                            forward_out.push((
+                                to,
+                                ProtocolMsg::RouteJoin {
+                                    node,
+                                    target_epoch,
+                                    step: step + 1,
+                                    point: next_point,
+                                },
+                            ));
+                        }
+                    }
+                }
+                ProtocolMsg::RouteToken {
+                    owner,
+                    delta,
+                    target,
+                    step,
+                    point,
+                } => {
+                    self.stats.route_copies_received += 1;
+                    if !participating || !seen.insert((1, owner, delta as u64, step)) {
+                        continue;
+                    }
+                    if step >= lambda {
+                        // Sampling delivery rule (Listing 2): pick the swarm
+                        // member with exactly `delta` members clockwise
+                        // between the target point and itself.
+                        let members = self.current_members_near(ctx, epoch, target, swarm_r);
+                        if let Some(receiver) =
+                            delta_select(ctx, epoch, &members, target, delta as usize)
+                        {
+                            token_deliveries.push((receiver, owner));
+                        }
+                    } else {
+                        let bit = self.target_bit(target, step + 1);
+                        let next_point = (point + bit as f64) / 2.0;
+                        let candidates =
+                            self.current_members_near(ctx, epoch, next_point, swarm_r);
+                        let chosen =
+                            choose_up_to(&candidates, replication, &mut ctx.rng);
+                        for to in chosen {
+                            forward_out.push((
+                                to,
+                                ProtocolMsg::RouteToken {
+                                    owner,
+                                    delta,
+                                    target,
+                                    step: step + 1,
+                                    point: next_point,
+                                },
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Spread announcements to every current member responsible for the
+        // announced position (Listing 3 line 10).
+        for (node, target_epoch, position) in &announce_out {
+            self.stats.joins_delivered += 1;
+            let mut receivers: Vec<NodeId> = Vec::new();
+            for (center, radius) in self.responsibility(*position) {
+                receivers.extend(self.current_members_near(ctx, epoch, center, radius));
+            }
+            receivers.sort();
+            receivers.dedup();
+            for to in receivers {
+                forward_out.push((
+                    to,
+                    ProtocolMsg::AnnounceJoin {
+                        node: *node,
+                        epoch: *target_epoch,
+                        position: *position,
+                    },
+                ));
+            }
+        }
+        for (to, owner) in token_deliveries {
+            forward_out.push((to, ProtocolMsg::Token { owner }));
+        }
+        for (to, msg) in forward_out {
+            ctx.send(to, msg);
+        }
+
+        // (3) Start new join requests for this node and every fresh node it
+        //     currently sponsors (Listing 3 lines 14-17), plus the per-round
+        //     token emission of A_RANDOM (Listing 4).
+        if participating && self.is_mature(ctx.round()) {
+            let own = self.own_position(ctx, epoch);
+            let target_epoch = epoch + lambda as u64 + 1;
+            let mut joiners: Vec<NodeId> = vec![ctx.id()];
+            joiners.extend(self.slots.iter().flatten().copied());
+            joiners.sort();
+            joiners.dedup();
+            for node in joiners {
+                let target = ctx.position_hash(node, target_epoch);
+                let bit = self.target_bit(target, 1);
+                let next_point = (own + bit as f64) / 2.0;
+                let candidates = self.current_members_near(ctx, epoch, next_point, swarm_r);
+                let chosen = choose_up_to(&candidates, replication, &mut ctx.rng);
+                self.stats.joins_started += 1;
+                for to in chosen {
+                    ctx.send(
+                        to,
+                        ProtocolMsg::RouteJoin {
+                            node,
+                            target_epoch,
+                            step: 1,
+                            point: next_point,
+                        },
+                    );
+                }
+            }
+
+            // Token emission: τ tokens carrying this node's identifier, each
+            // routed to a uniformly random point with a uniform offset Δ.
+            let max_delta = (2.0 * self.params.overlay.c * lambda as f64).round() as u32;
+            for _ in 0..self.params.tau {
+                let target: f64 = ctx.rng.gen();
+                let delta: u32 = ctx.rng.gen_range(0..=max_delta);
+                let bit = self.target_bit(target, 1);
+                let next_point = (own + bit as f64) / 2.0;
+                let candidates = self.current_members_near(ctx, epoch, next_point, swarm_r);
+                let chosen = choose_up_to(&candidates, replication, &mut ctx.rng);
+                for to in chosen {
+                    ctx.send(
+                        to,
+                        ProtocolMsg::RouteToken {
+                            owner: ctx.id(),
+                            delta,
+                            target,
+                            step: 1,
+                            point: next_point,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Odd round: handover and introductions (Listing 3 odd block).
+    // ------------------------------------------------------------------
+
+    fn odd_round(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMsg>,
+        inbox: &[Envelope<ProtocolMsg>],
+        epoch: u64,
+    ) {
+        let swarm_r = self.params.swarm_radius();
+        let replication = self.params.replication;
+        let next_epoch = epoch + 1;
+
+        // (1) Collect announcements into H_t.
+        self.h_entries.clear();
+        for env in inbox {
+            if let ProtocolMsg::AnnounceJoin {
+                node,
+                epoch: e,
+                position,
+            } = env.payload
+            {
+                if e == next_epoch {
+                    self.stats.announces_received += 1;
+                    self.h_entries.push((node, position));
+                }
+            }
+        }
+        self.h_entries.sort_by(|a, b| a.0.cmp(&b.0));
+        self.h_entries.dedup_by(|a, b| a.0 == b.0);
+
+        // (2) Handover step: every route copy received this round moves to the
+        //     next overlay's swarm at its current trajectory point.
+        let mut seen: HashSet<(u8, NodeId, u64, u32)> = HashSet::new();
+        let mut out: Vec<(NodeId, ProtocolMsg)> = Vec::new();
+        for env in inbox {
+            let (key, point, msg) = match env.payload {
+                ProtocolMsg::RouteJoin {
+                    node,
+                    target_epoch,
+                    step,
+                    point,
+                } => ((0u8, node, target_epoch, step), point, env.payload),
+                ProtocolMsg::RouteToken {
+                    owner,
+                    delta,
+                    step,
+                    point,
+                    ..
+                } => ((1u8, owner, delta as u64, step), point, env.payload),
+                _ => continue,
+            };
+            self.stats.route_copies_received += 1;
+            if !seen.insert(key) {
+                continue;
+            }
+            let candidates = self.next_members_near(ctx, next_epoch, point, swarm_r);
+            let chosen = choose_up_to(&candidates, replication, &mut ctx.rng);
+            for to in chosen {
+                out.push((to, msg));
+            }
+        }
+
+        // (3) Introductions: for every pair of announced nodes that will be
+        //     neighbours in D_{next_epoch}, send each of them the other's
+        //     identifier and position (Listing 3 lines 25-26).
+        let entries = self.h_entries.clone();
+        for (i, &(v, pv)) in entries.iter().enumerate() {
+            for &(w, pw) in entries.iter().skip(i + 1) {
+                if self.are_neighbors(pv, pw) {
+                    out.push((
+                        w,
+                        ProtocolMsg::Create {
+                            node: v,
+                            epoch: next_epoch,
+                            position: pv,
+                        },
+                    ));
+                    out.push((
+                        v,
+                        ProtocolMsg::Create {
+                            node: w,
+                            epoch: next_epoch,
+                            position: pw,
+                        },
+                    ));
+                }
+            }
+        }
+        for (to, msg) in out {
+            ctx.send(to, msg);
+        }
+        self.h_entries.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // A_RANDOM bookkeeping executed every round (Listing 4).
+    // ------------------------------------------------------------------
+
+    fn random_overlay_round(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMsg>,
+        inbox: &[Envelope<ProtocolMsg>],
+    ) {
+        let now = ctx.round();
+        let delta = self.params.delta;
+        self.stats.connects_received_last_round = 0;
+        self.stats.tokens_received_last_round = 0;
+
+        // Reset connect slots at the start of every round (Listing 4 line 35).
+        for s in self.slots.iter_mut() {
+            *s = None;
+        }
+
+        // Process CONNECT and directly delivered TOKEN messages.
+        for env in inbox {
+            match env.payload {
+                ProtocolMsg::Connect { node } => {
+                    self.stats.connects_received += 1;
+                    self.stats.connects_received_last_round += 1;
+                    let free: Vec<usize> = self
+                        .slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_none())
+                        .map(|(i, _)| i)
+                        .collect();
+                    if let Some(&slot) = free.as_slice().choose(&mut ctx.rng) {
+                        self.slots[slot] = Some(node);
+                    }
+                }
+                ProtocolMsg::Token { owner } => {
+                    self.stats.tokens_received += 1;
+                    self.stats.tokens_received_last_round += 1;
+                    // A mature node keeps the token with probability 1/2 and
+                    // otherwise forwards it to a random connect slot
+                    // (Listing 4, token forwarding step); fresh nodes always
+                    // keep what they are given.
+                    if self.is_mature(now) && ctx.rng.gen::<bool>() {
+                        let slot = ctx.rng.gen_range(0..self.slots.len().max(1));
+                        if let Some(Some(fresh)) = self.slots.get(slot) {
+                            ctx.send(*fresh, ProtocolMsg::Token { owner });
+                        }
+                        // otherwise: dropped, preserving token independence.
+                    } else {
+                        self.tokens.push(owner);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Bound the token pool (freshness substitute for the paper's
+        // clear-every-round rule).
+        let cap = 4 * self.params.tau.max(delta);
+        if self.tokens.len() > cap {
+            let excess = self.tokens.len() - cap;
+            self.tokens.drain(..excess);
+        }
+
+        // Handle nodes that joined via this node this round: send CONNECTs on
+        // their behalf and supply them with tokens (Listing 4 "Upon v joining").
+        let sponsored: Vec<NodeId> = ctx.sponsored().to_vec();
+        for new_node in sponsored {
+            let picked = pick_tokens(&self.tokens, delta, &mut ctx.rng);
+            for owner in &picked {
+                ctx.send(*owner, ProtocolMsg::Connect { node: new_node });
+            }
+            let supply = pick_tokens(&self.tokens, delta, &mut ctx.rng);
+            for owner in supply {
+                ctx.send(new_node, ProtocolMsg::Token { owner });
+            }
+            // Make sure the newcomer is sponsored into the overlay even before
+            // its CONNECTs land: keep it in one of our own slots.
+            if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
+                *slot = Some(new_node);
+            }
+        }
+
+        // Fresh nodes (and mature nodes that fell out of the overlay) spend
+        // tokens to stay known by Θ(δ) mature nodes.
+        let integrated = self.participates(now / 2);
+        if !self.is_mature(now) || !integrated {
+            let picked = pick_tokens(&self.tokens, delta, &mut ctx.rng);
+            for owner in picked {
+                ctx.send(owner, ProtocolMsg::Connect { node: ctx.id() });
+            }
+        }
+    }
+}
+
+impl Process for ProtocolNode {
+    type Msg = ProtocolMsg;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, ProtocolMsg>, inbox: &[Envelope<ProtocolMsg>]) {
+        if self.joined_at.is_none() {
+            self.joined_at = Some(ctx.round());
+        }
+        let epoch = ctx.round() / 2;
+        if ctx.round() % 2 == 0 {
+            self.even_round(ctx, inbox, epoch);
+        } else {
+            self.odd_round(ctx, inbox, epoch);
+        }
+        self.random_overlay_round(ctx, inbox);
+        self.stats.last_round = ctx.round();
+        self.stats.messages_sent += ctx.queued();
+    }
+
+    fn state_digest(&self) -> u64 {
+        // A weak digest: the adversary may eventually learn how connected a
+        // node is, but never its future positions.
+        (self.d_neighbors.len() as u64) << 32 | self.tokens.len() as u64
+    }
+}
+
+/// Chooses up to `count` distinct elements of `candidates` uniformly at random.
+fn choose_up_to<R: Rng + ?Sized>(candidates: &[NodeId], count: usize, rng: &mut R) -> Vec<NodeId> {
+    if candidates.len() <= count {
+        return candidates.to_vec();
+    }
+    candidates.choose_multiple(rng, count).copied().collect()
+}
+
+/// Picks `count` tokens uniformly at random (with replacement across calls but
+/// without replacement within one call) from the pool.
+fn pick_tokens<R: Rng + ?Sized>(pool: &[NodeId], count: usize, rng: &mut R) -> Vec<NodeId> {
+    if pool.is_empty() {
+        return Vec::new();
+    }
+    let mut distinct: Vec<NodeId> = pool.to_vec();
+    distinct.sort();
+    distinct.dedup();
+    if distinct.len() <= count {
+        return distinct;
+    }
+    distinct.choose_multiple(rng, count).copied().collect()
+}
+
+/// The `A_SAMPLING` delivery rule: among `members` (the known swarm of
+/// `target`), select the node with exactly `delta` members clockwise between
+/// `target` and itself.
+fn delta_select(
+    ctx: &Ctx<'_, ProtocolMsg>,
+    epoch: u64,
+    members: &[NodeId],
+    target: f64,
+    delta: usize,
+) -> Option<NodeId> {
+    let mut right: Vec<(f64, NodeId)> = members
+        .iter()
+        .map(|&id| {
+            let p = ctx.position_hash(id, epoch);
+            (((p - target).rem_euclid(1.0)), id)
+        })
+        .filter(|(off, _)| *off <= 0.5)
+        .collect();
+    right.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    right.get(delta).map(|(_, id)| *id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params() -> MaintenanceParams {
+        MaintenanceParams::new(64)
+    }
+
+    fn genesis(n: u64) -> Arc<Vec<NodeId>> {
+        Arc::new((0..n).map(NodeId).collect())
+    }
+
+    #[test]
+    fn ring_distance_matches_position_type() {
+        assert!((ring_distance(0.1, 0.9) - 0.2).abs() < 1e-12);
+        assert!((ring_distance(0.3, 0.4) - 0.1).abs() < 1e-12);
+        assert_eq!(ring_distance(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn choose_up_to_caps_at_candidates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let c: Vec<NodeId> = (0..3).map(NodeId).collect();
+        assert_eq!(choose_up_to(&c, 5, &mut rng).len(), 3);
+        assert_eq!(choose_up_to(&c, 2, &mut rng).len(), 2);
+        let picked = choose_up_to(&c, 2, &mut rng);
+        assert!(picked.iter().all(|id| c.contains(id)));
+    }
+
+    #[test]
+    fn pick_tokens_deduplicates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let pool = vec![NodeId(1), NodeId(1), NodeId(2)];
+        let picked = pick_tokens(&pool, 5, &mut rng);
+        assert_eq!(picked, vec![NodeId(1), NodeId(2)]);
+        assert!(pick_tokens(&[], 3, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn maturity_rules() {
+        let p = params();
+        let mut node = ProtocolNode::new(p, None);
+        node.joined_at = Some(10);
+        assert!(!node.is_mature(10));
+        assert!(!node.is_mature(10 + p.maturity_age() - 1));
+        assert!(node.is_mature(10 + p.maturity_age()));
+        let g = ProtocolNode::new(p, Some(genesis(4)));
+        assert!(g.is_mature(0), "genesis nodes are mature immediately");
+        assert!(g.is_genesis());
+    }
+
+    #[test]
+    fn genesis_neighbors_match_definition_5() {
+        let p = params();
+        let g = genesis(64);
+        let node = ProtocolNode::new(p, Some(g.clone()));
+        let ctx: Ctx<'_, ProtocolMsg> = Ctx::new(NodeId(0), 0, 0, &[], 7, 7);
+        let neighbors = node.genesis_neighbors(&ctx, 0);
+        assert!(!neighbors.is_empty(), "a genesis node must have neighbours");
+        let own = ctx.position_hash(NodeId(0), 0);
+        for (id, pos) in &neighbors {
+            assert_ne!(*id, NodeId(0));
+            assert!(
+                node.are_neighbors(own, *pos),
+                "genesis neighbour {id} at {pos} is not a Definition-5 neighbour"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let p = params();
+        let mut node = ProtocolNode::new(p, Some(genesis(8)));
+        node.joined_at = Some(0);
+        node.d_neighbors = vec![(NodeId(1), 0.5)];
+        node.d_epoch = 3;
+        node.tokens = vec![NodeId(2), NodeId(3)];
+        let snap = node.snapshot(6);
+        assert!(snap.mature);
+        assert!(snap.genesis);
+        assert!(snap.participating);
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.neighbors, vec![NodeId(1)]);
+        assert_eq!(snap.tokens_on_hand, 2);
+    }
+
+    #[test]
+    fn target_bits_follow_binary_expansion() {
+        let p = params();
+        let node = ProtocolNode::new(p, None);
+        // 0.75 = 0.11 in binary: the first two bits are 1.
+        assert_eq!(node.target_bit(0.75, 1), 1);
+        assert_eq!(node.target_bit(0.75, 2), 1);
+        assert_eq!(node.target_bit(0.25, 1), 0);
+        assert_eq!(node.target_bit(0.25, 2), 1);
+    }
+
+    #[test]
+    fn delta_select_orders_clockwise() {
+        let p = params();
+        let node = ProtocolNode::new(p, Some(genesis(4)));
+        let ctx: Ctx<'_, ProtocolMsg> = Ctx::new(NodeId(0), 0, 0, &[], 3, 3);
+        // Build the member set from the hash positions themselves so ordering
+        // is well-defined.
+        let members: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let target = 0.0;
+        let first = delta_select(&ctx, 0, &members, target, 0);
+        let second = delta_select(&ctx, 0, &members, target, 1);
+        assert!(first.is_some());
+        if let (Some(a), Some(b)) = (first, second) {
+            assert_ne!(a, b);
+            let pa = (ctx.position_hash(a, 0) - target).rem_euclid(1.0);
+            let pb = (ctx.position_hash(b, 0) - target).rem_euclid(1.0);
+            assert!(pa <= pb, "delta ordering must be clockwise");
+        }
+        let _ = node;
+    }
+
+    #[test]
+    fn first_round_sets_join_round_and_emits_messages() {
+        let p = params();
+        let g = genesis(64);
+        let mut node = ProtocolNode::new(p, Some(g));
+        let mut ctx: Ctx<'_, ProtocolMsg> = Ctx::new(NodeId(0), 0, 0, &[], 11, 11);
+        node.on_round(&mut ctx, &[]);
+        assert_eq!(node.joined_at, Some(0));
+        assert!(node.participates(0), "genesis node participates in epoch 0");
+        assert!(
+            ctx.queued() > 0,
+            "a participating mature node must start join requests and tokens"
+        );
+    }
+
+    #[test]
+    fn non_genesis_node_is_idle_until_contacted() {
+        let p = params();
+        let mut node = ProtocolNode::new(p, None);
+        let mut ctx: Ctx<'_, ProtocolMsg> = Ctx::new(NodeId(99), 4, 4, &[], 11, 11);
+        node.on_round(&mut ctx, &[]);
+        // No tokens, no neighbours: nothing can be sent yet.
+        assert_eq!(ctx.queued(), 0);
+        assert!(!node.participates(2));
+    }
+
+    #[test]
+    fn fresh_node_spends_tokens_on_connects() {
+        let p = params();
+        let mut node = ProtocolNode::new(p, None);
+        let inbox = vec![
+            Envelope::new(NodeId(1), NodeId(99), 3, ProtocolMsg::Token { owner: NodeId(5) }),
+            Envelope::new(NodeId(1), NodeId(99), 3, ProtocolMsg::Token { owner: NodeId(6) }),
+        ];
+        let mut ctx: Ctx<'_, ProtocolMsg> = Ctx::new(NodeId(99), 4, 4, &[], 11, 11);
+        node.on_round(&mut ctx, &inbox);
+        let out = ctx.into_outbox().into_inner();
+        let connects: Vec<&(NodeId, ProtocolMsg)> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, ProtocolMsg::Connect { .. }))
+            .collect();
+        assert!(!connects.is_empty(), "a fresh node with tokens must send CONNECTs");
+        for (to, _) in connects {
+            assert!([NodeId(5), NodeId(6)].contains(to));
+        }
+    }
+
+    #[test]
+    fn mature_node_assigns_connects_to_slots() {
+        let p = params();
+        let g = genesis(64);
+        let mut node = ProtocolNode::new(p, Some(g));
+        node.joined_at = Some(0);
+        let inbox = vec![Envelope::new(
+            NodeId(77),
+            NodeId(0),
+            9,
+            ProtocolMsg::Connect { node: NodeId(77) },
+        )];
+        let mut ctx: Ctx<'_, ProtocolMsg> = Ctx::new(NodeId(0), 10, 0, &[], 11, 11);
+        node.on_round(&mut ctx, &inbox);
+        assert_eq!(node.snapshot(10).slots_used, 1);
+        assert_eq!(node.snapshot(10).stats.connects_received, 1);
+    }
+
+    #[test]
+    fn sponsor_supplies_newcomer_with_tokens_and_connects() {
+        let p = params();
+        let g = genesis(64);
+        let mut node = ProtocolNode::new(p, Some(g));
+        node.joined_at = Some(0);
+        node.tokens = vec![NodeId(3), NodeId(4), NodeId(5)];
+        let sponsored = vec![NodeId(200)];
+        let mut ctx: Ctx<'_, ProtocolMsg> = Ctx::new(NodeId(0), 31, 0, &sponsored, 11, 11);
+        node.on_round(&mut ctx, &[]);
+        let out = ctx.into_outbox().into_inner();
+        let tokens_to_newcomer = out
+            .iter()
+            .filter(|(to, m)| *to == NodeId(200) && matches!(m, ProtocolMsg::Token { .. }))
+            .count();
+        let connects_for_newcomer = out
+            .iter()
+            .filter(|(_, m)| matches!(m, ProtocolMsg::Connect { node } if *node == NodeId(200)))
+            .count();
+        assert!(tokens_to_newcomer > 0, "the sponsor must supply tokens");
+        assert!(connects_for_newcomer > 0, "the sponsor must announce the newcomer");
+    }
+}

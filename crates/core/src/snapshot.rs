@@ -1,0 +1,95 @@
+//! Observable per-node state used by experiments and tests.
+
+use serde::Serialize;
+use tsa_sim::{NodeId, Round};
+
+/// Cumulative and per-round counters a node maintains about its own protocol
+/// activity. These feed the congestion (Lemma 24) and random-overlay
+/// (Lemmas 20-23) experiments.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct NodeStats {
+    /// Total `CREATE` introductions received.
+    pub creates_received: usize,
+    /// Total join announcements received.
+    pub announces_received: usize,
+    /// Total in-flight route copies received (joins and tokens).
+    pub route_copies_received: usize,
+    /// Total join requests this node delivered (completed trajectories).
+    pub joins_delivered: usize,
+    /// Total join requests this node started (for itself or sponsored nodes).
+    pub joins_started: usize,
+    /// Total `CONNECT` requests received.
+    pub connects_received: usize,
+    /// `CONNECT` requests received in the most recent round (Lemma 22 bounds
+    /// this by `2δ` in expectation terms).
+    pub connects_received_last_round: usize,
+    /// Total tokens received.
+    pub tokens_received: usize,
+    /// Tokens received in the most recent round (Lemma 20 wants `Θ(τ)`).
+    pub tokens_received_last_round: usize,
+    /// Number of epochs in which this node held a non-empty neighbour set.
+    pub epochs_participated: usize,
+    /// Total messages sent.
+    pub messages_sent: usize,
+    /// The last round this node executed.
+    pub last_round: Round,
+}
+
+/// A point-in-time view of a node, extracted by the harness after each round.
+#[derive(Clone, Debug, Serialize)]
+pub struct NodeSnapshot {
+    /// Round the node joined.
+    pub joined_at: Round,
+    /// Whether the node currently counts as mature.
+    pub mature: bool,
+    /// Whether it was part of the initial network.
+    pub genesis: bool,
+    /// The overlay epoch of its current neighbour set.
+    pub epoch: u64,
+    /// Whether it holds a non-empty neighbour set for that epoch.
+    pub participating: bool,
+    /// Its current overlay neighbours.
+    pub neighbors: Vec<NodeId>,
+    /// Tokens currently in its pool.
+    pub tokens_on_hand: usize,
+    /// Occupied connect slots.
+    pub slots_used: usize,
+    /// Protocol counters.
+    pub stats: NodeStats,
+}
+
+impl NodeSnapshot {
+    /// Degree in the current overlay.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stats_are_zero() {
+        let s = NodeStats::default();
+        assert_eq!(s.creates_received, 0);
+        assert_eq!(s.tokens_received_last_round, 0);
+        assert_eq!(s.messages_sent, 0);
+    }
+
+    #[test]
+    fn snapshot_degree_counts_neighbors() {
+        let snap = NodeSnapshot {
+            joined_at: 0,
+            mature: true,
+            genesis: true,
+            epoch: 1,
+            participating: true,
+            neighbors: vec![NodeId(1), NodeId(2)],
+            tokens_on_hand: 0,
+            slots_used: 0,
+            stats: NodeStats::default(),
+        };
+        assert_eq!(snap.degree(), 2);
+    }
+}

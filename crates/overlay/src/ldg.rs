@@ -1,0 +1,175 @@
+//! The classical Linearized DeBruijn Graph (Richa et al. [9], Feldmann &
+//! Scheideler [10]) — the non-redundant topology the LDS generalizes.
+//!
+//! In the classical LDG every node connects only to its closest list
+//! neighbours (left and right) and to the node *closest* to each of its two
+//! de Bruijn images. The LDS replaces each of these single nodes by a whole
+//! swarm, which is the source of its churn resistance; keeping the LDG around
+//! lets the experiments quantify exactly that difference.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use tsa_sim::NodeId;
+
+use crate::graph::OverlayGraph;
+use crate::position::Position;
+use crate::swarm::SwarmIndex;
+
+/// A snapshot of a classical Linearized DeBruijn Graph.
+#[derive(Clone, Debug)]
+pub struct Ldg {
+    index: SwarmIndex,
+    positions: HashMap<NodeId, Position>,
+}
+
+impl Ldg {
+    /// Builds an LDG from explicit position assignments.
+    pub fn build<I>(assignments: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, Position)>,
+    {
+        let positions: HashMap<NodeId, Position> = assignments.into_iter().collect();
+        let index = SwarmIndex::build(positions.iter().map(|(id, p)| (*id, *p)));
+        Ldg { index, positions }
+    }
+
+    /// Builds an LDG with uniformly random positions.
+    pub fn random<I, R>(nodes: I, rng: &mut R) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+        R: Rng + ?Sized,
+    {
+        Self::build(
+            nodes
+                .into_iter()
+                .map(|id| (id, Position::new(rng.gen::<f64>()))),
+        )
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The position of a node, if present.
+    pub fn position(&self, node: NodeId) -> Option<Position> {
+        self.positions.get(&node).copied()
+    }
+
+    /// The closest node to an arbitrary point, excluding `exclude`.
+    fn closest_excluding(&self, p: Position, exclude: NodeId) -> Option<NodeId> {
+        self.index
+            .iter()
+            .filter(|(id, _)| *id != exclude)
+            .min_by(|a, b| p.distance(a.1).partial_cmp(&p.distance(b.1)).unwrap())
+            .map(|(id, _)| id)
+    }
+
+    /// The neighbours of `node` in the classical LDG: its ring predecessor and
+    /// successor plus the nodes closest to `p/2` and `(p+1)/2`.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let Some(p) = self.position(node) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(4);
+        // Ring predecessor and successor: the two closest other nodes, one on
+        // each side.
+        let mut best_left: Option<(f64, NodeId)> = None;
+        let mut best_right: Option<(f64, NodeId)> = None;
+        for (id, q) in self.index.iter() {
+            if id == node {
+                continue;
+            }
+            let d = p.distance(q);
+            if q.is_left_of(p) {
+                if best_left.map(|(bd, _)| d < bd).unwrap_or(true) {
+                    best_left = Some((d, id));
+                }
+            } else if best_right.map(|(bd, _)| d < bd).unwrap_or(true) {
+                best_right = Some((d, id));
+            }
+        }
+        out.extend(best_left.map(|(_, id)| id));
+        out.extend(best_right.map(|(_, id)| id));
+        out.extend(self.closest_excluding(p.half(), node));
+        out.extend(self.closest_excluding(p.half_plus(), node));
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Materializes the directed edge set as a graph snapshot.
+    pub fn to_graph(&self) -> OverlayGraph {
+        let mut g = OverlayGraph::with_vertices(self.positions.keys().copied());
+        for &id in self.positions.keys() {
+            for w in self.neighbors(id) {
+                g.add_edge(id, w);
+            }
+        }
+        g
+    }
+
+    /// Maximum out-degree; constant (≤ 4) by construction, in contrast to the
+    /// LDS whose degree is `Θ(log n)`.
+    pub fn max_degree(&self) -> usize {
+        self.positions
+            .keys()
+            .map(|&id| self.neighbors(id).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_ldg(n: usize, seed: u64) -> Ldg {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Ldg::random((0..n as u64).map(NodeId), &mut rng)
+    }
+
+    #[test]
+    fn degree_is_constant() {
+        let ldg = random_ldg(200, 1);
+        assert!(ldg.max_degree() <= 4);
+        assert_eq!(ldg.len(), 200);
+    }
+
+    #[test]
+    fn ldg_graph_is_connected() {
+        // The list edges alone form a ring, so the LDG is always connected.
+        let ldg = random_ldg(100, 2);
+        assert!(ldg.to_graph().is_connected());
+    }
+
+    #[test]
+    fn neighbors_include_ring_successor_and_predecessor() {
+        let ldg = Ldg::build([
+            (NodeId(0), Position::new(0.1)),
+            (NodeId(1), Position::new(0.2)),
+            (NodeId(2), Position::new(0.3)),
+            (NodeId(3), Position::new(0.7)),
+        ]);
+        let n0 = ldg.neighbors(NodeId(0));
+        assert!(n0.contains(&NodeId(1)), "ring successor");
+        assert!(n0.contains(&NodeId(3)), "ring predecessor (wrapping)");
+    }
+
+    #[test]
+    fn empty_and_missing_nodes() {
+        let ldg = Ldg::build(std::iter::empty());
+        assert!(ldg.is_empty());
+        assert_eq!(ldg.max_degree(), 0);
+        assert!(ldg.neighbors(NodeId(1)).is_empty());
+        assert!(ldg.position(NodeId(1)).is_none());
+    }
+}

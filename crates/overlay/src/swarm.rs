@@ -1,0 +1,226 @@
+//! Swarms and a position index for efficient range queries on the ring.
+//!
+//! For a point `p ∈ [0,1)` the *swarm* `S(p)` is the set of nodes within ring
+//! distance `cλ/n` of `p` (Section 3). Swarms — not individual nodes — are the
+//! building blocks of the overlay: a message is always held by a whole swarm,
+//! which is what makes the construction survive churn.
+
+use tsa_sim::NodeId;
+
+use crate::interval::Interval;
+use crate::params::OverlayParams;
+use crate::position::Position;
+
+/// A sorted index from positions to node identifiers supporting wrap-around
+/// range queries, nearest-neighbour queries and swarm extraction.
+#[derive(Clone, Debug, Default)]
+pub struct SwarmIndex {
+    /// Entries sorted by position value.
+    entries: Vec<(f64, NodeId)>,
+}
+
+impl SwarmIndex {
+    /// Builds an index from `(node, position)` pairs.
+    pub fn build<I>(assignments: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, Position)>,
+    {
+        let mut entries: Vec<(f64, NodeId)> = assignments
+            .into_iter()
+            .map(|(id, p)| (p.value(), id))
+            .collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        SwarmIndex { entries }
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the index contains no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(node, position)` pairs in position order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Position)> + '_ {
+        self.entries.iter().map(|(v, id)| (*id, Position::new(*v)))
+    }
+
+    /// All nodes whose position lies in `interval`.
+    pub fn in_interval(&self, interval: &Interval) -> Vec<NodeId> {
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        if interval.is_full_ring() {
+            return self.entries.iter().map(|(_, id)| *id).collect();
+        }
+        let lo = interval.left_end().value();
+        let hi = interval.right_end().value();
+        let mut out = Vec::new();
+        if lo <= hi {
+            self.collect_range(lo, hi, &mut out);
+        } else {
+            // Wraps around 0/1.
+            self.collect_range(lo, 1.0, &mut out);
+            self.collect_range(0.0, hi, &mut out);
+        }
+        out
+    }
+
+    fn collect_range(&self, lo: f64, hi: f64, out: &mut Vec<NodeId>) {
+        let start = self.entries.partition_point(|(v, _)| *v < lo - 1e-15);
+        for &(v, id) in &self.entries[start..] {
+            if v > hi + 1e-15 {
+                break;
+            }
+            out.push(id);
+        }
+    }
+
+    /// The swarm `S(p)` under `params`: all nodes within `cλ/n` of `p`.
+    pub fn swarm(&self, p: Position, params: &OverlayParams) -> Vec<NodeId> {
+        self.in_interval(&Interval::around(p, params.swarm_radius()))
+    }
+
+    /// All nodes within `radius` of `p`.
+    pub fn within(&self, p: Position, radius: f64) -> Vec<NodeId> {
+        self.in_interval(&Interval::around(p, radius))
+    }
+
+    /// The node closest to `p` (ties broken by identifier), if any.
+    pub fn nearest(&self, p: Position) -> Option<(NodeId, Position)> {
+        self.iter()
+            .min_by(|a, b| {
+                p.distance(a.1)
+                    .partial_cmp(&p.distance(b.1))
+                    .unwrap()
+                    .then(a.0.cmp(&b.0))
+            })
+    }
+
+    /// The position of `node`, if indexed. Linear scan: only used in tests and
+    /// analysis code, never on protocol hot paths.
+    pub fn position_of(&self, node: NodeId) -> Option<Position> {
+        self.entries
+            .iter()
+            .find(|(_, id)| *id == node)
+            .map(|(v, _)| Position::new(*v))
+    }
+
+    /// Sizes of the swarms around every indexed node (used by experiment F1).
+    pub fn swarm_size_distribution(&self, params: &OverlayParams) -> Vec<usize> {
+        self.iter()
+            .map(|(_, p)| self.swarm(p, params).len())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn idx(positions: &[f64]) -> SwarmIndex {
+        SwarmIndex::build(
+            positions
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (NodeId(i as u64), Position::new(p))),
+        )
+    }
+
+    #[test]
+    fn range_query_simple() {
+        let s = idx(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let hits = s.in_interval(&Interval::around(Position::new(0.3), 0.11));
+        assert_eq!(hits, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn range_query_wraps_around() {
+        let s = idx(&[0.05, 0.5, 0.95]);
+        let hits = s.in_interval(&Interval::around(Position::new(0.0), 0.1));
+        assert!(hits.contains(&NodeId(0)));
+        assert!(hits.contains(&NodeId(2)));
+        assert!(!hits.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn full_ring_interval_returns_everyone() {
+        let s = idx(&[0.1, 0.4, 0.8]);
+        let hits = s.in_interval(&Interval::around(Position::new(0.2), 0.7));
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn nearest_prefers_closest() {
+        let s = idx(&[0.1, 0.45, 0.9]);
+        let (id, _) = s.nearest(Position::new(0.05)).unwrap();
+        assert_eq!(id, NodeId(0));
+        let (id, _) = s.nearest(Position::new(0.99)).unwrap();
+        assert_eq!(id, NodeId(2));
+        assert!(idx(&[]).nearest(Position::new(0.5)).is_none());
+    }
+
+    #[test]
+    fn swarm_uses_param_radius() {
+        let params = OverlayParams::new(100, 1.0); // radius = λ/n = 7/100
+        let s = idx(&[0.10, 0.14, 0.18, 0.30]);
+        let members = s.swarm(Position::new(0.12), &params);
+        assert!(members.contains(&NodeId(0)));
+        assert!(members.contains(&NodeId(1)));
+        assert!(members.contains(&NodeId(2)));
+        assert!(!members.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn position_of_finds_nodes() {
+        let s = idx(&[0.3, 0.6]);
+        assert!(s.position_of(NodeId(1)).unwrap().distance(Position::new(0.6)) < 1e-12);
+        assert!(s.position_of(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn swarm_size_distribution_has_one_entry_per_node() {
+        let params = OverlayParams::new(10, 1.0);
+        let s = idx(&[0.0, 0.1, 0.2, 0.9]);
+        let dist = s.swarm_size_distribution(&params);
+        assert_eq!(dist.len(), 4);
+        assert!(dist.iter().all(|&x| x >= 1), "every node is in its own swarm");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_in_interval_matches_bruteforce(
+            positions in proptest::collection::vec(0.0f64..1.0, 1..60),
+            center in 0.0f64..1.0,
+            radius in 0.0f64..0.5,
+        ) {
+            let s = idx(&positions);
+            let interval = Interval::around(Position::new(center), radius);
+            let mut fast = s.in_interval(&interval);
+            fast.sort();
+            let mut slow: Vec<NodeId> = positions
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| Position::new(center).distance(Position::new(p)) <= radius + 1e-15)
+                .map(|(i, _)| NodeId(i as u64))
+                .collect();
+            slow.sort();
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_every_node_is_in_its_own_swarm(
+            positions in proptest::collection::vec(0.0f64..1.0, 1..50),
+        ) {
+            let params = OverlayParams::with_default_c(positions.len().max(2));
+            let s = idx(&positions);
+            for (id, p) in s.iter() {
+                prop_assert!(s.swarm(p, &params).contains(&id));
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Routable series of overlays (Definition 8).
+//!
+//! The maintenance protocol of Section 5 rebuilds the overlay every two
+//! rounds: overlay epoch `e` places node `v` at `h(v, e)`. A
+//! [`RoutableSeries`] materializes those snapshots so the routing layer can be
+//! exercised and analysed in isolation from the message-level protocol.
+
+use tsa_overlay::{Lds, OverlayParams};
+use tsa_sim::NodeId;
+
+/// A generator of consecutive LDS snapshots `D_e, D_{e+1}, …` over a fixed
+/// member set, where positions are drawn from the shared hash `h(v, e)`.
+#[derive(Clone, Debug)]
+pub struct RoutableSeries {
+    params: OverlayParams,
+    hash_seed: u64,
+    members: Vec<NodeId>,
+}
+
+impl RoutableSeries {
+    /// Creates a series over `members` using `hash_seed` for the position hash.
+    pub fn new<I>(params: OverlayParams, hash_seed: u64, members: I) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut members: Vec<NodeId> = members.into_iter().collect();
+        members.sort();
+        members.dedup();
+        RoutableSeries {
+            params,
+            hash_seed,
+            members,
+        }
+    }
+
+    /// The overlay parameters.
+    pub fn params(&self) -> &OverlayParams {
+        &self.params
+    }
+
+    /// The member identifiers.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the series has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Materializes the overlay of epoch `epoch`.
+    pub fn overlay(&self, epoch: u64) -> Lds {
+        Lds::from_hash(
+            self.params,
+            self.members.iter().copied(),
+            self.hash_seed,
+            epoch,
+        )
+    }
+
+    /// Materializes `count` consecutive overlays starting at `first_epoch` —
+    /// exactly the `λ + 1` snapshots a message travels through.
+    pub fn window(&self, first_epoch: u64, count: usize) -> Vec<Lds> {
+        (0..count as u64)
+            .map(|i| self.overlay(first_epoch + i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlays_change_every_epoch_but_members_do_not() {
+        let params = OverlayParams::with_default_c(64);
+        let series = RoutableSeries::new(params, 42, (0..64).map(NodeId));
+        let d0 = series.overlay(0);
+        let d1 = series.overlay(1);
+        assert_eq!(d0.len(), 64);
+        assert_eq!(d1.len(), 64);
+        // Positions are completely re-drawn between epochs.
+        let moved = (0..64u64)
+            .filter(|&i| {
+                d0.position(NodeId(i))
+                    .unwrap()
+                    .distance(d1.position(NodeId(i)).unwrap())
+                    > 1e-9
+            })
+            .count();
+        assert!(moved > 60, "only {moved} nodes moved between epochs");
+    }
+
+    #[test]
+    fn same_epoch_is_deterministic() {
+        let params = OverlayParams::with_default_c(32);
+        let series = RoutableSeries::new(params, 7, (0..32).map(NodeId));
+        let a = series.overlay(3);
+        let b = series.overlay(3);
+        for id in a.members() {
+            assert_eq!(a.position(id).unwrap().value(), b.position(id).unwrap().value());
+        }
+    }
+
+    #[test]
+    fn window_produces_consecutive_epochs() {
+        let params = OverlayParams::with_default_c(16);
+        let series = RoutableSeries::new(params, 7, (0..16).map(NodeId));
+        let w = series.window(5, 3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].len(), 16);
+    }
+
+    #[test]
+    fn members_are_deduplicated_and_sorted() {
+        let params = OverlayParams::with_default_c(8);
+        let series = RoutableSeries::new(params, 1, [NodeId(3), NodeId(1), NodeId(3)]);
+        assert_eq!(series.members(), &[NodeId(1), NodeId(3)]);
+        assert_eq!(series.len(), 2);
+        assert!(!series.is_empty());
+    }
+}

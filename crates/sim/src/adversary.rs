@@ -1,0 +1,81 @@
+//! The adversary interface.
+//!
+//! Concrete attack strategies live in the `tsa-adversary` crate; the trait is
+//! defined here so the engine does not depend on them. An adversary is invoked
+//! at the *beginning* of every round — before messages are delivered — exactly
+//! as specified in Section 1.1: it selects a set `O_t` of nodes that leave
+//! immediately and a set `J_t` of nodes that join via eligible bootstrap nodes.
+
+use crate::churn::ChurnPlan;
+use crate::ids::Round;
+use crate::knowledge::KnowledgeView;
+
+/// An adversary strategy.
+///
+/// Strategies receive only a [`KnowledgeView`], which enforces the `(a,b)`
+/// lateness; anything the view does not expose the strategy cannot use.
+pub trait Adversary: Send {
+    /// Decides the churn for round `round`.
+    fn plan(&mut self, round: Round, view: &KnowledgeView<'_>) -> ChurnPlan;
+
+    /// A short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str {
+        "adversary"
+    }
+}
+
+/// An adversary that never churns anything; useful for bootstrap-phase testing
+/// and as the control group in experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullAdversary;
+
+impl Adversary for NullAdversary {
+    fn plan(&mut self, _round: Round, _view: &KnowledgeView<'_>) -> ChurnPlan {
+        ChurnPlan::none()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Boxed adversaries are adversaries too, so harnesses can store heterogeneous
+/// strategies.
+impl Adversary for Box<dyn Adversary> {
+    fn plan(&mut self, round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
+        (**self).plan(round, view)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::{Lateness, MemberInfo};
+    use crate::ids::NodeId;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn null_adversary_does_nothing() {
+        let mut adv = NullAdversary;
+        let members: BTreeMap<NodeId, MemberInfo> = BTreeMap::new();
+        let records = Vec::new();
+        let view = KnowledgeView::new(3, Lateness::paper(4), &records, &members, 10, 2);
+        let plan = adv.plan(3, &view);
+        assert!(plan.is_empty());
+        assert_eq!(adv.name(), "none");
+    }
+
+    #[test]
+    fn boxed_adversary_delegates() {
+        let mut adv: Box<dyn Adversary> = Box::new(NullAdversary);
+        let members: BTreeMap<NodeId, MemberInfo> = BTreeMap::new();
+        let records = Vec::new();
+        let view = KnowledgeView::new(0, Lateness::oblivious(), &records, &members, 0, 2);
+        assert!(adv.plan(0, &view).is_empty());
+        assert_eq!(adv.name(), "none");
+    }
+}

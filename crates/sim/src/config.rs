@@ -1,0 +1,106 @@
+//! Simulator configuration.
+
+use crate::churn::ChurnRules;
+use crate::knowledge::Lateness;
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master seed; the run is a pure function of this seed, the protocol and
+    /// the adversary.
+    pub seed: u64,
+    /// Seed of the shared position hash `h` (a separate random oracle).
+    pub hash_seed: u64,
+    /// The adversary's `(a, b)` lateness.
+    pub lateness: Lateness,
+    /// Churn-rate and join rules enforced by the engine.
+    pub churn_rules: ChurnRules,
+    /// Execute the compute phase of each round in parallel across nodes.
+    ///
+    /// Node steps are independent given their inboxes and their RNG streams
+    /// depend only on `(seed, node, round)`, so parallel execution is
+    /// bit-for-bit identical to sequential execution.
+    pub parallel: bool,
+    /// Keep only the newest `history_window` round records (communication
+    /// graphs and digests); `None` keeps everything. Large long-running
+    /// experiments use a window of at least `max(a, b) + 1` so the adversary's
+    /// view is unaffected.
+    pub history_window: Option<usize>,
+    /// Record per-node state digests each round (needed only when an adversary
+    /// actually uses the `b`-late state view).
+    pub record_digests: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xDEC0DE,
+            hash_seed: 0x0BEA7,
+            lateness: Lateness::paper(8),
+            churn_rules: ChurnRules::default(),
+            parallel: false,
+            history_window: None,
+            record_digests: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a config with a different master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.hash_seed = seed.rotate_left(17) ^ 0xA5A5_A5A5;
+        self
+    }
+
+    /// Sets the adversary lateness.
+    pub fn with_lateness(mut self, lateness: Lateness) -> Self {
+        self.lateness = lateness;
+        self
+    }
+
+    /// Sets the churn rules.
+    pub fn with_churn_rules(mut self, rules: ChurnRules) -> Self {
+        self.churn_rules = rules;
+        self
+    }
+
+    /// Enables or disables parallel round execution.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Bounds the archived history.
+    pub fn with_history_window(mut self, window: usize) -> Self {
+        self.history_window = Some(window);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = SimConfig::default();
+        assert_eq!(c.lateness.topology, 2);
+        assert!(!c.parallel);
+        assert!(c.history_window.is_none());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = SimConfig::default()
+            .with_seed(7)
+            .with_parallel(true)
+            .with_history_window(32)
+            .with_lateness(Lateness::oblivious());
+        assert_eq!(c.seed, 7);
+        assert!(c.parallel);
+        assert_eq!(c.history_window, Some(32));
+        assert_eq!(c.lateness.topology, u64::MAX);
+        assert_ne!(c.hash_seed, SimConfig::default().hash_seed);
+    }
+}

@@ -1,0 +1,626 @@
+//! The round-synchronous simulation engine.
+//!
+//! The engine realizes the model of Section 1.1 exactly:
+//!
+//! * time proceeds in synchronous rounds;
+//! * at the beginning of round `t` the adversary removes `O_t ⊂ V_{t-1}` (those
+//!   nodes receive none of this round's messages) and proposes joins `J_t`,
+//!   each via a bootstrap node that has been in the network for at least
+//!   `min_bootstrap_age` rounds;
+//! * every surviving node then receives all messages addressed to it that were
+//!   sent in round `t - 1`, computes, and sends messages that arrive in `t+1`;
+//! * the communication graph `G_t` (who messaged whom) is archived and exposed
+//!   to the adversary with lateness `a`, node-state digests with lateness `b`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rayon::prelude::*;
+
+use crate::adversary::Adversary;
+use crate::churn::{ChurnBudget, ChurnOutcome, ChurnPlan};
+use crate::config::SimConfig;
+use crate::ids::{NodeId, Round};
+use crate::knowledge::{CommGraph, KnowledgeView, MemberInfo, RoundRecord};
+use crate::message::Envelope;
+use crate::metrics::{MetricsHistory, RoundMetricsBuilder};
+use crate::node::{Ctx, Process};
+
+/// A node in the engine: its protocol state plus bookkeeping.
+struct NodeSlot<P> {
+    process: P,
+    joined_at: Round,
+}
+
+/// Creates the protocol state for a node that joins the network.
+///
+/// The factory receives the new node's identifier and the round it joins in.
+/// It must not embed any knowledge of other nodes (a joining node knows
+/// nothing until somebody messages it); protocol-level configuration is fine.
+pub type NodeFactory<P> = Box<dyn Fn(NodeId, Round) -> P + Send>;
+
+/// The round-synchronous simulator.
+pub struct Simulator<P: Process, A: Adversary> {
+    config: SimConfig,
+    adversary: A,
+    factory: NodeFactory<P>,
+    nodes: BTreeMap<NodeId, NodeSlot<P>>,
+    members: BTreeMap<NodeId, MemberInfo>,
+    in_flight: Vec<Envelope<P::Msg>>,
+    records: Vec<RoundRecord>,
+    metrics: MetricsHistory,
+    budget: ChurnBudget,
+    round: Round,
+    next_id: u64,
+    last_outcome: ChurnOutcome,
+}
+
+impl<P: Process, A: Adversary> Simulator<P, A> {
+    /// Creates an empty simulator. Populate the initial node set `V_0` with
+    /// [`Simulator::seed_nodes`] before stepping.
+    pub fn new(config: SimConfig, adversary: A, factory: NodeFactory<P>) -> Self {
+        Simulator {
+            config,
+            adversary,
+            factory,
+            nodes: BTreeMap::new(),
+            members: BTreeMap::new(),
+            in_flight: Vec::new(),
+            records: Vec::new(),
+            metrics: MetricsHistory::new(),
+            budget: ChurnBudget::new(),
+            round: 0,
+            next_id: 0,
+            last_outcome: ChurnOutcome::default(),
+        }
+    }
+
+    /// Creates `count` initial nodes (the churn-free initial set `V_0`).
+    /// Returns their identifiers.
+    pub fn seed_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            ids.push(self.spawn_node(self.round));
+        }
+        ids
+    }
+
+    fn spawn_node(&mut self, round: Round) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let process = (self.factory)(id, round);
+        self.nodes.insert(
+            id,
+            NodeSlot {
+                process,
+                joined_at: round,
+            },
+        );
+        self.members.insert(id, MemberInfo { joined_at: round });
+        id
+    }
+
+    /// The current round (the next round to be executed).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Number of nodes currently in the network.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Identifiers of all current members, in ascending order.
+    pub fn member_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// The round a current member joined, if it exists.
+    pub fn joined_at(&self, id: NodeId) -> Option<Round> {
+        self.members.get(&id).map(|m| m.joined_at)
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.nodes.get(&id).map(|s| &s.process)
+    }
+
+    /// Mutable access to a node's protocol state (tests and harnesses only).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        self.nodes.get_mut(&id).map(|s| &mut s.process)
+    }
+
+    /// Iterates over `(id, protocol state)` pairs of all current members.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.nodes.iter().map(|(id, s)| (*id, &s.process))
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &MetricsHistory {
+        &self.metrics
+    }
+
+    /// Archived round records (communication graphs and digests).
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// The communication graph of `round`, if still archived.
+    pub fn comm_graph_at(&self, round: Round) -> Option<&CommGraph> {
+        self.records
+            .iter()
+            .find(|r| r.graph.round == round)
+            .map(|r| &r.graph)
+    }
+
+    /// The churn outcome of the most recently executed round.
+    pub fn last_churn_outcome(&self) -> &ChurnOutcome {
+        &self.last_outcome
+    }
+
+    /// Number of messages currently in flight (sent last round, not yet
+    /// delivered).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The adversary, for post-run inspection.
+    pub fn adversary(&self) -> &A {
+        &self.adversary
+    }
+
+    /// Executes `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Executes a single round.
+    pub fn step(&mut self) {
+        let t = self.round;
+        let mut mb = RoundMetricsBuilder::new(t);
+
+        // Phase 1: adversarial churn (suppressed during the bootstrap phase).
+        let outcome = if t < self.config.churn_rules.bootstrap_rounds {
+            ChurnOutcome::default()
+        } else {
+            let remaining = self.budget.remaining(t, &self.config.churn_rules);
+            let plan = {
+                let view = KnowledgeView::new(
+                    t,
+                    self.config.lateness,
+                    &self.records,
+                    &self.members,
+                    remaining,
+                    self.config.churn_rules.min_bootstrap_age,
+                );
+                self.adversary.plan(t, &view)
+            };
+            self.apply_plan(t, plan)
+        };
+        mb.record_churn(outcome.departed.len(), outcome.joined.len());
+
+        // Phase 2: deliver messages sent in round t-1 to surviving receivers.
+        let mut inboxes: HashMap<NodeId, Vec<Envelope<P::Msg>>> = HashMap::new();
+        let mut dropped = 0usize;
+        for env in self.in_flight.drain(..) {
+            if self.nodes.contains_key(&env.to) {
+                inboxes.entry(env.to).or_default().push(env);
+            } else {
+                dropped += 1;
+            }
+        }
+        mb.record_dropped(dropped);
+
+        // Sponsored joiners, grouped by bootstrap node.
+        let mut sponsored: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for (new_id, bootstrap) in &outcome.joined {
+            sponsored.entry(*bootstrap).or_default().push(*new_id);
+        }
+        let empty_sponsored: Vec<NodeId> = Vec::new();
+        let empty_inbox: Vec<Envelope<P::Msg>> = Vec::new();
+
+        mb.record_node_count(self.nodes.len());
+
+        // Phase 3: compute. Every node steps exactly once; its RNG stream
+        // depends only on (seed, id, round), so parallel and sequential
+        // execution produce identical results.
+        let seed = self.config.seed;
+        let hash_seed = self.config.hash_seed;
+        let record_digests = self.config.record_digests;
+
+        let mut work: Vec<(NodeId, Round, &mut P)> = self
+            .nodes
+            .iter_mut()
+            .map(|(id, slot)| (*id, slot.joined_at, &mut slot.process))
+            .collect();
+
+        let step_one = |(id, joined_at, process): &mut (NodeId, Round, &mut P)| {
+            let inbox = inboxes.get(id).unwrap_or(&empty_inbox);
+            let spons = sponsored.get(id).unwrap_or(&empty_sponsored);
+            let mut ctx: Ctx<'_, P::Msg> = Ctx::new(*id, t, *joined_at, spons, seed, hash_seed);
+            process.on_round(&mut ctx, inbox);
+            let digest = if record_digests { process.state_digest() } else { 0 };
+            let out = ctx.into_outbox().into_inner();
+            (*id, out, digest, inbox.len())
+        };
+
+        let results: Vec<(NodeId, Vec<(NodeId, P::Msg)>, u64, usize)> = if self.config.parallel {
+            work.par_iter_mut().map(step_one).collect()
+        } else {
+            work.iter_mut().map(step_one).collect()
+        };
+        drop(work);
+
+        // Phase 4: collect outboxes into next round's in-flight set, record the
+        // communication graph and per-node metrics.
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut digests: Vec<(NodeId, u64)> = Vec::new();
+        for (id, out, digest, received) in results {
+            mb.record_received(id, received);
+            let mut distinct: Vec<NodeId> = out.iter().map(|(to, _)| *to).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            mb.record_sent(id, out.len(), distinct.len());
+            for to in &distinct {
+                edges.push((id, *to));
+            }
+            if record_digests {
+                digests.push((id, digest));
+            }
+            for (to, payload) in out {
+                self.in_flight.push(Envelope::new(id, to, t, payload));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let graph = CommGraph {
+            round: t,
+            edges,
+            members: self.nodes.keys().copied().collect(),
+        };
+        self.records.push(RoundRecord { graph, digests });
+        if let Some(window) = self.config.history_window {
+            if self.records.len() > window {
+                let excess = self.records.len() - window;
+                self.records.drain(..excess);
+            }
+        }
+
+        self.metrics.push(mb.finish());
+        self.last_outcome = outcome;
+        self.round += 1;
+    }
+
+    /// Validates and applies a churn plan, honouring budget and join rules.
+    fn apply_plan(&mut self, t: Round, plan: ChurnPlan) -> ChurnOutcome {
+        let rules = self.config.churn_rules;
+        let mut outcome = ChurnOutcome::default();
+        let mut remaining = self.budget.remaining(t, &rules);
+
+        // Departures first (the paper's O_t).
+        let mut seen: Vec<NodeId> = Vec::new();
+        for id in plan.departures {
+            if seen.contains(&id) {
+                continue;
+            }
+            seen.push(id);
+            if remaining == 0 || !self.nodes.contains_key(&id) {
+                outcome.rejected_departures.push(id);
+                continue;
+            }
+            self.nodes.remove(&id);
+            self.members.remove(&id);
+            outcome.departed.push(id);
+            remaining = remaining.saturating_sub(1);
+        }
+
+        // Joins (the paper's J_t), each via an eligible bootstrap node.
+        let mut per_bootstrap: HashMap<NodeId, usize> = HashMap::new();
+        for join in plan.joins {
+            let eligible = self
+                .members
+                .get(&join.bootstrap)
+                .map(|m| m.joined_at + rules.min_bootstrap_age <= t)
+                .unwrap_or(false);
+            let fanin = per_bootstrap.entry(join.bootstrap).or_insert(0);
+            if remaining == 0 || !eligible || *fanin >= rules.max_joins_per_bootstrap {
+                outcome.rejected_joins.push(join);
+                continue;
+            }
+            *fanin += 1;
+            let id = self.spawn_node(t);
+            outcome.joined.push((id, join.bootstrap));
+            remaining = remaining.saturating_sub(1);
+        }
+
+        self.budget.record(t, outcome.events());
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NullAdversary;
+    use crate::churn::{ChurnRules, JoinPlan};
+    use crate::knowledge::Lateness;
+
+    /// A protocol where every node floods a counter to the two numerically
+    /// adjacent identifiers each round.
+    #[derive(Default)]
+    struct Ping {
+        heard: Vec<u64>,
+    }
+
+    impl Process for Ping {
+        type Msg = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Envelope<u64>]) {
+            for env in inbox {
+                self.heard.push(env.payload);
+            }
+            let me = ctx.id().raw();
+            let round = ctx.round();
+            ctx.send(NodeId(me.wrapping_add(1)), round);
+            if me > 0 {
+                ctx.send(NodeId(me - 1), round);
+            }
+        }
+        fn state_digest(&self) -> u64 {
+            self.heard.len() as u64
+        }
+    }
+
+    fn sim(parallel: bool) -> Simulator<Ping, NullAdversary> {
+        let config = SimConfig::default()
+            .with_seed(1)
+            .with_parallel(parallel);
+        Simulator::new(config, NullAdversary, Box::new(|_, _| Ping::default()))
+    }
+
+    #[test]
+    fn messages_take_exactly_one_round() {
+        let mut s = sim(false);
+        s.seed_nodes(4);
+        s.step();
+        // Round 0: everyone sent, nobody received yet.
+        assert_eq!(s.metrics().rounds()[0].messages_delivered, 0);
+        assert!(s.in_flight_count() > 0);
+        s.step();
+        assert!(s.metrics().rounds()[1].messages_delivered > 0);
+        // Node 1 heard from node 0 and node 2.
+        assert_eq!(s.node(NodeId(1)).unwrap().heard.len(), 2);
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_are_identical() {
+        let mut a = sim(false);
+        let mut b = sim(true);
+        a.seed_nodes(16);
+        b.seed_nodes(16);
+        a.run(6);
+        b.run(6);
+        for id in a.member_ids() {
+            assert_eq!(
+                a.node(id).unwrap().heard,
+                b.node(id).unwrap().heard,
+                "divergence at {id}"
+            );
+        }
+        assert_eq!(
+            a.metrics().total_messages(),
+            b.metrics().total_messages()
+        );
+    }
+
+    #[test]
+    fn comm_graph_records_edges() {
+        let mut s = sim(false);
+        s.seed_nodes(3);
+        s.step();
+        let g = s.comm_graph_at(0).unwrap();
+        assert!(g.edges.contains(&(NodeId(0), NodeId(1))));
+        assert!(g.edges.contains(&(NodeId(1), NodeId(0))));
+        assert_eq!(g.members.len(), 3);
+    }
+
+    struct OneShotChurn;
+    impl Adversary for OneShotChurn {
+        fn plan(&mut self, round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
+            if round == 2 {
+                // Pick a bootstrap node that is not the one we churn out.
+                let bootstrap = *view.eligible_bootstraps().last().unwrap();
+                ChurnPlan {
+                    departures: vec![NodeId(0)],
+                    joins: vec![JoinPlan { bootstrap }],
+                }
+            } else {
+                ChurnPlan::none()
+            }
+        }
+    }
+
+    #[test]
+    fn churn_removes_and_adds_nodes() {
+        let config = SimConfig::default().with_churn_rules(ChurnRules {
+            max_events: Some(10),
+            window: 4,
+            ..ChurnRules::default()
+        });
+        let mut s = Simulator::new(config, OneShotChurn, Box::new(|_, _| Ping::default()));
+        s.seed_nodes(4);
+        s.run(3);
+        assert!(!s.member_ids().contains(&NodeId(0)), "node 0 departed");
+        assert_eq!(s.node_count(), 4, "one left, one joined");
+        let outcome = s.last_churn_outcome();
+        assert_eq!(outcome.departed, vec![NodeId(0)]);
+        assert_eq!(outcome.joined.len(), 1);
+        assert!(s.joined_at(outcome.joined[0].0) == Some(2));
+    }
+
+    #[test]
+    fn departed_nodes_do_not_receive_messages() {
+        let config = SimConfig::default().with_churn_rules(ChurnRules {
+            max_events: Some(10),
+            window: 4,
+            ..ChurnRules::default()
+        });
+        let mut s = Simulator::new(config, OneShotChurn, Box::new(|_, _| Ping::default()));
+        s.seed_nodes(4);
+        s.run(4);
+        // Messages addressed to node 0 in round 1 were dropped in round 2.
+        assert!(s.metrics().rounds()[2].messages_dropped > 0);
+    }
+
+    struct GreedyChurn;
+    impl Adversary for GreedyChurn {
+        fn plan(&mut self, _round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
+            // Try to delete every node, every round.
+            ChurnPlan {
+                departures: view.members().map(|(id, _)| id).collect(),
+                joins: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn engine_enforces_churn_budget() {
+        let config = SimConfig::default().with_churn_rules(ChurnRules {
+            max_events: Some(2),
+            window: 100,
+            ..ChurnRules::default()
+        });
+        let mut s = Simulator::new(config, GreedyChurn, Box::new(|_, _| Ping::default()));
+        s.seed_nodes(10);
+        s.run(5);
+        assert_eq!(s.node_count(), 8, "only 2 departures fit the budget");
+        assert!(s.last_churn_outcome().had_rejections());
+    }
+
+    struct FreshBootstrapChurn;
+    impl Adversary for FreshBootstrapChurn {
+        fn plan(&mut self, round: Round, _view: &KnowledgeView<'_>) -> ChurnPlan {
+            if round == 1 {
+                // Node 0 joined at round 0, so at round 1 it is too fresh to
+                // bootstrap anyone (min age 2).
+                ChurnPlan {
+                    departures: vec![],
+                    joins: vec![JoinPlan {
+                        bootstrap: NodeId(0),
+                    }],
+                }
+            } else {
+                ChurnPlan::none()
+            }
+        }
+    }
+
+    #[test]
+    fn engine_enforces_bootstrap_age() {
+        let config = SimConfig::default().with_churn_rules(ChurnRules {
+            max_events: Some(100),
+            window: 10,
+            min_bootstrap_age: 2,
+            ..ChurnRules::default()
+        });
+        let mut s = Simulator::new(config, FreshBootstrapChurn, Box::new(|_, _| Ping::default()));
+        s.seed_nodes(2);
+        s.run(2);
+        assert_eq!(s.node_count(), 2, "join via too-fresh bootstrap rejected");
+        assert_eq!(s.last_churn_outcome().rejected_joins.len(), 1);
+    }
+
+    #[test]
+    fn bootstrap_phase_suppresses_churn() {
+        let config = SimConfig::default().with_churn_rules(ChurnRules {
+            max_events: Some(100),
+            window: 10,
+            bootstrap_rounds: 3,
+            ..ChurnRules::default()
+        });
+        let mut s = Simulator::new(config, GreedyChurn, Box::new(|_, _| Ping::default()));
+        s.seed_nodes(5);
+        s.run(3);
+        assert_eq!(s.node_count(), 5, "no churn during the bootstrap phase");
+        s.step();
+        assert!(s.node_count() < 5, "churn resumes after the bootstrap phase");
+    }
+
+    #[test]
+    fn history_window_trims_records() {
+        let config = SimConfig::default().with_history_window(3);
+        let mut s = Simulator::new(config, NullAdversary, Box::new(|_, _| Ping::default()));
+        s.seed_nodes(2);
+        s.run(10);
+        assert_eq!(s.records().len(), 3);
+        assert_eq!(s.records()[0].graph.round, 7);
+    }
+
+    #[test]
+    fn sponsored_nodes_are_visible_to_their_bootstrap() {
+        // Protocol that records sponsorships.
+        #[derive(Default)]
+        struct Sponsor {
+            sponsored: Vec<NodeId>,
+        }
+        impl Process for Sponsor {
+            type Msg = ();
+            fn on_round(&mut self, ctx: &mut Ctx<'_, ()>, _inbox: &[Envelope<()>]) {
+                self.sponsored.extend_from_slice(ctx.sponsored());
+            }
+        }
+        struct JoinOnce;
+        impl Adversary for JoinOnce {
+            fn plan(&mut self, round: Round, _v: &KnowledgeView<'_>) -> ChurnPlan {
+                if round == 3 {
+                    ChurnPlan {
+                        departures: vec![],
+                        joins: vec![JoinPlan {
+                            bootstrap: NodeId(0),
+                        }],
+                    }
+                } else {
+                    ChurnPlan::none()
+                }
+            }
+        }
+        let config = SimConfig::default().with_churn_rules(ChurnRules {
+            max_events: Some(10),
+            window: 10,
+            ..ChurnRules::default()
+        });
+        let mut s = Simulator::new(config, JoinOnce, Box::new(|_, _| Sponsor::default()));
+        s.seed_nodes(2);
+        s.run(4);
+        assert_eq!(s.node(NodeId(0)).unwrap().sponsored.len(), 1);
+        assert!(s.node(NodeId(1)).unwrap().sponsored.is_empty());
+    }
+
+    #[test]
+    fn lateness_config_is_respected_end_to_end() {
+        // An adversary that asserts it cannot see the most recent topology.
+        struct Checker;
+        impl Adversary for Checker {
+            fn plan(&mut self, round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
+                if round >= 3 {
+                    assert!(view.topology_at(round - 1).is_none());
+                    assert!(view.topology_at(round - 2).is_some());
+                }
+                ChurnPlan::none()
+            }
+        }
+        let config = SimConfig::default().with_lateness(Lateness {
+            topology: 2,
+            state: 50,
+        });
+        let mut s = Simulator::new(config, Checker, Box::new(|_, _| Ping::default()));
+        s.seed_nodes(3);
+        s.run(6);
+    }
+}

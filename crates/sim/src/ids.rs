@@ -1,0 +1,97 @@
+//! Identifiers and round numbers used throughout the simulator.
+//!
+//! The paper assumes every node has a *unique and immutable* identifier of size
+//! `O(log n)` (think of an IP address). We model this as a `u64`. Knowing a
+//! [`NodeId`] is the only prerequisite for sending a message to that node.
+
+use std::fmt;
+
+/// A unique, immutable node identifier.
+///
+/// Node identifiers are handed out by the [`Simulator`](crate::engine::Simulator)
+/// when the adversary churns a node in; they are never reused within a run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Returns the raw integer value of this identifier.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A synchronous round number.
+///
+/// Time proceeds in synchronous rounds (Section 1.1 of the paper): in round `t`
+/// a node first receives every message sent in round `t - 1`, then computes,
+/// then sends messages which will be received in round `t + 1`.
+pub type Round = u64;
+
+/// Distinguishes the even ("forwarding") and odd ("handover") half of an
+/// overlay epoch (Section 5 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RoundParity {
+    /// An even round `2t`: the overlay `D_t` is in place and performs the
+    /// forwarding step of `A_ROUTING`.
+    Even,
+    /// An odd round `2t + 1`: the helper graph `H_t` performs the handover
+    /// from `D_t` to `D_{t+1}`.
+    Odd,
+}
+
+/// Returns the parity of a round.
+#[inline]
+pub fn parity(round: Round) -> RoundParity {
+    if round % 2 == 0 {
+        RoundParity::Even
+    } else {
+        RoundParity::Odd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_raw_value() {
+        let id = NodeId::from(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn node_ids_order_by_raw_value() {
+        let mut ids = vec![NodeId(3), NodeId(1), NodeId(2)];
+        ids.sort();
+        assert_eq!(ids, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn parity_alternates() {
+        assert_eq!(parity(0), RoundParity::Even);
+        assert_eq!(parity(1), RoundParity::Odd);
+        assert_eq!(parity(2), RoundParity::Even);
+        assert_eq!(parity(1001), RoundParity::Odd);
+    }
+}

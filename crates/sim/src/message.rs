@@ -1,0 +1,141 @@
+//! Message envelopes and per-node outboxes.
+//!
+//! A message sent in round `t` is received at the beginning of round `t + 1`
+//! (Section 1.1). Sending a message implicitly creates a directed edge of the
+//! communication graph `G_t`, which is exactly the information the
+//! `(a,b)`-late adversary observes with lateness `a`.
+
+use crate::ids::{NodeId, Round};
+
+/// A message in flight, together with its routing metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<M> {
+    /// The sender.
+    pub from: NodeId,
+    /// The receiver.
+    pub to: NodeId,
+    /// The round in which the message was sent; it is delivered in `sent_at + 1`.
+    pub sent_at: Round,
+    /// The protocol-level payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// Creates a new envelope.
+    pub fn new(from: NodeId, to: NodeId, sent_at: Round, payload: M) -> Self {
+        Envelope {
+            from,
+            to,
+            sent_at,
+            payload,
+        }
+    }
+}
+
+/// The set of messages a node emits during the send phase of a round.
+///
+/// The outbox also doubles as the place where per-round per-node send counters
+/// are accumulated for the congestion metrics of Lemma 24.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(NodeId, M)>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an outbox with pre-reserved capacity, useful on hot paths to
+    /// avoid repeated reallocation (see the performance notes in DESIGN.md).
+    pub fn with_capacity(cap: usize) -> Self {
+        Outbox {
+            msgs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Queues `payload` for delivery to `to` at the beginning of the next round.
+    #[inline]
+    pub fn send(&mut self, to: NodeId, payload: M) {
+        self.msgs.push((to, payload));
+    }
+
+    /// Queues the same payload for every receiver in `targets`.
+    pub fn broadcast<I>(&mut self, targets: I, payload: M)
+    where
+        M: Clone,
+        I: IntoIterator<Item = NodeId>,
+    {
+        for t in targets {
+            self.msgs.push((t, payload.clone()));
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the outbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Consumes the outbox and returns the queued `(receiver, payload)` pairs.
+    pub fn into_inner(self) -> Vec<(NodeId, M)> {
+        self.msgs
+    }
+
+    /// Iterates over the queued destinations (used by degree metrics).
+    pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.msgs.iter().map(|(to, _)| *to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_collects_messages_in_order() {
+        let mut ob: Outbox<&'static str> = Outbox::new();
+        ob.send(NodeId(1), "a");
+        ob.send(NodeId(2), "b");
+        assert_eq!(ob.len(), 2);
+        assert!(!ob.is_empty());
+        let inner = ob.into_inner();
+        assert_eq!(inner, vec![(NodeId(1), "a"), (NodeId(2), "b")]);
+    }
+
+    #[test]
+    fn broadcast_clones_payload_to_all_targets() {
+        let mut ob: Outbox<u32> = Outbox::with_capacity(4);
+        ob.broadcast([NodeId(1), NodeId(2), NodeId(3)], 9);
+        assert_eq!(ob.len(), 3);
+        let dests: Vec<NodeId> = ob.destinations().collect();
+        assert_eq!(dests, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn envelope_carries_metadata() {
+        let e = Envelope::new(NodeId(5), NodeId(6), 12, 99u8);
+        assert_eq!(e.from, NodeId(5));
+        assert_eq!(e.to, NodeId(6));
+        assert_eq!(e.sent_at, 12);
+        assert_eq!(e.payload, 99);
+    }
+
+    #[test]
+    fn empty_outbox_reports_empty() {
+        let ob: Outbox<u8> = Outbox::default();
+        assert!(ob.is_empty());
+        assert_eq!(ob.len(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-round metrics: message counts, congestion, degrees, churn.
+//!
+//! Lemma 24 bounds the maintenance protocol's congestion by `O(log^3 n)`
+//! messages per node and round; experiment E11 measures exactly the quantities
+//! collected here.
+
+use std::collections::HashMap;
+
+use crate::ids::{NodeId, Round};
+
+/// Metrics of a single round.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct RoundMetrics {
+    /// The round these metrics describe.
+    pub round: Round,
+    /// Number of nodes that executed this round.
+    pub node_count: usize,
+    /// Total messages sent this round.
+    pub messages_sent: usize,
+    /// Total messages delivered this round (sent last round to survivors).
+    pub messages_delivered: usize,
+    /// Messages dropped because the receiver left before delivery.
+    pub messages_dropped: usize,
+    /// Maximum messages sent by a single node.
+    pub max_sent_per_node: usize,
+    /// Maximum messages received by a single node (the congestion of Lemma 24).
+    pub max_received_per_node: usize,
+    /// Mean messages sent per node.
+    pub mean_sent_per_node: f64,
+    /// Mean messages received per node.
+    pub mean_received_per_node: f64,
+    /// Maximum number of *distinct* receivers contacted by one node (its
+    /// out-degree in `G_t`; the model allows `O(log n)` new edges per round).
+    pub max_out_degree: usize,
+    /// Nodes that departed at the start of this round.
+    pub departures: usize,
+    /// Nodes that joined at the start of this round.
+    pub joins: usize,
+}
+
+/// Accumulates per-node counters during a round and finalizes them into a
+/// [`RoundMetrics`].
+#[derive(Debug, Default)]
+pub struct RoundMetricsBuilder {
+    round: Round,
+    sent: HashMap<NodeId, usize>,
+    received: HashMap<NodeId, usize>,
+    out_degree: HashMap<NodeId, usize>,
+    node_count: usize,
+    dropped: usize,
+    departures: usize,
+    joins: usize,
+}
+
+impl RoundMetricsBuilder {
+    /// Starts collecting metrics for `round`.
+    pub fn new(round: Round) -> Self {
+        RoundMetricsBuilder {
+            round,
+            ..Default::default()
+        }
+    }
+
+    /// Records churn applied at the start of the round.
+    pub fn record_churn(&mut self, departures: usize, joins: usize) {
+        self.departures = departures;
+        self.joins = joins;
+    }
+
+    /// Records the number of nodes stepping this round.
+    pub fn record_node_count(&mut self, n: usize) {
+        self.node_count = n;
+    }
+
+    /// Records that `node` received `count` messages.
+    pub fn record_received(&mut self, node: NodeId, count: usize) {
+        *self.received.entry(node).or_insert(0) += count;
+    }
+
+    /// Records a dropped message (receiver no longer exists).
+    pub fn record_dropped(&mut self, count: usize) {
+        self.dropped += count;
+    }
+
+    /// Records that `node` sent `count` messages to `distinct` distinct peers.
+    pub fn record_sent(&mut self, node: NodeId, count: usize, distinct: usize) {
+        *self.sent.entry(node).or_insert(0) += count;
+        *self.out_degree.entry(node).or_insert(0) += distinct;
+    }
+
+    /// Finalizes the round's metrics.
+    pub fn finish(self) -> RoundMetrics {
+        let total_sent: usize = self.sent.values().sum();
+        let total_received: usize = self.received.values().sum();
+        let n = self.node_count.max(1);
+        RoundMetrics {
+            round: self.round,
+            node_count: self.node_count,
+            messages_sent: total_sent,
+            messages_delivered: total_received,
+            messages_dropped: self.dropped,
+            max_sent_per_node: self.sent.values().copied().max().unwrap_or(0),
+            max_received_per_node: self.received.values().copied().max().unwrap_or(0),
+            mean_sent_per_node: total_sent as f64 / n as f64,
+            mean_received_per_node: total_received as f64 / n as f64,
+            max_out_degree: self.out_degree.values().copied().max().unwrap_or(0),
+            departures: self.departures,
+            joins: self.joins,
+        }
+    }
+}
+
+/// The full metrics history of a run.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct MetricsHistory {
+    rounds: Vec<RoundMetrics>,
+}
+
+impl MetricsHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one round's metrics.
+    pub fn push(&mut self, m: RoundMetrics) {
+        self.rounds.push(m);
+    }
+
+    /// All recorded rounds, oldest first.
+    pub fn rounds(&self) -> &[RoundMetrics] {
+        &self.rounds
+    }
+
+    /// The most recent round's metrics, if any.
+    pub fn last(&self) -> Option<&RoundMetrics> {
+        self.rounds.last()
+    }
+
+    /// The maximum per-node congestion (messages received by one node in one
+    /// round) observed over the whole run — the quantity bounded by Lemma 24.
+    pub fn peak_congestion(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|m| m.max_received_per_node)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The maximum per-node send rate observed over the whole run.
+    pub fn peak_send_rate(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|m| m.max_sent_per_node)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean messages per node per round over the whole run.
+    pub fn mean_messages_per_node_round(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.rounds.iter().map(|m| m.mean_sent_per_node).sum();
+        sum / self.rounds.len() as f64
+    }
+
+    /// Total messages sent over the whole run.
+    pub fn total_messages(&self) -> usize {
+        self.rounds.iter().map(|m| m.messages_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_aggregates_counters() {
+        let mut b = RoundMetricsBuilder::new(3);
+        b.record_node_count(2);
+        b.record_churn(1, 2);
+        b.record_sent(NodeId(1), 5, 3);
+        b.record_sent(NodeId(2), 1, 1);
+        b.record_received(NodeId(1), 4);
+        b.record_received(NodeId(2), 2);
+        b.record_dropped(7);
+        let m = b.finish();
+        assert_eq!(m.round, 3);
+        assert_eq!(m.messages_sent, 6);
+        assert_eq!(m.messages_delivered, 6);
+        assert_eq!(m.messages_dropped, 7);
+        assert_eq!(m.max_sent_per_node, 5);
+        assert_eq!(m.max_received_per_node, 4);
+        assert_eq!(m.max_out_degree, 3);
+        assert_eq!(m.departures, 1);
+        assert_eq!(m.joins, 2);
+        assert!((m.mean_sent_per_node - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_zeros() {
+        let m = RoundMetricsBuilder::new(0).finish();
+        assert_eq!(m.messages_sent, 0);
+        assert_eq!(m.max_received_per_node, 0);
+        assert_eq!(m.mean_sent_per_node, 0.0);
+    }
+
+    #[test]
+    fn history_summaries() {
+        let mut h = MetricsHistory::new();
+        for (r, recv) in [(0u64, 3usize), (1, 9), (2, 5)] {
+            let mut b = RoundMetricsBuilder::new(r);
+            b.record_node_count(4);
+            b.record_received(NodeId(1), recv);
+            b.record_sent(NodeId(1), recv, recv);
+            h.push(b.finish());
+        }
+        assert_eq!(h.rounds().len(), 3);
+        assert_eq!(h.peak_congestion(), 9);
+        assert_eq!(h.peak_send_rate(), 9);
+        assert_eq!(h.total_messages(), 17);
+        assert_eq!(h.last().unwrap().round, 2);
+        assert!(h.mean_messages_per_node_round() > 0.0);
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let h = MetricsHistory::new();
+        assert_eq!(h.peak_congestion(), 0);
+        assert_eq!(h.mean_messages_per_node_round(), 0.0);
+        assert!(h.last().is_none());
+    }
+}

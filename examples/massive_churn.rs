@@ -1,0 +1,58 @@
+//! The paper's headline scenario: a `(2, 2λ+7)`-late adversary churns a
+//! constant fraction of the network every `O(log n)` rounds while the
+//! maintenance protocol keeps the overlay connected and routable.
+//!
+//! The example runs the same churn volume twice — once as oblivious random
+//! churn and once as the strongest topology-aware attack the lateness allows —
+//! and prints the overlay health over time for both.
+//!
+//! ```text
+//! cargo run --release --example massive_churn
+//! ```
+
+use two_steps_ahead::adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
+use two_steps_ahead::prelude::*;
+use two_steps_ahead::sim::Adversary;
+
+fn run<A: Adversary>(label: &str, params: MaintenanceParams, adversary: A) {
+    let mut harness = MaintenanceHarness::new(params, adversary, 7);
+    harness.run_bootstrap();
+    println!("\n=== {label} ===");
+    println!("round  nodes  mature  wired  connected  largest-comp  max-congestion");
+    for _ in 0..6 {
+        harness.run(4);
+        let r = harness.report();
+        println!(
+            "{:>5}  {:>5}  {:>6}  {:>5}  {:>9}  {:>12.3}  {:>6}",
+            r.round, r.node_count, r.mature_count, r.participating, r.connected,
+            r.largest_component_fraction, r.max_congestion
+        );
+    }
+    let r = harness.report();
+    assert!(
+        r.largest_component_fraction > 0.9,
+        "{label}: the overlay fell apart: {r:?}"
+    );
+}
+
+fn main() {
+    let params = MaintenanceParams::new(96).with_tau(6).with_replication(3);
+    // The paper's budget: αn churn events per 4λ+14 rounds. Spread it out as a
+    // few events per round so the adversary is always active.
+    let per_round = (params.overlay.churn_budget() / 8).max(1);
+
+    run(
+        "oblivious random churn",
+        params,
+        RandomChurnAdversary::new(per_round, 1),
+    );
+    run(
+        "2-late targeted-swarm churn",
+        params,
+        TargetedSwarmAdversary::new(per_round, 2),
+    );
+
+    println!("\nBoth adversaries spend the same budget; because every overlay is");
+    println!("rebuilt two rounds before the adversary can see it (Lemma 16), the");
+    println!("targeted attack does no better than random churn.");
+}

@@ -1,0 +1,44 @@
+//! Quickstart: run the maintenance protocol through its bootstrap phase and a
+//! few steady-state epochs, then print a health report of the maintained
+//! overlay.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use two_steps_ahead::prelude::*;
+
+fn main() {
+    // A small network: n is the lower bound on the number of nodes the
+    // adversary must respect; every protocol constant (λ, swarm radius, δ, τ)
+    // is derived from it.
+    let params = MaintenanceParams::new(96).with_tau(6).with_replication(3);
+    println!(
+        "n = {}, λ = {}, swarm radius = {:.4}, maturity age = {} rounds",
+        params.overlay.n,
+        params.lambda(),
+        params.swarm_radius(),
+        params.maturity_age()
+    );
+
+    // No churn yet: just the bootstrap phase plus a few epochs of steady
+    // state, so every overlay is built purely from CREATE introductions.
+    let mut harness = MaintenanceHarness::without_churn(params, 42);
+    harness.run_bootstrap();
+    harness.run(8);
+
+    let report = harness.report();
+    println!("\nAfter {} rounds (epoch {}):", report.round + 1, report.epoch);
+    println!("  nodes               : {}", report.node_count);
+    println!("  mature              : {}", report.mature_count);
+    println!("  wired into overlay  : {}", report.participating);
+    println!("  participation rate  : {:.3}", report.participation_rate);
+    println!("  connected           : {}", report.connected);
+    println!("  mean degree         : {:.1}", report.mean_degree);
+    println!("  min swarm size      : {}", report.min_swarm_size);
+    println!("  peak congestion     : {} msgs/node/round", report.max_congestion);
+    println!("  routable            : {}", report.is_routable());
+
+    assert!(report.is_routable(), "the freshly bootstrapped overlay must be routable");
+    println!("\nThe overlay was rebuilt from scratch every 2 rounds — {} times so far.", report.epoch);
+}

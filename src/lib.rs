@@ -1,0 +1,40 @@
+//! # two-steps-ahead
+//!
+//! A complete reproduction of *"Always be Two Steps Ahead of Your Enemy —
+//! Maintaining a Routable Overlay under Massive Churn in Networks with an
+//! Almost Up-to-date Adversary"* (Götte, Ravindran Vijayalakshmi, Scheideler).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — round-synchronous simulator with an `(a,b)`-late adversary;
+//! * [`overlay`] — the Linearized DeBruijn Swarm and related topologies;
+//! * [`routing`] — `A_ROUTING` and `A_SAMPLING`;
+//! * [`maintenance`] — the `A_LDS` + `A_RANDOM` maintenance protocol
+//!   (the paper's main contribution);
+//! * [`adversary`] — attack strategies, including the Lemma 3 / Lemma 4
+//!   impossibility constructions;
+//! * [`baselines`] — SPARTAN-style, H_d-graph and Chord-with-swarms
+//!   comparison overlays;
+//! * [`analysis`] — statistics, uniformity tests and table rendering.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduction results.
+
+#![warn(missing_docs)]
+
+pub use tsa_adversary as adversary;
+pub use tsa_analysis as analysis;
+pub use tsa_baselines as baselines;
+pub use tsa_core as maintenance;
+pub use tsa_overlay as overlay;
+pub use tsa_routing as routing;
+pub use tsa_sim as sim;
+
+/// The most frequently used items from across the workspace.
+pub mod prelude {
+    pub use tsa_adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
+    pub use tsa_core::{MaintenanceHarness, MaintenanceParams, MaintenanceReport};
+    pub use tsa_overlay::{Lds, OverlayParams, Position};
+    pub use tsa_routing::{RoutableSeries, RoutingConfig, RoutingSim};
+    pub use tsa_sim::prelude::*;
+}

@@ -1,0 +1,113 @@
+//! Integration tests for Theorem 14: the maintenance protocol keeps the
+//! overlay routable under adversarial churn, fresh nodes are integrated, and
+//! the adversary's 2-late topology knowledge buys it nothing.
+
+use two_steps_ahead::adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
+use two_steps_ahead::maintenance::{MaintenanceHarness, MaintenanceParams};
+use two_steps_ahead::sim::{Adversary, ChurnRules};
+
+fn small_params() -> MaintenanceParams {
+    MaintenanceParams::new(48)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+}
+
+fn run_with<A: Adversary>(adversary: A, rounds: u64) -> MaintenanceHarness<A> {
+    let params = small_params();
+    // Budget: n/4 churn events per churn window — four times the paper's
+    // α = 1/16 rate, applied gradually.
+    let rules = ChurnRules {
+        max_events: Some(params.overlay.n / 4),
+        window: params.overlay.churn_window(),
+        bootstrap_rounds: params.bootstrap_rounds(),
+        ..ChurnRules::default()
+    };
+    let mut harness =
+        MaintenanceHarness::with_rules(params, adversary, 11, rules, params.paper_lateness());
+    harness.run_bootstrap();
+    harness.run(rounds);
+    harness
+}
+
+#[test]
+fn overlay_stays_connected_under_random_churn() {
+    let params = small_params();
+    let harness = run_with(
+        RandomChurnAdversary::new(2, 5),
+        3 * params.maturity_age(),
+    );
+    let report = harness.report();
+    assert!(
+        report.largest_component_fraction > 0.9,
+        "random churn must not shatter the overlay: {report:?}"
+    );
+    assert!(report.participation_rate > 0.8, "{report:?}");
+    assert!(report.min_swarm_size > 0, "{report:?}");
+}
+
+#[test]
+fn overlay_stays_connected_under_targeted_churn() {
+    let params = small_params();
+    let harness = run_with(
+        TargetedSwarmAdversary::new(2, 6),
+        3 * params.maturity_age(),
+    );
+    let report = harness.report();
+    assert!(
+        report.largest_component_fraction > 0.9,
+        "a 2-late targeted adversary must do no better than random churn (Lemma 16): {report:?}"
+    );
+}
+
+#[test]
+fn churned_in_nodes_eventually_join_the_overlay() {
+    let params = small_params();
+    let harness = run_with(RandomChurnAdversary::new(2, 7), 4 * params.maturity_age());
+    let snapshots = harness.snapshots();
+    let late_joiners: Vec<_> = snapshots
+        .iter()
+        .filter(|(_, s)| !s.genesis && s.mature)
+        .collect();
+    assert!(
+        !late_joiners.is_empty(),
+        "the run must contain nodes that joined after the bootstrap and matured"
+    );
+    let integrated = late_joiners.iter().filter(|(_, s)| s.participating).count();
+    assert!(
+        integrated * 2 >= late_joiners.len(),
+        "at least half of the matured late joiners must be wired into the overlay \
+         ({integrated}/{})",
+        late_joiners.len()
+    );
+}
+
+#[test]
+fn congestion_stays_polylogarithmic() {
+    let params = small_params();
+    let harness = run_with(RandomChurnAdversary::new(2, 8), 2 * params.maturity_age());
+    let lambda = params.lambda() as usize;
+    let peak = harness.metrics().peak_congestion();
+    // Lemma 24: O(log^3 n) messages per node and round. With the small
+    // constants used in tests the peak must stay well below n * λ and within a
+    // modest multiple of λ^3.
+    assert!(
+        peak < 60 * lambda * lambda * lambda,
+        "peak congestion {peak} is not O(log^3 n) (λ = {lambda})"
+    );
+}
+
+#[test]
+fn fresh_nodes_are_known_by_mature_nodes() {
+    // Lemma 20/22: every fresh node connects to Θ(δ) mature nodes and no
+    // mature node is overloaded with connects.
+    let params = small_params();
+    let harness = run_with(RandomChurnAdversary::new(2, 9), 2 * params.maturity_age());
+    let connect_load = harness.connect_load();
+    let max_load = connect_load.values().copied().max().unwrap_or(0);
+    assert!(
+        max_load <= 2 * params.delta + params.connect_slots(),
+        "a mature node received {max_load} connects, far above 2δ = {}",
+        params.connect_slots()
+    );
+}

@@ -1,0 +1,119 @@
+//! Property-based integration tests for the structural invariants the paper's
+//! proofs rely on: the swarm property (Lemma 6), connectivity of the LDS, the
+//! witness-overlap argument of Lemma 19, and the goodness bound of Lemma 17
+//! under random survival.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use two_steps_ahead::overlay::{Interval, Lds, OverlayParams, Position};
+use two_steps_ahead::sim::NodeId;
+
+fn lds(n: usize, c: f64, seed: u64) -> Lds {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Lds::random(OverlayParams::new(n, c), (0..n as u64).map(NodeId), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lemma 6: every swarm is adjacent to both of its de Bruijn image swarms.
+    #[test]
+    fn swarm_property_holds_everywhere(seed in 0u64..1000, p in 0.0f64..1.0) {
+        let overlay = lds(192, 2.0, seed);
+        prop_assert!(overlay.swarm_property_holds_at(Position::new(p)));
+    }
+
+    /// The LDS over uniformly random positions is connected for c ≥ 2.
+    #[test]
+    fn lds_is_connected(seed in 0u64..1000) {
+        let overlay = lds(160, 2.0, seed);
+        prop_assert!(overlay.to_graph().is_connected());
+    }
+
+    /// Lemma 19's witness argument: the responsibility interval of any point
+    /// overlaps the list interval of any neighbour position by at least cλ/n,
+    /// so a non-empty swarm always contains a witness that knows both.
+    #[test]
+    fn neighbor_responsibility_intervals_overlap(seed in 0u64..1000, p in 0.0f64..1.0) {
+        let overlay = lds(160, 2.0, seed);
+        let params = *overlay.params();
+        let p = Position::new(p);
+        // Any point within the list radius of p is a potential list neighbour.
+        let q = p.offset(params.list_radius() * 0.99);
+        let ip = Interval::around(p, params.swarm_radius());
+        let iq = Interval::around(q, params.list_radius());
+        prop_assert!(ip.overlap_length(&iq) >= params.swarm_radius() - 1e-12);
+    }
+
+    /// Lemma 17 (qualitative): if every node independently survives with
+    /// probability 15/16, the vast majority of swarms keep at least 3/4 of
+    /// their members.
+    #[test]
+    fn random_survival_keeps_swarms_good(seed in 0u64..1000) {
+        let overlay = lds(256, 2.0, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF);
+        let survivors: HashSet<NodeId> = overlay
+            .members()
+            .filter(|_| rng.gen::<f64>() < 15.0 / 16.0)
+            .collect();
+        let stats = overlay.goodness_stats(&survivors, 0.75);
+        prop_assert!(
+            stats.good_share > 0.9,
+            "only {} of swarms stayed good",
+            stats.good_share
+        );
+    }
+
+    /// Every node is a member of its own swarm, and swarm membership is
+    /// symmetric in the distance sense: if v ∈ S(p_w) then w ∈ S(p_v).
+    #[test]
+    fn swarm_membership_is_symmetric(seed in 0u64..1000) {
+        let overlay = lds(96, 1.5, seed);
+        for id in overlay.members().take(16) {
+            let p = overlay.position(id).unwrap();
+            let swarm = overlay.swarm(p);
+            prop_assert!(swarm.contains(&id));
+            for other in swarm {
+                let q = overlay.position(other).unwrap();
+                prop_assert!(overlay.swarm(q).contains(&id));
+            }
+        }
+    }
+}
+
+#[test]
+fn degrees_grow_logarithmically_not_linearly() {
+    // The LDS degree is Θ(log n): going from n=128 to n=512 must not multiply
+    // the mean degree by anything close to 4.
+    let d128 = lds(128, 2.0, 1).to_graph().mean_out_degree();
+    let d512 = lds(512, 2.0, 1).to_graph().mean_out_degree();
+    assert!(d512 < 2.0 * d128, "degree grew too fast: {d128} -> {d512}");
+    assert!(d512 > 0.8 * d128, "degree should not shrink: {d128} -> {d512}");
+}
+
+#[test]
+fn ldg_has_constant_degree_but_dies_without_swarms() {
+    // The classical LDG (the baseline the LDS extends) has constant degree;
+    // removing a node's whole neighbourhood isolates it, which is exactly what
+    // swarms prevent.
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let ldg = two_steps_ahead::overlay::Ldg::random((0..256).map(NodeId), &mut rng);
+    assert!(ldg.max_degree() <= 4);
+    let graph = ldg.to_graph();
+    let victim = NodeId(0);
+    let neighborhood: HashSet<NodeId> = graph.neighbors(victim).iter().copied().collect();
+    let survivors: HashSet<NodeId> = graph
+        .vertices()
+        .filter(|v| !neighborhood.contains(v))
+        .collect();
+    let restricted = graph.restrict_to(&survivors);
+    assert_eq!(
+        restricted.out_degree(victim),
+        0,
+        "removing the constant-size neighbourhood isolates an LDG node"
+    );
+}

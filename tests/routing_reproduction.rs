@@ -1,0 +1,106 @@
+//! Integration tests for Section 4: routing (Lemma 9-12) and sampling
+//! (Lemma 13) measured end to end over routable series of LDS overlays.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use two_steps_ahead::analysis::{fit_proportional, uniformity};
+use two_steps_ahead::overlay::{Interval, Lds, OverlayParams, Position};
+use two_steps_ahead::routing::{
+    sample_many, trajectory_crossings, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim,
+};
+use two_steps_ahead::sim::NodeId;
+
+fn series(n: usize, seed: u64) -> RoutableSeries {
+    RoutableSeries::new(
+        OverlayParams::with_default_c(n),
+        seed,
+        (0..n as u64).map(NodeId),
+    )
+}
+
+#[test]
+fn lemma9_dilation_and_delivery_under_quarter_failures() {
+    let s = series(256, 1);
+    let lambda = s.params().lambda() as u64;
+    let config = RoutingConfig::default()
+        .with_replication(4)
+        .with_holder_failure(0.25)
+        .with_seed(2);
+    let report = RoutingSim::new(&s, config).route_all(0, &uniform_workload(&s, 1, 3));
+    assert!(report.delivery_rate() > 0.97, "delivery {}", report.delivery_rate());
+    assert_eq!(report.dilation, 2 * lambda + 2);
+    for o in report.outcomes.iter().filter(|o| o.delivered) {
+        assert_eq!(o.rounds, 2 * lambda + 2, "dilation must be exactly 2λ+2");
+    }
+}
+
+#[test]
+fn lemma9_congestion_grows_linearly_in_k() {
+    let s = series(256, 4);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for k in [1usize, 2, 4] {
+        let report = RoutingSim::new(&s, RoutingConfig::default().with_seed(5))
+            .route_all(0, &uniform_workload(&s, k, 7 + k as u64));
+        xs.push(k as f64);
+        ys.push(report.max_congestion as f64);
+    }
+    let (_, r2) = fit_proportional(&xs, &ys);
+    assert!(r2 > 0.8, "congestion should scale ~linearly with k (R² = {r2})");
+    assert!(ys[2] > ys[0], "more load, more congestion");
+}
+
+#[test]
+fn lemma12_trajectory_crossings_match_expectation() {
+    let s = series(512, 6);
+    let overlay = s.overlay(0);
+    let k = 2usize;
+    let msgs = uniform_workload(&s, k, 8);
+    let interval = Interval::around(Position::new(0.37), 0.05);
+    let lambda = s.params().lambda() as usize;
+    // Expectation per Lemma 12: k * n * |I| crossings at every step.
+    let expected = k as f64 * 512.0 * interval.length();
+    for j in [1usize, lambda / 2, lambda] {
+        let crossings = trajectory_crossings(&overlay, &msgs, j, &interval) as f64;
+        assert!(
+            crossings > expected * 0.5 && crossings < expected * 1.7,
+            "step {j}: crossings {crossings} far from expectation {expected}"
+        );
+    }
+}
+
+#[test]
+fn lemma13_sampling_is_uniform_and_rarely_discarded() {
+    let n = 256;
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let overlay = Lds::random(
+        OverlayParams::with_default_c(n),
+        (0..n as u64).map(NodeId),
+        &mut rng,
+    );
+    let report = sample_many(&overlay, 50_000, 10);
+    assert!(report.discard_rate() < 0.6, "discard rate {}", report.discard_rate());
+    let uni = uniformity(&report.hits, n);
+    assert_eq!(report.distinct_nodes(), n, "every node must be reachable by sampling");
+    assert!(
+        uni.total_variation < 0.15,
+        "sampling far from uniform: {uni:?}"
+    );
+}
+
+#[test]
+fn routing_fails_gracefully_when_swarms_are_wiped_out() {
+    // With 90% of every swarm failing each step and no redundancy, messages
+    // must get lost — the delivery guarantee only holds for good swarms.
+    let s = series(128, 11);
+    let config = RoutingConfig::default()
+        .with_replication(1)
+        .with_holder_failure(0.9)
+        .with_seed(12);
+    let report = RoutingSim::new(&s, config).route_all(0, &uniform_workload(&s, 1, 13));
+    assert!(
+        report.delivery_rate() < 0.9,
+        "with 90% failures and r=1 some messages must be lost"
+    );
+}
