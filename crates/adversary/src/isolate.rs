@@ -151,7 +151,7 @@ impl Adversary for IsolateNewcomerAdversary {
                     }
                 }
                 departures.retain(|id| Some(*id) != self.victim);
-                let joins = spread_joins(&*view, &mut self.rng, departures.len(), &departures, 2);
+                let joins = spread_joins(view, &mut self.rng, departures.len(), &departures, 2);
                 ChurnPlan { departures, joins }
             }
         }
@@ -165,7 +165,11 @@ impl Adversary for IsolateNewcomerAdversary {
 /// A helper used by experiment E1 to decide whether the victim is isolated in
 /// a given communication graph: nobody sends to it and it sends to nobody that
 /// is still a member.
-pub fn victim_is_isolated(view_members: &[NodeId], graph_edges: &[(NodeId, NodeId)], victim: NodeId) -> bool {
+pub fn victim_is_isolated(
+    view_members: &[NodeId],
+    graph_edges: &[(NodeId, NodeId)],
+    victim: NodeId,
+) -> bool {
     if !view_members.contains(&victim) {
         return false; // it left the network, which is not the same as isolation
     }
@@ -208,7 +212,7 @@ impl Adversary for ErodeOldGuardAdversary {
             &self.protected.map(|p| vec![p]).unwrap_or_default(),
         );
         departures.truncate(budget);
-        let joins = spread_joins(&*view, &mut self.rng, departures.len(), &departures, 2);
+        let joins = spread_joins(view, &mut self.rng, departures.len(), &departures, 2);
         ChurnPlan { departures, joins }
     }
 
@@ -271,7 +275,10 @@ mod tests {
         sim.run(6);
         let victim = sim.adversary().victim();
         assert!(victim.is_some(), "a victim must have been injected");
-        assert!(sim.member_ids().contains(&victim.unwrap()), "the victim itself is never churned");
+        assert!(
+            sim.member_ids().contains(&victim.unwrap()),
+            "the victim itself is never churned"
+        );
     }
 
     #[test]
@@ -295,9 +302,18 @@ mod tests {
         let members = vec![NodeId(1), NodeId(2), NodeId(3)];
         let edges = vec![(NodeId(1), NodeId(2))];
         assert!(victim_is_isolated(&members, &edges, NodeId(3)));
-        assert!(!victim_is_isolated(&members, &edges, NodeId(1)), "node 1 talks to node 2");
-        assert!(!victim_is_isolated(&members, &edges, NodeId(2)), "node 2 is heard by node 1");
-        assert!(!victim_is_isolated(&members, &edges, NodeId(9)), "non-members are not isolated");
+        assert!(
+            !victim_is_isolated(&members, &edges, NodeId(1)),
+            "node 1 talks to node 2"
+        );
+        assert!(
+            !victim_is_isolated(&members, &edges, NodeId(2)),
+            "node 2 is heard by node 1"
+        );
+        assert!(
+            !victim_is_isolated(&members, &edges, NodeId(9)),
+            "non-members are not isolated"
+        );
     }
 
     #[test]
@@ -309,6 +325,13 @@ mod tests {
         sim.seed_nodes(16);
         sim.run(20);
         assert!(sim.member_ids().contains(&NodeId(0)));
-        assert!(sim.metrics().rounds().iter().map(|m| m.departures).sum::<usize>() > 10);
+        assert!(
+            sim.metrics()
+                .rounds()
+                .iter()
+                .map(|m| m.departures)
+                .sum::<usize>()
+                > 10
+        );
     }
 }

@@ -113,18 +113,23 @@ impl Adversary for JoinChainAdversary {
             .chain_head
             .filter(|id| view.contains(*id))
             .or_else(|| view.eligible_bootstraps().first().copied());
+        // The replacement joins below must not reuse the chain bootstrap:
+        // together with the chain join that could exceed the per-bootstrap
+        // fan-in and get the chain join rejected by the engine.
+        let mut join_exclude = departures.clone();
         if let Some(bootstrap) = chain_bootstrap {
             if !departures.contains(&bootstrap) {
                 joins.push(JoinPlan { bootstrap });
+                join_exclude.push(bootstrap);
             }
         }
         // Replace the eroded nodes to keep the population stable.
         let replacements = departures.len().saturating_sub(joins.len());
         joins.extend(spread_joins(
-            &*view,
+            view,
             &mut self.rng,
             replacements,
-            &departures,
+            &join_exclude,
             2,
         ));
 
@@ -165,14 +170,21 @@ mod tests {
         sim.seed_nodes(16);
         sim.run(12);
         let chain = sim.adversary().chain().to_vec();
-        assert!(chain.len() >= 8, "one chain link per round, got {}", chain.len());
+        assert!(
+            chain.len() >= 8,
+            "one chain link per round, got {}",
+            chain.len()
+        );
         // Only the head survives; earlier links are churned out.
         let alive: Vec<NodeId> = chain
             .iter()
             .copied()
             .filter(|id| sim.member_ids().contains(id))
             .collect();
-        assert!(alive.len() <= 2, "at most the newest links survive, got {alive:?}");
+        assert!(
+            alive.len() <= 2,
+            "at most the newest links survive, got {alive:?}"
+        );
     }
 
     #[test]
@@ -184,12 +196,7 @@ mod tests {
         sim.run(12);
         // Chain joins via one-round-old heads are rejected by the engine, so
         // the chain cannot grow beyond what old bootstrap nodes allow.
-        let rejected: usize = sim
-            .metrics()
-            .rounds()
-            .iter()
-            .map(|_| 0usize)
-            .sum::<usize>()
+        let rejected: usize = sim.metrics().rounds().iter().map(|_| 0usize).sum::<usize>()
             + sim.last_churn_outcome().rejected_joins.len();
         let chain_len = sim.adversary().chain().len();
         assert!(
@@ -205,7 +212,9 @@ mod tests {
         let mut sim = Simulator::new(config, adv, Box::new(|_, _| Idle));
         sim.seed_nodes(20);
         sim.run(15);
-        let survivors_from_v0 = (0..20u64).filter(|i| sim.member_ids().contains(&NodeId(*i))).count();
+        let survivors_from_v0 = (0..20u64)
+            .filter(|i| sim.member_ids().contains(&NodeId(*i)))
+            .count();
         assert!(
             survivors_from_v0 < 20,
             "the original node set must shrink under erosion"

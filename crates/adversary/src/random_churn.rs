@@ -56,7 +56,7 @@ impl RandomChurnAdversary {
 
 impl Adversary for RandomChurnAdversary {
     fn plan(&mut self, round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
-        if round % self.period != 0 {
+        if !round.is_multiple_of(self.period) {
             return ChurnPlan::none();
         }
         let budget = view.remaining_budget();
@@ -92,7 +92,11 @@ mod tests {
         fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>, _inbox: &[Envelope<()>]) {}
     }
 
-    fn run(adversary: RandomChurnAdversary, rules: ChurnRules, rounds: u64) -> Simulator<Idle, RandomChurnAdversary> {
+    fn run(
+        adversary: RandomChurnAdversary,
+        rules: ChurnRules,
+        rounds: u64,
+    ) -> Simulator<Idle, RandomChurnAdversary> {
         let config = SimConfig::default().with_churn_rules(rules);
         let mut sim = Simulator::new(config, adversary, Box::new(|_, _| Idle));
         sim.seed_nodes(64);
@@ -113,7 +117,12 @@ mod tests {
         };
         let sim = run(adv, rules, 10);
         assert_eq!(sim.node_count(), 64, "joins replace departures");
-        assert!(sim.metrics().rounds().iter().skip(2).any(|m| m.departures > 0));
+        assert!(sim
+            .metrics()
+            .rounds()
+            .iter()
+            .skip(2)
+            .any(|m| m.departures > 0));
     }
 
     #[test]
@@ -149,7 +158,10 @@ mod tests {
             .iter()
             .filter(|m| m.departures > 0 || m.joins > 0)
             .count();
-        assert!(active_rounds <= 2, "only rounds 0 and 4 may churn, got {active_rounds}");
+        assert!(
+            active_rounds <= 2,
+            "only rounds 0 and 4 may churn, got {active_rounds}"
+        );
     }
 
     #[test]

@@ -52,7 +52,12 @@ impl TargetedSwarmAdversary {
 
     /// Chooses the victim set from the latest visible graph: a random pivot
     /// and its outgoing neighbourhood, breadth-first until the budget is used.
-    fn victims(&mut self, graph: &CommGraph, view: &KnowledgeView<'_>, limit: usize) -> Vec<NodeId> {
+    fn victims(
+        &mut self,
+        graph: &CommGraph,
+        view: &KnowledgeView<'_>,
+        limit: usize,
+    ) -> Vec<NodeId> {
         let mut members: Vec<NodeId> = graph
             .members
             .iter()
@@ -92,7 +97,7 @@ impl TargetedSwarmAdversary {
 
 impl Adversary for TargetedSwarmAdversary {
     fn plan(&mut self, round: Round, view: &KnowledgeView<'_>) -> ChurnPlan {
-        if round % self.period != 0 {
+        if !round.is_multiple_of(self.period) {
             return ChurnPlan::none();
         }
         let Some(graph) = view.latest_topology().cloned() else {
@@ -160,7 +165,11 @@ impl Adversary for DegreeAttackAdversary {
             .map(|id| (graph.out_degree(id) + graph.in_degree(id), id))
             .collect();
         by_degree.sort_by(|a, b| b.cmp(a));
-        let departures: Vec<NodeId> = by_degree.into_iter().take(limit).map(|(_, id)| id).collect();
+        let departures: Vec<NodeId> = by_degree
+            .into_iter()
+            .take(limit)
+            .map(|(_, id)| id)
+            .collect();
         let joins = if self.replace_departures {
             spread_joins(view, &mut self.rng, departures.len(), &departures, 2)
         } else {
@@ -204,7 +213,10 @@ mod tests {
         let adv = DegreeAttackAdversary::new(1, 1);
         let config = SimConfig::default()
             .with_churn_rules(rules())
-            .with_lateness(Lateness { topology: 2, state: 100 });
+            .with_lateness(Lateness {
+                topology: 2,
+                state: 100,
+            });
         let mut sim = Simulator::new(config, adv, Box::new(|_, _| Star));
         sim.seed_nodes(16);
         sim.run(5);
@@ -223,7 +235,10 @@ mod tests {
                 window: 1000,
                 ..ChurnRules::default()
             })
-            .with_lateness(Lateness { topology: 2, state: 100 });
+            .with_lateness(Lateness {
+                topology: 2,
+                state: 100,
+            });
         let mut sim = Simulator::new(config, adv, Box::new(|_, _| Star));
         sim.seed_nodes(32);
         sim.run(6);
@@ -234,7 +249,10 @@ mod tests {
             .map(|m| m.departures + m.joins)
             .sum();
         assert!(total_events <= 12);
-        assert!(sim.node_count() >= 26, "departures are replaced where budget allows");
+        assert!(
+            sim.node_count() >= 26,
+            "departures are replaced where budget allows"
+        );
     }
 
     #[test]
@@ -246,7 +264,11 @@ mod tests {
         let mut sim = Simulator::new(config, adv, Box::new(|_, _| Star));
         sim.seed_nodes(16);
         sim.run(4);
-        assert_eq!(sim.node_count(), 16, "an oblivious view gives the strategy nothing to target");
+        assert_eq!(
+            sim.node_count(),
+            16,
+            "an oblivious view gives the strategy nothing to target"
+        );
     }
 
     #[test]

@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f(123.456), "123");
-        assert_eq!(fmt_f(3.14159), "3.14");
+        assert_eq!(fmt_f(2.46913), "2.47");
         assert_eq!(fmt_f(0.12345), "0.1235");
         assert_eq!(fmt_bool(true), "yes");
         assert_eq!(fmt_bool(false), "no");

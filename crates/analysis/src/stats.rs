@@ -127,7 +127,11 @@ pub fn fit_proportional(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
     let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - a * x).powi(2)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, r2)
 }
 

@@ -54,7 +54,13 @@ pub fn uniformity<K: std::hash::Hash + Eq>(
     let mut max = 0usize;
     let mut min = usize::MAX;
     let mut seen = 0usize;
-    for &count in hits.values() {
+    // Sum in a fixed order: HashMap iteration order is randomized per
+    // process, and float addition is not associative, so summing in hash
+    // order would make the last bits of the statistics differ between
+    // otherwise identical runs.
+    let mut counts: Vec<usize> = hits.values().copied().collect();
+    counts.sort_unstable();
+    for count in counts {
         chi += (count as f64 - expected).powi(2) / expected;
         tv += (count as f64 / samples as f64 - 1.0 / categories as f64).abs();
         max = max.max(count);

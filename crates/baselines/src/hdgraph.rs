@@ -84,7 +84,11 @@ mod tests {
         let g = HdGraph::random(nodes(10), 1, &mut rng);
         let graph = g.to_graph();
         assert!(graph.is_connected());
-        assert_eq!(graph.edge_count(), 20, "10 undirected cycle edges = 20 directed");
+        assert_eq!(
+            graph.edge_count(),
+            20,
+            "10 undirected cycle edges = 20 directed"
+        );
     }
 
     #[test]

@@ -12,13 +12,13 @@ use std::collections::HashSet;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use tsa_overlay::OverlayGraph;
 use tsa_sim::NodeId;
 
 /// How the trial spends its removal budget.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AttackMode {
     /// Remove uniformly random nodes (oblivious adversary).
     Random,
@@ -29,7 +29,7 @@ pub enum AttackMode {
 }
 
 /// Result of one resilience trial.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ResilienceOutcome {
     /// Nodes before the attack.
     pub nodes_before: usize,
@@ -91,10 +91,7 @@ pub fn attack_trial<R: Rng + ?Sized>(
         }
     }
 
-    let survivors: HashSet<NodeId> = graph
-        .vertices()
-        .filter(|v| !removed.contains(v))
-        .collect();
+    let survivors: HashSet<NodeId> = graph.vertices().filter(|v| !removed.contains(v)).collect();
     let restricted = graph.restrict_to(&survivors);
     let isolated = survivors
         .iter()

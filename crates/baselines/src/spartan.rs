@@ -29,7 +29,11 @@ pub struct SpartanOverlay {
 impl SpartanOverlay {
     /// Distributes `nodes` over a wrapped butterfly with committees of size
     /// roughly `committee_size`.
-    pub fn build<R: Rng + ?Sized>(mut nodes: Vec<NodeId>, committee_size: usize, rng: &mut R) -> Self {
+    pub fn build<R: Rng + ?Sized>(
+        mut nodes: Vec<NodeId>,
+        committee_size: usize,
+        rng: &mut R,
+    ) -> Self {
         nodes.shuffle(rng);
         let committee_size = committee_size.max(1);
         let total_committees = (nodes.len() / committee_size).max(1);
@@ -90,7 +94,8 @@ impl SpartanOverlay {
                 }
                 // Butterfly edges to the next level (wrapped).
                 let next_level = (level + 1) % self.levels;
-                let bit = 1usize << (level % usize::BITS as usize).min(self.per_level.trailing_zeros() as usize);
+                let bit = 1usize
+                    << (level % usize::BITS as usize).min(self.per_level.trailing_zeros() as usize);
                 let straight = idx;
                 let cross = idx ^ bit.min(self.per_level / 2);
                 for &target in [straight, cross].iter() {
@@ -123,7 +128,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let s = SpartanOverlay::build(nodes(256), 8, &mut rng);
         assert!(s.levels >= 1);
-        assert!(s.min_committee_size() >= 1, "every virtual node needs a committee");
+        assert!(
+            s.min_committee_size() >= 1,
+            "every virtual node needs a committee"
+        );
         assert!(s.to_graph().is_connected());
     }
 

@@ -3,22 +3,23 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tsa_adversary::RandomChurnAdversary;
-use tsa_bench::experiment_params;
-use tsa_core::MaintenanceHarness;
+use tsa_bench::experiment_scenario;
+use tsa_scenario::{AdversarySpec, ChurnSpec};
 
 fn bench_maintenance_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("maintenance_round");
     group.sample_size(10);
     for &n in &[48usize, 96] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let params = experiment_params(n);
-            let mut harness =
-                MaintenanceHarness::new(params, RandomChurnAdversary::new(1, 3), 7);
-            harness.run_bootstrap();
+            let mut run = experiment_scenario(n)
+                .churn(ChurnSpec::paper())
+                .adversary(AdversarySpec::random(1, 3))
+                .seed(7)
+                .build();
+            run.run_bootstrap();
             b.iter(|| {
-                harness.step();
-                std::hint::black_box(harness.round())
+                run.step();
+                std::hint::black_box(run.round())
             });
         });
     }
@@ -29,11 +30,13 @@ fn bench_bootstrap(c: &mut Criterion) {
     let mut group = c.benchmark_group("bootstrap_phase");
     group.sample_size(10);
     group.bench_function("n48", |b| {
-        let params = experiment_params(48);
         b.iter(|| {
-            let mut harness = MaintenanceHarness::without_churn(params, 11);
-            harness.run_bootstrap();
-            std::hint::black_box(harness.report().participating)
+            let mut run = experiment_scenario(48)
+                .churn(ChurnSpec::none())
+                .seed(11)
+                .build();
+            run.run_bootstrap();
+            std::hint::black_box(run.report().participating)
         });
     });
     group.finish();

@@ -53,5 +53,10 @@ fn bench_trajectory(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lds_build, bench_swarm_queries, bench_trajectory);
+criterion_group!(
+    benches,
+    bench_lds_build,
+    bench_swarm_queries,
+    bench_trajectory
+);
 criterion_main!(benches);

@@ -4,31 +4,35 @@
 //! from the rest of the protocol) under a fixed 25% per-step holder failure.
 
 use tsa_analysis::{fmt_f, Table};
+use tsa_bench::write_bench_json;
 use tsa_overlay::OverlayParams;
-use tsa_routing::{uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
-use tsa_sim::NodeId;
+use tsa_scenario::{Scenario, ScenarioOutcome};
 
 fn main() {
     let n = 256usize;
+    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
 
     let mut table = Table::new(
         "Ablation: swarm-radius parameter c (r = 3, 25% holder failure, n = 256)",
         &["c", "swarm radius", "delivery rate", "max congestion"],
     );
     for &c in &[0.5f64, 1.0, 1.5, 2.0, 3.0] {
-        let params = OverlayParams::new(n, c);
-        let series = RoutableSeries::new(params, 3, (0..n as u64).map(NodeId));
-        let config = RoutingConfig::default()
+        let outcome = Scenario::routing(n)
+            .with_c(c)
             .with_replication(3)
-            .with_holder_failure(0.25)
-            .with_seed(17);
-        let report = RoutingSim::new(&series, config).route_all(0, &uniform_workload(&series, 1, 5));
+            .holder_failure(0.25)
+            .messages_per_node(1)
+            .seed(3)
+            .workload_seed(5)
+            .run(0);
+        let r = outcome.routing.expect("routing outcome");
         table.row(vec![
             fmt_f(c),
-            fmt_f(params.swarm_radius()),
-            fmt_f(report.delivery_rate()),
-            report.max_congestion.to_string(),
+            fmt_f(OverlayParams::new(n, c).swarm_radius()),
+            fmt_f(r.delivery_rate),
+            r.max_congestion.to_string(),
         ]);
+        outcomes.push(outcome);
     }
     println!("{}", table.to_markdown());
 
@@ -36,24 +40,27 @@ fn main() {
         "Ablation: replication factor r (c = 2, 25% holder failure, n = 256)",
         &["r", "delivery rate", "max congestion", "total copies"],
     );
-    let params = OverlayParams::with_default_c(n);
-    let series = RoutableSeries::new(params, 4, (0..n as u64).map(NodeId));
     for &r in &[1usize, 2, 3, 4, 6] {
-        let config = RoutingConfig::default()
+        let outcome = Scenario::routing(n)
             .with_replication(r)
-            .with_holder_failure(0.25)
-            .with_seed(19);
-        let report = RoutingSim::new(&series, config).route_all(0, &uniform_workload(&series, 1, 7));
+            .holder_failure(0.25)
+            .messages_per_node(1)
+            .seed(4)
+            .workload_seed(7)
+            .run(0);
+        let report = outcome.routing.expect("routing outcome");
         table.row(vec![
             r.to_string(),
-            fmt_f(report.delivery_rate()),
+            fmt_f(report.delivery_rate),
             report.max_congestion.to_string(),
             report.total_copies.to_string(),
         ]);
+        outcomes.push(outcome);
     }
     println!("{}", table.to_markdown());
     println!(
         "Small c starves swarms (delivery collapses); growing c or r buys reliability at a\n\
          linear cost in congestion — the trade-off the paper's constants encode."
     );
+    write_bench_json("exp_ablation", &outcomes);
 }

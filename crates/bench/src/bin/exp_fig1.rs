@@ -4,17 +4,39 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
 
 use tsa_analysis::{fmt_f, Summary, Table};
+use tsa_bench::write_bench_json;
 use tsa_overlay::{Lds, OverlayParams, Position};
 use tsa_sim::NodeId;
 
+/// One measured row of the Figure-1 reproduction.
+#[derive(Serialize)]
+struct Fig1Row {
+    n: usize,
+    lambda: u32,
+    swarm_size_mean: f64,
+    swarm_size_min: f64,
+    list_edges_per_node: f64,
+    long_distance_edges_per_node: f64,
+    total_degree: f64,
+    swarm_property_violations: usize,
+    swarm_property_checks: usize,
+}
+
 fn main() {
+    let mut rows: Vec<Fig1Row> = Vec::new();
     let mut table = Table::new(
         "Figure 1 (measured): LDS neighbourhood structure",
         &[
-            "n", "lambda", "swarm size (mean/min)", "list edges/node", "long-distance edges/node",
-            "total degree", "swarm property violations",
+            "n",
+            "lambda",
+            "swarm size (mean/min)",
+            "list edges/node",
+            "long-distance edges/node",
+            "total degree",
+            "swarm property violations",
         ],
     );
     for &n in &[256usize, 1024, 4096] {
@@ -24,26 +46,46 @@ fn main() {
 
         let swarm_sizes = Summary::of_counts(lds.index().swarm_size_distribution(&params));
         let list: Vec<usize> = lds.members().map(|v| lds.list_neighbors(v).len()).collect();
-        let db: Vec<usize> = lds.members().map(|v| lds.debruijn_neighbors(v).len()).collect();
+        let db: Vec<usize> = lds
+            .members()
+            .map(|v| lds.debruijn_neighbors(v).len())
+            .collect();
         let total: Vec<usize> = lds.members().map(|v| lds.neighbors(v).len()).collect();
 
+        let checks = 2_000usize;
         let mut violations = 0usize;
-        for _ in 0..2_000 {
+        for _ in 0..checks {
             let p = Position::new(rng.gen::<f64>());
             if !lds.swarm_property_holds_at(p) {
                 violations += 1;
             }
         }
 
+        let row = Fig1Row {
+            n,
+            lambda: params.lambda(),
+            swarm_size_mean: swarm_sizes.mean,
+            swarm_size_min: swarm_sizes.min,
+            list_edges_per_node: Summary::of_counts(list).mean,
+            long_distance_edges_per_node: Summary::of_counts(db).mean,
+            total_degree: Summary::of_counts(total).mean,
+            swarm_property_violations: violations,
+            swarm_property_checks: checks,
+        };
         table.row(vec![
-            n.to_string(),
-            params.lambda().to_string(),
-            format!("{} / {}", fmt_f(swarm_sizes.mean), fmt_f(swarm_sizes.min)),
-            fmt_f(Summary::of_counts(list).mean),
-            fmt_f(Summary::of_counts(db).mean),
-            fmt_f(Summary::of_counts(total).mean),
-            format!("{violations} / 2000"),
+            row.n.to_string(),
+            row.lambda.to_string(),
+            format!(
+                "{} / {}",
+                fmt_f(row.swarm_size_mean),
+                fmt_f(row.swarm_size_min)
+            ),
+            fmt_f(row.list_edges_per_node),
+            fmt_f(row.long_distance_edges_per_node),
+            fmt_f(row.total_degree),
+            format!("{violations} / {checks}"),
         ]);
+        rows.push(row);
     }
     println!("{}", table.to_markdown());
     println!(
@@ -51,4 +93,5 @@ fn main() {
          and around both de Bruijn images of its position (long-distance edges), so every\n\
          swarm is adjacent to its image swarms — the structure sketched in Figure 1."
     );
+    write_bench_json("exp_fig1", &rows);
 }

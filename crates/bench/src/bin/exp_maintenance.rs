@@ -8,40 +8,32 @@
 //! * E10 (Lemmas 20/22): fresh-node connect load on mature nodes stays ≤ 2δ;
 //! * E11 (Lemma 24): per-node congestion versus `log³ n`.
 
-use tsa_adversary::{DegreeAttackAdversary, RandomChurnAdversary, TargetedSwarmAdversary};
 use tsa_analysis::{fmt_bool, fmt_f, Summary, Table};
-use tsa_bench::experiment_params;
-use tsa_core::MaintenanceHarness;
-use tsa_sim::{Adversary, ChurnRules};
+use tsa_bench::{experiment_scenario, write_bench_json};
+use tsa_scenario::{AdversarySpec, ChurnSpec, ScenarioOutcome};
 
-fn churn_rules(params: &tsa_core::MaintenanceParams) -> ChurnRules {
-    ChurnRules {
-        max_events: Some(params.overlay.n / 4),
-        window: params.overlay.churn_window(),
-        bootstrap_rounds: params.bootstrap_rounds(),
-        ..ChurnRules::default()
-    }
-}
-
-fn run_one<A: Adversary>(n: usize, adversary: A, seed: u64, table: &mut Table) {
-    let params = experiment_params(n);
-    let name = adversary.name();
-    let mut harness = MaintenanceHarness::with_rules(
-        params,
-        adversary,
-        seed,
-        churn_rules(&params),
-        params.paper_lateness(),
-    );
-    harness.run_bootstrap();
-    harness.run(3 * params.maturity_age());
-    let report = harness.report();
-    let connect_load = harness.connect_load();
+fn run_one(
+    n: usize,
+    adversary: AdversarySpec,
+    seed: u64,
+    table: &mut Table,
+    outcomes: &mut Vec<ScenarioOutcome>,
+) {
+    let mut run = experiment_scenario(n)
+        .churn(ChurnSpec::budget(n / 4))
+        .adversary(adversary)
+        .seed(seed)
+        .build();
+    let params = *run.params();
+    run.run_bootstrap();
+    run.run(3 * params.maturity_age());
+    let report = run.report();
+    let connect_load = run.connect_load();
     let max_connects = connect_load.values().copied().max().unwrap_or(0);
     let lambda = params.lambda() as f64;
     table.row(vec![
         n.to_string(),
-        name.to_string(),
+        adversary.label().to_string(),
         fmt_bool(report.connected),
         fmt_f(report.largest_component_fraction),
         fmt_f(report.participation_rate),
@@ -50,9 +42,11 @@ fn run_one<A: Adversary>(n: usize, adversary: A, seed: u64, table: &mut Table) {
         report.max_congestion.to_string(),
         fmt_f(report.max_congestion as f64 / (lambda * lambda * lambda)),
     ]);
+    outcomes.push(run.into_outcome());
 }
 
 fn main() {
+    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
     let mut table = Table::new(
         "Theorem 14 (measured): overlay health after 3·(2λ+4) churned rounds at rate n/4 per window",
         &[
@@ -61,29 +55,65 @@ fn main() {
         ],
     );
     for &n in &[48usize, 96] {
-        run_one(n, RandomChurnAdversary::new(1, 101), 7, &mut table);
-        run_one(n, TargetedSwarmAdversary::new(1, 102), 7, &mut table);
-        run_one(n, DegreeAttackAdversary::new(1, 103), 7, &mut table);
+        run_one(
+            n,
+            AdversarySpec::random(1, 101),
+            7,
+            &mut table,
+            &mut outcomes,
+        );
+        run_one(
+            n,
+            AdversarySpec::targeted(1, 102),
+            7,
+            &mut table,
+            &mut outcomes,
+        );
+        run_one(
+            n,
+            AdversarySpec::degree(1, 103),
+            7,
+            &mut table,
+            &mut outcomes,
+        );
     }
     println!("{}", table.to_markdown());
 
     // E11: congestion scaling with n (no churn, pure protocol cost).
     let mut table = Table::new(
         "Lemma 24 (measured): per-node message load vs log³ n (steady state, no churn)",
-        &["n", "lambda", "mean msgs/node/round", "peak msgs/node/round", "peak / λ³"],
+        &[
+            "n",
+            "lambda",
+            "mean msgs/node/round",
+            "peak msgs/node/round",
+            "peak / λ³",
+        ],
     );
     for &n in &[48usize, 96, 160] {
-        let params = experiment_params(n);
-        let mut harness = MaintenanceHarness::without_churn(params, 5);
-        harness.run_bootstrap();
-        harness.run(6);
-        let rounds = harness.metrics().rounds();
-        let steady: Vec<&tsa_sim::RoundMetrics> = rounds
+        let mut run = experiment_scenario(n)
+            .churn(ChurnSpec::none())
+            .seed(5)
+            .build();
+        let params = *run.params();
+        run.run_bootstrap();
+        run.run(6);
+        let steady: Vec<f64> = run
+            .metrics()
+            .rounds()
             .iter()
             .skip(params.bootstrap_rounds() as usize)
+            .map(|m| m.mean_received_per_node)
             .collect();
-        let mean = Summary::of(&steady.iter().map(|m| m.mean_received_per_node).collect::<Vec<_>>());
-        let peak = steady.iter().map(|m| m.max_received_per_node).max().unwrap_or(0);
+        let peak = run
+            .metrics()
+            .rounds()
+            .iter()
+            .skip(params.bootstrap_rounds() as usize)
+            .map(|m| m.max_received_per_node)
+            .max()
+            .unwrap_or(0);
+        let mean = Summary::of(&steady);
         let l = params.lambda() as f64;
         table.row(vec![
             n.to_string(),
@@ -92,6 +122,7 @@ fn main() {
             peak.to_string(),
             fmt_f(peak as f64 / (l * l * l)),
         ]);
+        outcomes.push(run.into_outcome());
     }
     println!("{}", table.to_markdown());
     println!(
@@ -99,4 +130,5 @@ fn main() {
          connect load per mature node stays within 2δ (Lemma 22), and the peak per-node\n\
          message load stays a small constant multiple of λ³ as n grows (Lemma 24)."
     );
+    write_bench_json("exp_maintenance", &outcomes);
 }

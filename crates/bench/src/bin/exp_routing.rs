@@ -1,36 +1,65 @@
 //! Experiment E4/E5 — Lemmas 9–12: `A_ROUTING` delivery rate, exact dilation
 //! `2λ+2`, congestion `O(k log n)`, and trajectory-crossing counts.
 
+use serde::Serialize;
+
 use tsa_analysis::{fmt_f, Table};
+use tsa_bench::write_bench_json;
 use tsa_overlay::{Interval, OverlayParams, Position};
-use tsa_routing::{trajectory_crossings, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
+use tsa_routing::{trajectory_crossings, uniform_workload, RoutableSeries};
+use tsa_scenario::{Scenario, ScenarioOutcome};
 use tsa_sim::NodeId;
+
+/// One measured trajectory-crossing row (Lemma 12).
+#[derive(Serialize)]
+struct CrossingRow {
+    step: usize,
+    measured: usize,
+    predicted: f64,
+}
+
+/// Everything `exp_routing` measures, as written to `BENCH_exp_routing.json`.
+#[derive(Serialize)]
+struct RoutingBench {
+    scenarios: Vec<ScenarioOutcome>,
+    crossings: Vec<CrossingRow>,
+}
 
 fn main() {
     // Lemma 9: delivery + dilation + congestion over n and k.
+    let mut scenarios: Vec<ScenarioOutcome> = Vec::new();
     let mut table = Table::new(
         "Lemma 9 (measured): A_ROUTING with 25% holder failure per step",
-        &["n", "lambda", "k", "delivered", "dilation (rounds)", "max congestion", "congestion / (k·λ)"],
+        &[
+            "n",
+            "lambda",
+            "k",
+            "delivered",
+            "dilation (rounds)",
+            "max congestion",
+            "congestion / (k·λ)",
+        ],
     );
     for &n in &[128usize, 256, 512] {
-        let params = OverlayParams::with_default_c(n);
-        let series = RoutableSeries::new(params, 7, (0..n as u64).map(NodeId));
         for k in [1usize, 4] {
-            let config = RoutingConfig::default()
+            let outcome = Scenario::routing(n)
                 .with_replication(4)
-                .with_holder_failure(0.25)
-                .with_seed(5 + k as u64);
-            let report = RoutingSim::new(&series, config)
-                .route_all(0, &uniform_workload(&series, k, 3 + k as u64));
+                .holder_failure(0.25)
+                .messages_per_node(k)
+                .seed(7)
+                .workload_seed(3 + k as u64)
+                .run(0);
+            let r = outcome.routing.expect("routing outcome");
             table.row(vec![
                 n.to_string(),
-                params.lambda().to_string(),
+                r.lambda.to_string(),
                 k.to_string(),
-                format!("{}/{}", report.delivered, report.total),
-                report.dilation.to_string(),
-                report.max_congestion.to_string(),
-                fmt_f(report.max_congestion as f64 / (k as f64 * params.lambda() as f64)),
+                format!("{}/{}", r.delivered, r.total),
+                r.dilation.to_string(),
+                r.max_congestion.to_string(),
+                fmt_f(r.max_congestion as f64 / (k as f64 * r.lambda as f64)),
             ]);
+            scenarios.push(outcome);
         }
     }
     println!("{}", table.to_markdown());
@@ -44,13 +73,30 @@ fn main() {
     let overlay = series.overlay(0);
     let interval = Interval::around(Position::new(0.42), 0.05);
     let expected = k as f64 * n as f64 * interval.length();
+    let mut crossings: Vec<CrossingRow> = Vec::new();
     let mut table = Table::new(
         "Lemma 12 (measured): trajectories crossing an interval of length 0.1 (n = 512, k = 2)",
-        &["trajectory step j", "measured crossings", "predicted k·n·|I|"],
+        &[
+            "trajectory step j",
+            "measured crossings",
+            "predicted k·n·|I|",
+        ],
     );
     for j in [1usize, 3, 5, 7, params.lambda() as usize] {
-        let crossings = trajectory_crossings(&overlay, &msgs, j, &interval);
-        table.row(vec![j.to_string(), crossings.to_string(), fmt_f(expected)]);
+        let measured = trajectory_crossings(&overlay, &msgs, j, &interval);
+        table.row(vec![j.to_string(), measured.to_string(), fmt_f(expected)]);
+        crossings.push(CrossingRow {
+            step: j,
+            measured,
+            predicted: expected,
+        });
     }
     println!("{}", table.to_markdown());
+    write_bench_json(
+        "exp_routing",
+        &RoutingBench {
+            scenarios,
+            crossings,
+        },
+    );
 }

@@ -1,39 +1,43 @@
 //! Experiment E6 — Lemma 13: `A_SAMPLING` chooses every node with the same
 //! probability and discards at most half of all attempts.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-use tsa_analysis::{fmt_f, uniformity, Summary, Table};
-use tsa_overlay::{Lds, OverlayParams};
-use tsa_routing::sample_many;
-use tsa_sim::NodeId;
+use tsa_analysis::{fmt_f, Table};
+use tsa_bench::write_bench_json;
+use tsa_scenario::{Scenario, ScenarioOutcome};
 
 fn main() {
+    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
     let mut table = Table::new(
         "Lemma 13 (measured): A_SAMPLING uniformity (100k attempts per size)",
         &[
-            "n", "discard rate (bound 0.5)", "distinct nodes hit", "hits mean", "hits min", "hits max",
-            "total variation", "chi² / df",
+            "n",
+            "discard rate (bound 0.5)",
+            "distinct nodes hit",
+            "hits mean",
+            "hits min",
+            "hits max",
+            "total variation",
+            "chi² / df",
         ],
     );
     for &n in &[128usize, 256, 512] {
-        let params = OverlayParams::with_default_c(n);
-        let mut rng = ChaCha8Rng::seed_from_u64(21 + n as u64);
-        let overlay = Lds::random(params, (0..n as u64).map(NodeId), &mut rng);
-        let report = sample_many(&overlay, 100_000, 31 + n as u64);
-        let summary = Summary::of_counts(report.hits.values().copied());
-        let uni = uniformity(&report.hits, n);
+        let outcome = Scenario::sampling(n)
+            .attempts(100_000)
+            .seed(21 + n as u64)
+            .workload_seed(31 + n as u64)
+            .run(0);
+        let s = outcome.sampling.expect("sampling outcome");
         table.row(vec![
             n.to_string(),
-            fmt_f(report.discard_rate()),
-            format!("{}/{}", report.distinct_nodes(), n),
-            fmt_f(summary.mean),
-            fmt_f(summary.min),
-            fmt_f(summary.max),
-            fmt_f(uni.total_variation),
-            fmt_f(uni.chi_square / uni.degrees_of_freedom as f64),
+            fmt_f(s.discard_rate),
+            format!("{}/{}", s.distinct_nodes, n),
+            fmt_f(s.hits_mean),
+            s.hits_min.to_string(),
+            s.hits_max.to_string(),
+            fmt_f(s.total_variation),
+            fmt_f(s.chi_square / s.degrees_of_freedom as f64),
         ]);
+        outcomes.push(outcome);
     }
     println!("{}", table.to_markdown());
     println!(
@@ -41,4 +45,5 @@ fn main() {
          distance to the uniform distribution is small, and the discard rate stays at the\n\
          Lemma 13 bound of one half."
     );
+    write_bench_json("exp_sampling", &outcomes);
 }

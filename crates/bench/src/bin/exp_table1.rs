@@ -9,93 +9,124 @@
 //! maintained LDS (this paper) is exercised through the full protocol against
 //! the 2-late targeted adversary.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-use tsa_adversary::TargetedSwarmAdversary;
 use tsa_analysis::{fmt_bool, fmt_f, Table};
-use tsa_baselines::{attack_trial, AttackMode, ChordSwarm, HdGraph, SpartanOverlay};
-use tsa_bench::experiment_params;
-use tsa_core::MaintenanceHarness;
-use tsa_overlay::{Lds, OverlayGraph, OverlayParams};
-use tsa_sim::{ChurnRules, NodeId};
+use tsa_bench::{experiment_scenario, write_bench_json};
+use tsa_scenario::{AdversarySpec, BaselineKind, ChurnSpec, Scenario, ScenarioOutcome};
 
-fn trial(name: &str, graph: &OverlayGraph, budget: usize, table: &mut Table, seed: u64) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let random = attack_trial(graph, budget, AttackMode::Random, &mut rng);
-    let targeted = attack_trial(graph, budget, AttackMode::TargetedNeighborhood, &mut rng);
-    // The budget a topology-aware adversary needs to eclipse (cut off) one
-    // node of a *static* overlay: the size of that node's fixed neighbourhood.
-    let eclipse_budget = graph
-        .vertices()
-        .map(|v| graph.out_degree(v))
-        .min()
-        .unwrap_or(0);
+fn trial(
+    kind: BaselineKind,
+    n: usize,
+    budget: usize,
+    seed: u64,
+    table: &mut Table,
+    outcomes: &mut Vec<ScenarioOutcome>,
+) {
+    // Same seed for both scenarios → both attack the identical structure.
+    let base = Scenario::baseline(kind)
+        .with_n(n)
+        .churn(ChurnSpec::budget(budget))
+        .seed(seed);
+    let random = base.adversary(AdversarySpec::random(1, seed)).run(0);
+    let targeted = base.adversary(AdversarySpec::targeted(1, seed)).run(0);
+    let rb = random.baseline.expect("baseline outcome");
+    let tb = targeted.baseline.expect("baseline outcome");
     table.row(vec![
-        name.to_string(),
+        kind.label().to_string(),
         "static".to_string(),
-        fmt_f(random.largest_component_fraction),
-        fmt_f(targeted.largest_component_fraction),
-        format!("{} + {}", targeted.removed, targeted.isolated_survivors),
-        eclipse_budget.to_string(),
+        fmt_f(rb.resilience.largest_component_fraction),
+        fmt_f(tb.resilience.largest_component_fraction),
+        format!(
+            "{} + {}",
+            tb.resilience.removed, tb.resilience.isolated_survivors
+        ),
+        tb.eclipse_budget.to_string(),
     ]);
+    outcomes.push(random);
+    outcomes.push(targeted);
 }
 
 fn main() {
     let n = 256usize;
     let budget = n / 4; // αn with α = 1/4: a harsh but survivable budget
-    let params = OverlayParams::with_default_c(n);
-    let nodes: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
-    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
 
     let mut table = Table::new(
         &format!("Table 1 (measured): survival of an {budget}-node churn burst, n = {n}"),
         &[
-            "overlay", "maintenance", "largest comp (random churn)", "largest comp (targeted churn)",
-            "nodes lost to targeted churn (removed + eclipsed)", "budget to eclipse one node",
+            "overlay",
+            "maintenance",
+            "largest comp (random churn)",
+            "largest comp (targeted churn)",
+            "nodes lost to targeted churn (removed + eclipsed)",
+            "budget to eclipse one node",
         ],
     );
 
-    let hd = HdGraph::random(nodes.clone(), 3, &mut rng).to_graph();
-    trial("H_d graph (Drees et al. [4])", &hd, budget, &mut table, 11);
-
-    let spartan = SpartanOverlay::build(nodes.clone(), params.lambda() as usize, &mut rng).to_graph();
-    trial("SPARTAN butterfly [2]", &spartan, budget, &mut table, 12);
-
-    let chord = ChordSwarm::random(params, nodes.clone(), &mut rng).to_graph();
-    trial("Chord with swarms [7]", &chord, budget, &mut table, 13);
-
-    let static_lds = Lds::random(params, nodes.clone(), &mut rng).to_graph();
-    trial("LDS, never reconfigured", &static_lds, budget, &mut table, 14);
+    trial(
+        BaselineKind::HdGraph,
+        n,
+        budget,
+        11,
+        &mut table,
+        &mut outcomes,
+    );
+    trial(
+        BaselineKind::Spartan,
+        n,
+        budget,
+        12,
+        &mut table,
+        &mut outcomes,
+    );
+    trial(
+        BaselineKind::ChordSwarm,
+        n,
+        budget,
+        13,
+        &mut table,
+        &mut outcomes,
+    );
+    trial(
+        BaselineKind::StaticLds,
+        n,
+        budget,
+        14,
+        &mut table,
+        &mut outcomes,
+    );
 
     // The maintained LDS: the full protocol against a 2-late targeted-swarm
     // adversary spending (roughly) the same budget over one churn window.
-    let mp = experiment_params(96);
-    let rules = ChurnRules {
-        max_events: Some(96 / 4),
-        window: mp.overlay.churn_window(),
-        bootstrap_rounds: mp.bootstrap_rounds(),
-        ..ChurnRules::default()
-    };
-    let mut harness = MaintenanceHarness::with_rules(
-        mp,
-        TargetedSwarmAdversary::new(2, 5),
-        3,
-        rules,
-        mp.paper_lateness(),
-    );
-    harness.run_bootstrap();
-    harness.run(2 * mp.maturity_age());
-    let report = harness.report();
+    let mut run = experiment_scenario(96)
+        .churn(ChurnSpec::budget(96 / 4))
+        .adversary(AdversarySpec::targeted(2, 5))
+        .seed(3)
+        .build();
+    let params = *run.params();
+    run.run_bootstrap();
+    run.run(2 * params.maturity_age());
+    let report = run.report();
     let unwired = report.mature_count - report.participating;
     table.row(vec![
         "LDS + maintenance (this paper)".to_string(),
         "rebuilt every 2 rounds".to_string(),
         "-".to_string(),
-        format!("{} ({})", fmt_f(report.largest_component_fraction), fmt_bool(report.connected)),
-        format!("{} churned + {} unwired", report.node_count.saturating_sub(report.participating).min(96), unwired),
+        format!(
+            "{} ({})",
+            fmt_f(report.largest_component_fraction),
+            fmt_bool(report.connected)
+        ),
+        format!(
+            "{} churned + {} unwired",
+            report
+                .node_count
+                .saturating_sub(report.participating)
+                .min(96),
+            unwired
+        ),
         "unbounded (positions relocate every 2 rounds)".to_string(),
     ]);
+    outcomes.push(run.into_outcome());
 
     println!("{}", table.to_markdown());
     println!(
@@ -108,4 +139,5 @@ fn main() {
          adversary) offers no such static target: the neighbourhood it observes is stale two\n\
          reconfigurations later, and every mature node stays wired in."
     );
+    write_bench_json("exp_table1", &outcomes);
 }

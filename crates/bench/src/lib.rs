@@ -3,7 +3,10 @@
 //! Each binary in `src/bin/` regenerates one exhibit of the paper (or one
 //! quantitative claim of a lemma/theorem); the Criterion benches in `benches/`
 //! measure the wall-clock cost of the core operations. `EXPERIMENTS.md` in the
-//! repository root records the outputs.
+//! repository root records the outputs. Every binary additionally writes its
+//! machine-readable results as `BENCH_<exp>.json` (serialized
+//! [`tsa_scenario::ScenarioOutcome`]s or experiment-specific rows), so the
+//! bench trajectory can be tracked across PRs.
 //!
 //! | binary            | exhibit / claim |
 //! |--------------------|-----------------|
@@ -16,7 +19,9 @@
 
 #![warn(missing_docs)]
 
+use serde::Serialize;
 use tsa_core::MaintenanceParams;
+use tsa_scenario::Scenario;
 
 /// The standard network sizes used by the experiments. They are deliberately
 /// modest so every experiment finishes in minutes on a laptop; the asymptotic
@@ -33,6 +38,26 @@ pub fn experiment_params(n: usize) -> MaintenanceParams {
         .with_replication(2)
 }
 
+/// The maintained-LDS scenario all experiments start from: the same reduced
+/// constants as [`experiment_params`], expressed through the builder.
+pub fn experiment_scenario(n: usize) -> Scenario {
+    Scenario::maintained_lds(n)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+}
+
+/// Writes `results` as pretty-printed JSON to `BENCH_<exp>.json` in the
+/// current directory and reports the path on stdout.
+pub fn write_bench_json<T: Serialize>(exp: &str, results: &T) {
+    let path = format!("BENCH_{exp}.json");
+    let json = serde_json::to_string_pretty(results).expect("bench results serialize");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\n[machine-readable results written to {path}]"),
+        Err(err) => eprintln!("warning: could not write {path}: {err}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,5 +68,11 @@ mod tests {
         let large = experiment_params(256);
         assert!(large.lambda() > small.lambda());
         assert_eq!(small.replication, 2);
+    }
+
+    #[test]
+    fn experiment_scenario_matches_experiment_params() {
+        let scenario = experiment_scenario(96);
+        assert_eq!(scenario.spec().maintenance_params(), experiment_params(96));
     }
 }

@@ -16,7 +16,7 @@ use crate::params::MaintenanceParams;
 use crate::snapshot::NodeSnapshot;
 
 /// Health report of the maintained overlay at one instant.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct MaintenanceReport {
     /// The round the report was taken after.
     pub round: Round,
@@ -60,15 +60,29 @@ pub struct MaintenanceHarness<A: Adversary> {
 
 impl MaintenanceHarness<NullAdversary> {
     /// A harness with no churn at all (bootstrap and steady-state testing).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `tsa_scenario::Scenario::maintained_lds(n).churn(ChurnSpec::none())` instead"
+    )]
     pub fn without_churn(params: MaintenanceParams, seed: u64) -> Self {
-        Self::new(params, NullAdversary, seed)
+        Self::assemble(
+            params,
+            NullAdversary,
+            seed,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+        )
     }
 }
 
 impl<A: Adversary> MaintenanceHarness<A> {
     /// Creates a harness with the paper's churn rules and lateness.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `tsa_scenario::Scenario::maintained_lds(n)` with the fluent builder instead"
+    )]
     pub fn new(params: MaintenanceParams, adversary: A, seed: u64) -> Self {
-        Self::with_rules(
+        Self::assemble(
             params,
             adversary,
             seed,
@@ -77,9 +91,25 @@ impl<A: Adversary> MaintenanceHarness<A> {
         )
     }
 
-    /// Creates a harness with explicit churn rules and adversary lateness
-    /// (used by the impossibility and ablation experiments).
+    /// Creates a harness with explicit churn rules and adversary lateness.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `tsa_scenario::Scenario::maintained_lds(n).churn(..).adversary(..).lateness(..)` instead"
+    )]
     pub fn with_rules(
+        params: MaintenanceParams,
+        adversary: A,
+        seed: u64,
+        churn_rules: ChurnRules,
+        lateness: Lateness,
+    ) -> Self {
+        Self::assemble(params, adversary, seed, churn_rules, lateness)
+    }
+
+    /// Wires the protocol, an adversary and the simulator together from fully
+    /// explicit parts. This is the low-level entry point the `tsa-scenario`
+    /// builder sits on; experiments should prefer `tsa_scenario::Scenario`.
+    pub fn assemble(
         params: MaintenanceParams,
         adversary: A,
         seed: u64,
@@ -178,8 +208,7 @@ impl<A: Adversary> MaintenanceHarness<A> {
             .copied()
             .filter(|(_, s)| s.participating)
             .collect();
-        let participating_ids: HashSet<NodeId> =
-            participating.iter().map(|(id, _)| *id).collect();
+        let participating_ids: HashSet<NodeId> = participating.iter().map(|(id, _)| *id).collect();
 
         // The actual neighbour graph over participating nodes.
         let mut graph = OverlayGraph::with_vertices(participating_ids.iter().copied());
@@ -281,10 +310,20 @@ mod tests {
             .with_replication(2)
     }
 
+    fn without_churn(params: MaintenanceParams, seed: u64) -> MaintenanceHarness<NullAdversary> {
+        MaintenanceHarness::assemble(
+            params,
+            NullAdversary,
+            seed,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+        )
+    }
+
     #[test]
     fn bootstrap_produces_a_connected_participating_overlay() {
         let params = small_params();
-        let mut h = MaintenanceHarness::without_churn(params, 1);
+        let mut h = without_churn(params, 1);
         h.run_bootstrap();
         // Run a couple of epochs beyond the bootstrap so the overlay is fully
         // CREATE-driven rather than genesis-driven.
@@ -305,7 +344,7 @@ mod tests {
     #[test]
     fn overlay_is_rebuilt_every_epoch() {
         let params = small_params();
-        let mut h = MaintenanceHarness::without_churn(params, 2);
+        let mut h = without_churn(params, 2);
         h.run_bootstrap();
         h.run(4);
         let a = h.ideal_positions();
@@ -330,7 +369,7 @@ mod tests {
     #[test]
     fn report_before_any_round_is_safe() {
         let params = small_params();
-        let h = MaintenanceHarness::without_churn(params, 3);
+        let h = without_churn(params, 3);
         let report = h.report();
         assert_eq!(report.node_count, 48);
         // Nothing has run yet, so nobody participates.

@@ -12,11 +12,22 @@
 //!   round-synchronous simulator together and produces health reports
 //!   (participation, connectivity, swarm sizes, congestion).
 //!
+//! Experiments should compose a harness through the `tsa-scenario` builder
+//! (`Scenario::maintained_lds(n)…`); the low-level entry point it sits on is
+//! [`MaintenanceHarness::assemble`]:
+//!
 //! ```no_run
 //! use tsa_core::{MaintenanceHarness, MaintenanceParams};
+//! use tsa_sim::NullAdversary;
 //!
 //! let params = MaintenanceParams::new(64).with_tau(4).with_replication(2);
-//! let mut harness = MaintenanceHarness::without_churn(params, 42);
+//! let mut harness = MaintenanceHarness::assemble(
+//!     params,
+//!     NullAdversary,
+//!     42,
+//!     params.paper_churn_rules(),
+//!     params.paper_lateness(),
+//! );
 //! harness.run_bootstrap();
 //! harness.run(10);
 //! let report = harness.report();

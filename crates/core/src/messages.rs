@@ -117,8 +117,14 @@ mod tests {
             .kind(),
             MsgKind::Create
         );
-        assert_eq!(ProtocolMsg::Token { owner: NodeId(1) }.kind(), MsgKind::Token);
-        assert_eq!(ProtocolMsg::Connect { node: NodeId(1) }.kind(), MsgKind::Connect);
+        assert_eq!(
+            ProtocolMsg::Token { owner: NodeId(1) }.kind(),
+            MsgKind::Token
+        );
+        assert_eq!(
+            ProtocolMsg::Connect { node: NodeId(1) }.kind(),
+            MsgKind::Connect
+        );
         assert_eq!(
             ProtocolMsg::RouteJoin {
                 node: NodeId(1),

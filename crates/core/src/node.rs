@@ -291,7 +291,7 @@ impl ProtocolNode {
                 _ => None,
             })
             .collect();
-        creates.sort_by(|a, b| a.0.cmp(&b.0));
+        creates.sort_by_key(|a| a.0);
         creates.dedup_by(|a, b| a.0 == b.0);
         self.stats.creates_received += creates.len();
         if self.genesis_applies(epoch) {
@@ -331,10 +331,8 @@ impl ProtocolNode {
                     } else {
                         let bit = self.target_bit(target, step + 1);
                         let next_point = (point + bit as f64) / 2.0;
-                        let candidates =
-                            self.current_members_near(ctx, epoch, next_point, swarm_r);
-                        let chosen =
-                            choose_up_to(&candidates, replication, &mut ctx.rng);
+                        let candidates = self.current_members_near(ctx, epoch, next_point, swarm_r);
+                        let chosen = choose_up_to(&candidates, replication, &mut ctx.rng);
                         for to in chosen {
                             forward_out.push((
                                 to,
@@ -372,10 +370,8 @@ impl ProtocolNode {
                     } else {
                         let bit = self.target_bit(target, step + 1);
                         let next_point = (point + bit as f64) / 2.0;
-                        let candidates =
-                            self.current_members_near(ctx, epoch, next_point, swarm_r);
-                        let chosen =
-                            choose_up_to(&candidates, replication, &mut ctx.rng);
+                        let candidates = self.current_members_near(ctx, epoch, next_point, swarm_r);
+                        let chosen = choose_up_to(&candidates, replication, &mut ctx.rng);
                         for to in chosen {
                             forward_out.push((
                                 to,
@@ -507,7 +503,7 @@ impl ProtocolNode {
                 }
             }
         }
-        self.h_entries.sort_by(|a, b| a.0.cmp(&b.0));
+        self.h_entries.sort_by_key(|a| a.0);
         self.h_entries.dedup_by(|a, b| a.0 == b.0);
 
         // (2) Handover step: every route copy received this round moves to the
@@ -891,8 +887,18 @@ mod tests {
         let p = params();
         let mut node = ProtocolNode::new(p, None);
         let inbox = vec![
-            Envelope::new(NodeId(1), NodeId(99), 3, ProtocolMsg::Token { owner: NodeId(5) }),
-            Envelope::new(NodeId(1), NodeId(99), 3, ProtocolMsg::Token { owner: NodeId(6) }),
+            Envelope::new(
+                NodeId(1),
+                NodeId(99),
+                3,
+                ProtocolMsg::Token { owner: NodeId(5) },
+            ),
+            Envelope::new(
+                NodeId(1),
+                NodeId(99),
+                3,
+                ProtocolMsg::Token { owner: NodeId(6) },
+            ),
         ];
         let mut ctx: Ctx<'_, ProtocolMsg> = Ctx::new(NodeId(99), 4, 4, &[], 11, 11);
         node.on_round(&mut ctx, &inbox);
@@ -901,7 +907,10 @@ mod tests {
             .iter()
             .filter(|(_, m)| matches!(m, ProtocolMsg::Connect { .. }))
             .collect();
-        assert!(!connects.is_empty(), "a fresh node with tokens must send CONNECTs");
+        assert!(
+            !connects.is_empty(),
+            "a fresh node with tokens must send CONNECTs"
+        );
         for (to, _) in connects {
             assert!([NodeId(5), NodeId(6)].contains(to));
         }
@@ -945,6 +954,9 @@ mod tests {
             .filter(|(_, m)| matches!(m, ProtocolMsg::Connect { node } if *node == NodeId(200)))
             .count();
         assert!(tokens_to_newcomer > 0, "the sponsor must supply tokens");
-        assert!(connects_for_newcomer > 0, "the sponsor must announce the newcomer");
+        assert!(
+            connects_for_newcomer > 0,
+            "the sponsor must announce the newcomer"
+        );
     }
 }

@@ -157,8 +157,8 @@ impl OverlayGraph {
         while let Some(v) = queue.pop_front() {
             let d = dist[&v];
             for &w in self.neighbors(v) {
-                if !dist.contains_key(&w) {
-                    dist.insert(w, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(d + 1);
                     queue.push_back(w);
                 }
             }
@@ -169,7 +169,11 @@ impl OverlayGraph {
     /// The eccentricity of `start` (longest BFS distance to any reachable
     /// vertex), used to estimate the diameter.
     pub fn eccentricity(&self, start: NodeId) -> usize {
-        self.bfs_distances(start).values().copied().max().unwrap_or(0)
+        self.bfs_distances(start)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Restricts the graph to the vertices in `keep` (simulating churn: all
@@ -246,7 +250,11 @@ mod tests {
         let d = g.bfs_distances(n(0));
         assert_eq!(d[&n(5)], 5);
         assert_eq!(g.eccentricity(n(0)), 5);
-        assert_eq!(g.bfs_distances(n(5)).len(), 1, "directed edges only go forward");
+        assert_eq!(
+            g.bfs_distances(n(5)).len(),
+            1,
+            "directed edges only go forward"
+        );
         assert!(g.bfs_distances(n(99)).is_empty());
     }
 

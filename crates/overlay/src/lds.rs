@@ -67,9 +67,12 @@ impl Lds {
     {
         Self::build(
             params,
-            nodes
-                .into_iter()
-                .map(|id| (id, Position::new(tsa_sim::rng::position_hash(hash_seed, id, epoch)))),
+            nodes.into_iter().map(|id| {
+                (
+                    id,
+                    Position::new(tsa_sim::rng::position_hash(hash_seed, id, epoch)),
+                )
+            }),
         )
     }
 
@@ -209,11 +212,7 @@ impl Lds {
     /// Evaluates goodness at every member position and returns
     /// `(minimum fraction, share of positions whose swarm is ≥ threshold-good,
     /// minimum swarm size)`.
-    pub fn goodness_stats(
-        &self,
-        survivors: &HashSet<NodeId>,
-        threshold: f64,
-    ) -> GoodnessStats {
+    pub fn goodness_stats(&self, survivors: &HashSet<NodeId>, threshold: f64) -> GoodnessStats {
         let mut min_fraction: f64 = 1.0;
         let mut good = 0usize;
         let mut total = 0usize;
@@ -234,7 +233,11 @@ impl Lds {
         }
         GoodnessStats {
             min_fraction,
-            good_share: if total == 0 { 0.0 } else { good as f64 / total as f64 },
+            good_share: if total == 0 {
+                0.0
+            } else {
+                good as f64 / total as f64
+            },
             min_swarm_size: min_size,
             sampled_points: total,
         }
@@ -318,7 +321,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         for _ in 0..50 {
             let p = Position::new(rng.gen::<f64>());
-            assert!(lds.swarm_property_holds_at(p), "swarm property violated at {p}");
+            assert!(
+                lds.swarm_property_holds_at(p),
+                "swarm property violated at {p}"
+            );
         }
     }
 

@@ -29,8 +29,8 @@
 
 pub mod graph;
 pub mod interval;
-pub mod lds;
 pub mod ldg;
+pub mod lds;
 pub mod params;
 pub mod position;
 pub mod swarm;
@@ -38,8 +38,8 @@ pub mod trajectory;
 
 pub use graph::OverlayGraph;
 pub use interval::Interval;
-pub use lds::{GoodnessStats, Lds};
 pub use ldg::Ldg;
+pub use lds::{GoodnessStats, Lds};
 pub use params::OverlayParams;
 pub use position::Position;
 pub use swarm::SwarmIndex;

@@ -258,7 +258,7 @@ mod tests {
             let pa = Position::new(a);
             let pb = Position::new(b);
             if pa != pb {
-                prop_assert!(pa.is_left_of(pb) ^ pa.is_right_of(pb) == false || pa.is_left_of(pb) != pa.is_right_of(pb));
+                prop_assert!(!(pa.is_left_of(pb) ^ pa.is_right_of(pb)) || pa.is_left_of(pb) != pa.is_right_of(pb));
                 prop_assert!(pa.is_left_of(pb) != pb.is_left_of(pa));
             }
         }

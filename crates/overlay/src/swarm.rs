@@ -91,13 +91,12 @@ impl SwarmIndex {
 
     /// The node closest to `p` (ties broken by identifier), if any.
     pub fn nearest(&self, p: Position) -> Option<(NodeId, Position)> {
-        self.iter()
-            .min_by(|a, b| {
-                p.distance(a.1)
-                    .partial_cmp(&p.distance(b.1))
-                    .unwrap()
-                    .then(a.0.cmp(&b.0))
-            })
+        self.iter().min_by(|a, b| {
+            p.distance(a.1)
+                .partial_cmp(&p.distance(b.1))
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        })
     }
 
     /// The position of `node`, if indexed. Linear scan: only used in tests and
@@ -178,7 +177,12 @@ mod tests {
     #[test]
     fn position_of_finds_nodes() {
         let s = idx(&[0.3, 0.6]);
-        assert!(s.position_of(NodeId(1)).unwrap().distance(Position::new(0.6)) < 1e-12);
+        assert!(
+            s.position_of(NodeId(1))
+                .unwrap()
+                .distance(Position::new(0.6))
+                < 1e-12
+        );
         assert!(s.position_of(NodeId(9)).is_none());
     }
 
@@ -188,7 +192,10 @@ mod tests {
         let s = idx(&[0.0, 0.1, 0.2, 0.9]);
         let dist = s.swarm_size_distribution(&params);
         assert_eq!(dist.len(), 4);
-        assert!(dist.iter().all(|&x| x >= 1), "every node is in its own swarm");
+        assert!(
+            dist.iter().all(|&x| x >= 1),
+            "every node is in its own swarm"
+        );
     }
 
     proptest! {

@@ -113,7 +113,8 @@ mod tests {
         for i in 1..=8usize {
             let prev = t.point(i - 1);
             let cur = t.point(i);
-            let is_image = prev.half().distance(cur) < 1e-12 || prev.half_plus().distance(cur) < 1e-12;
+            let is_image =
+                prev.half().distance(cur) < 1e-12 || prev.half_plus().distance(cur) < 1e-12;
             assert!(is_image, "step {i} is not a de Bruijn image");
         }
     }
@@ -134,8 +135,8 @@ mod tests {
     #[test]
     fn step_bit_matches_trajectory_construction() {
         let p = Position::new(0.625); // binary 0.101
-        // λ = 3: bits are (1, 0, 1). Step 1 pushes p_3 = 1, step 2 pushes p_2 = 0,
-        // step 3 pushes p_1 = 1.
+                                      // λ = 3: bits are (1, 0, 1). Step 1 pushes p_3 = 1, step 2 pushes p_2 = 0,
+                                      // step 3 pushes p_1 = 1.
         assert_eq!(step_bit(p, 1, 3), 1);
         assert_eq!(step_bit(p, 2, 3), 0);
         assert_eq!(step_bit(p, 3, 3), 1);

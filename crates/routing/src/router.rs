@@ -309,9 +309,15 @@ mod tests {
         let msgs = uniform_workload(&s, 1, 7);
         let report = sim.route_all(0, &msgs);
         assert_eq!(report.total, 128);
-        assert_eq!(report.delivered, 128, "every message must be delivered on a good series");
+        assert_eq!(
+            report.delivered, 128,
+            "every message must be delivered on a good series"
+        );
         assert!((report.delivery_rate() - 1.0).abs() < 1e-12);
-        assert!(report.mean_target_coverage() > 0.99, "final broadcast covers the whole swarm");
+        assert!(
+            report.mean_target_coverage() > 0.99,
+            "final broadcast covers the whole swarm"
+        );
     }
 
     #[test]
@@ -351,7 +357,10 @@ mod tests {
         let sim = RoutingSim::new(&s, RoutingConfig::default());
         let r1 = sim.route_all(0, &uniform_workload(&s, 1, 5));
         let r4 = sim.route_all(0, &uniform_workload(&s, 4, 5));
-        assert!(r4.max_congestion > r1.max_congestion, "more messages, more congestion");
+        assert!(
+            r4.max_congestion > r1.max_congestion,
+            "more messages, more congestion"
+        );
         // The peak is dominated by the final whole-swarm broadcast, so it is a
         // small multiple of k · λ · (swarm size); it must stay polylogarithmic
         // in n rather than anywhere near linear.

@@ -111,7 +111,11 @@ mod tests {
 
     fn lds(n: usize, seed: u64) -> Lds {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        Lds::random(OverlayParams::with_default_c(n), (0..n as u64).map(NodeId), &mut rng)
+        Lds::random(
+            OverlayParams::with_default_c(n),
+            (0..n as u64).map(NodeId),
+            &mut rng,
+        )
     }
 
     #[test]

@@ -103,7 +103,10 @@ mod tests {
         let a = series.overlay(3);
         let b = series.overlay(3);
         for id in a.members() {
-            assert_eq!(a.position(id).unwrap().value(), b.position(id).unwrap().value());
+            assert_eq!(
+                a.position(id).unwrap().value(),
+                b.position(id).unwrap().value()
+            );
         }
     }
 

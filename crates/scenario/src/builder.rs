@@ -1,0 +1,598 @@
+//! The fluent [`Scenario`] builder and the live [`ScenarioRun`] handle.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use tsa_adversary::{DegreeAttackAdversary, RandomChurnAdversary, TargetedSwarmAdversary};
+use tsa_analysis::uniformity;
+use tsa_baselines::{attack_trial, AttackMode, ChordSwarm, HdGraph, SpartanOverlay};
+use tsa_core::{MaintenanceHarness, MaintenanceParams, MaintenanceReport};
+use tsa_overlay::{Lds, OverlayGraph, Position};
+use tsa_routing::{sample_many, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
+use tsa_sim::{Adversary, Lateness, MetricsHistory, NodeId, NullAdversary};
+
+use crate::outcome::{
+    BaselineOutcome, MaintenanceOutcome, RoutingOutcome, SamplingOutcome, ScenarioOutcome,
+};
+use crate::spec::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind, ScenarioSpec};
+
+/// A fluent, type-safe builder composing every layer of the reproduction.
+///
+/// Construct with one of the entry points ([`Scenario::maintained_lds`],
+/// [`Scenario::baseline`], [`Scenario::routing`], [`Scenario::sampling`]),
+/// chain configuration, then call [`Scenario::run`] for a one-shot
+/// [`ScenarioOutcome`] or [`Scenario::build`] for a live [`ScenarioRun`].
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    spec: ScenarioSpec,
+}
+
+impl Scenario {
+    /// The paper's maintained Linearized DeBruijn Swarm over at least `n`
+    /// nodes: the full message-level protocol inside the simulator.
+    pub fn maintained_lds(n: usize) -> Self {
+        Scenario {
+            spec: ScenarioSpec::new(ScenarioKind::MaintainedLds, n),
+        }
+    }
+
+    /// A static Table-1 comparison overlay (default `n = 256`), attacked with
+    /// a one-shot churn burst when the scenario runs.
+    pub fn baseline(kind: BaselineKind) -> Self {
+        Scenario {
+            spec: ScenarioSpec::new(ScenarioKind::Baseline(kind), 256),
+        }
+    }
+
+    /// An `A_ROUTING` workload over a routable series of ideal LDS snapshots.
+    pub fn routing(n: usize) -> Self {
+        Scenario {
+            spec: ScenarioSpec::new(ScenarioKind::Routing, n),
+        }
+    }
+
+    /// An `A_SAMPLING` uniformity workload over a static LDS snapshot.
+    pub fn sampling(n: usize) -> Self {
+        Scenario {
+            spec: ScenarioSpec::new(ScenarioKind::Sampling, n),
+        }
+    }
+
+    /// Starts from a fully explicit spec (e.g. one deserialized from a
+    /// previous outcome).
+    pub fn from_spec(spec: ScenarioSpec) -> Self {
+        Scenario { spec }
+    }
+
+    /// The current spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Overrides the network-size lower bound `n`.
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.spec.n = n;
+        self
+    }
+
+    /// Overrides the robustness parameter `c`.
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.spec.c = Some(c);
+        self
+    }
+
+    /// Overrides `δ`, the fresh-node connects per round.
+    pub fn with_delta(mut self, delta: usize) -> Self {
+        self.spec.delta = Some(delta);
+        self
+    }
+
+    /// Overrides `τ`, the sampling tokens per round.
+    pub fn with_tau(mut self, tau: usize) -> Self {
+        self.spec.tau = Some(tau);
+        self
+    }
+
+    /// Overrides the replication factor `r`.
+    pub fn with_replication(mut self, r: usize) -> Self {
+        self.spec.replication = Some(r);
+        self
+    }
+
+    /// Sets the churn budget / join rules.
+    pub fn churn(mut self, churn: ChurnSpec) -> Self {
+        self.spec.churn = churn;
+        self
+    }
+
+    /// Sets the attack strategy.
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.spec.adversary = adversary;
+        self
+    }
+
+    /// Sets the adversary lateness (defaults to the paper's `(2, 2λ+7)`).
+    pub fn lateness(mut self, lateness: Lateness) -> Self {
+        self.spec.lateness = Some(lateness);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Skips the churn-free bootstrap phase before the measured rounds.
+    pub fn skip_bootstrap(mut self) -> Self {
+        self.spec.bootstrap = false;
+        self
+    }
+
+    /// Sets the number of messages per node in a routing workload.
+    pub fn messages_per_node(mut self, k: usize) -> Self {
+        self.spec.messages_per_node = k;
+        self
+    }
+
+    /// Sets the per-step holder failure probability of a routing workload.
+    pub fn holder_failure(mut self, p: f64) -> Self {
+        self.spec.holder_failure = p;
+        self
+    }
+
+    /// Sets the number of attempts in a sampling workload.
+    pub fn attempts(mut self, attempts: usize) -> Self {
+        self.spec.attempts = attempts;
+        self
+    }
+
+    /// Sets the workload seed explicitly (defaults to a value derived from
+    /// the master seed).
+    pub fn workload_seed(mut self, seed: u64) -> Self {
+        self.spec.workload_seed = Some(seed);
+        self
+    }
+
+    /// Builds the live simulator for a maintained scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`ScenarioKind::Baseline`], [`ScenarioKind::Routing`] and
+    /// [`ScenarioKind::Sampling`], which are one-shot computations without a
+    /// live simulator — use [`Scenario::run`] for those.
+    pub fn build(self) -> ScenarioRun {
+        assert!(
+            matches!(self.spec.kind, ScenarioKind::MaintainedLds),
+            "only maintained-LDS scenarios have a live simulator; use Scenario::run \
+             for {:?}",
+            self.spec.kind
+        );
+        let params = self.spec.maintenance_params();
+        let rules = self.spec.churn.rules_for(&params);
+        let lateness = self
+            .spec
+            .lateness
+            .unwrap_or_else(|| params.paper_lateness());
+        let adversary: Box<dyn Adversary> = match self.spec.adversary {
+            AdversarySpec::Null => Box::new(NullAdversary),
+            AdversarySpec::Random { per_round, seed } => {
+                Box::new(RandomChurnAdversary::new(per_round, seed))
+            }
+            AdversarySpec::Targeted { per_round, seed } => {
+                Box::new(TargetedSwarmAdversary::new(per_round, seed))
+            }
+            AdversarySpec::Degree { per_round, seed } => {
+                Box::new(DegreeAttackAdversary::new(per_round, seed))
+            }
+        };
+        let harness =
+            MaintenanceHarness::assemble(params, adversary, self.spec.seed, rules, lateness);
+        ScenarioRun {
+            spec: self.spec,
+            harness,
+            bootstrap_ran: false,
+        }
+    }
+
+    /// Runs the scenario to completion and returns its outcome.
+    ///
+    /// For maintained scenarios, `rounds` are executed after the (optional)
+    /// bootstrap phase. Baseline, routing and sampling scenarios are one-shot
+    /// computations: `rounds` is ignored and reported as 0.
+    pub fn run(self, rounds: u64) -> ScenarioOutcome {
+        match self.spec.kind {
+            ScenarioKind::MaintainedLds => {
+                let mut run = self.build();
+                if run.spec.bootstrap {
+                    run.run_bootstrap();
+                }
+                run.run(rounds);
+                run.into_outcome()
+            }
+            ScenarioKind::Baseline(kind) => run_baseline(self.spec, kind),
+            ScenarioKind::Routing => run_routing(self.spec),
+            ScenarioKind::Sampling => run_sampling(self.spec),
+        }
+    }
+}
+
+/// A live maintained-LDS scenario: the protocol running inside the simulator,
+/// with the full observation surface of the underlying harness.
+pub struct ScenarioRun {
+    spec: ScenarioSpec,
+    harness: MaintenanceHarness<Box<dyn Adversary>>,
+    bootstrap_ran: bool,
+}
+
+impl ScenarioRun {
+    /// The spec this run was built from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// The resolved maintenance parameters.
+    pub fn params(&self) -> &MaintenanceParams {
+        self.harness.params()
+    }
+
+    /// The current round.
+    pub fn round(&self) -> u64 {
+        self.harness.round()
+    }
+
+    /// The current overlay epoch.
+    pub fn epoch(&self) -> u64 {
+        self.harness.epoch()
+    }
+
+    /// Number of nodes currently in the network.
+    pub fn node_count(&self) -> usize {
+        self.harness.node_count()
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        self.harness.run(rounds);
+    }
+
+    /// Runs the full churn-free bootstrap phase.
+    pub fn run_bootstrap(&mut self) {
+        self.harness.run_bootstrap();
+        self.bootstrap_ran = true;
+    }
+
+    /// Executes a single round.
+    pub fn step(&mut self) {
+        self.harness.step();
+    }
+
+    /// The health report for the most recently completed round.
+    pub fn report(&self) -> MaintenanceReport {
+        self.harness.report()
+    }
+
+    /// The per-round message metrics.
+    pub fn metrics(&self) -> &MetricsHistory {
+        self.harness.metrics()
+    }
+
+    /// Snapshots of every node's observable state.
+    pub fn snapshots(&self) -> Vec<(NodeId, tsa_core::NodeSnapshot)> {
+        self.harness.snapshots()
+    }
+
+    /// Per-node connect counts of the last round (the Lemma 22 quantity).
+    pub fn connect_load(&self) -> std::collections::HashMap<NodeId, usize> {
+        self.harness.connect_load()
+    }
+
+    /// The ideal-overlay positions of all participating mature nodes.
+    pub fn ideal_positions(&self) -> Vec<(NodeId, Position)> {
+        self.harness.ideal_positions()
+    }
+
+    /// Direct access to the underlying harness.
+    pub fn harness(&self) -> &MaintenanceHarness<Box<dyn Adversary>> {
+        &self.harness
+    }
+
+    /// Finalizes the run into a serializable outcome.
+    pub fn into_outcome(self) -> ScenarioOutcome {
+        let report = self.harness.report();
+        let max_connect_load = self
+            .harness
+            .connect_load()
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        // Measured rounds exclude the bootstrap phase when it actually ran,
+        // so replaying `Scenario::from_spec(spec).run(rounds)` reproduces
+        // this outcome exactly. The spec's bootstrap flag is corrected to
+        // what happened, for runs driven manually through `build()`.
+        let bootstrap_rounds = if self.bootstrap_ran {
+            self.harness.params().bootstrap_rounds()
+        } else {
+            0
+        };
+        let mut spec = self.spec;
+        spec.bootstrap = self.bootstrap_ran;
+        ScenarioOutcome {
+            label: format!(
+                "maintained LDS, n = {}, adversary = {}",
+                spec.n,
+                spec.adversary.label()
+            ),
+            spec,
+            rounds: self.harness.round().saturating_sub(bootstrap_rounds),
+            maintenance: Some(MaintenanceOutcome {
+                report,
+                metrics: self.harness.metrics().clone(),
+                max_connect_load,
+            }),
+            baseline: None,
+            routing: None,
+            sampling: None,
+        }
+    }
+}
+
+fn run_baseline(spec: ScenarioSpec, kind: BaselineKind) -> ScenarioOutcome {
+    let params = spec.overlay_params();
+    let nodes: Vec<NodeId> = (0..spec.n as u64).map(NodeId).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let graph: OverlayGraph = match kind {
+        BaselineKind::HdGraph => HdGraph::random(nodes, 3, &mut rng).to_graph(),
+        BaselineKind::Spartan => {
+            SpartanOverlay::build(nodes, params.lambda() as usize, &mut rng).to_graph()
+        }
+        BaselineKind::ChordSwarm => ChordSwarm::random(params, nodes, &mut rng).to_graph(),
+        BaselineKind::StaticLds => Lds::random(params, nodes, &mut rng).to_graph(),
+    };
+    // A Null adversary attacks nothing, exactly as in maintained scenarios:
+    // the trial measures the intact structure (budget 0).
+    let budget = match spec.adversary {
+        AdversarySpec::Null => 0,
+        _ => spec.churn.burst_budget(spec.n),
+    };
+    let (mode, adversary_seed) = match spec.adversary {
+        AdversarySpec::Null => (AttackMode::Random, 0),
+        AdversarySpec::Random { seed, .. } => (AttackMode::Random, seed),
+        AdversarySpec::Targeted { seed, .. } | AdversarySpec::Degree { seed, .. } => {
+            (AttackMode::TargetedNeighborhood, seed)
+        }
+    };
+    // The structure above depends only on the master seed, so two scenarios
+    // with the same seed but different adversaries attack the identical
+    // graph; the attack's own coin flips honour the adversary seed.
+    let mut attack_rng =
+        ChaCha8Rng::seed_from_u64(spec.seed.rotate_left(32) ^ adversary_seed ^ 0x4154_5441_434B);
+    let resilience = attack_trial(&graph, budget, mode, &mut attack_rng);
+    let eclipse_budget = graph
+        .vertices()
+        .map(|v| graph.out_degree(v))
+        .min()
+        .unwrap_or(0);
+    ScenarioOutcome {
+        label: format!("{}, {:?} burst of {budget}", kind.label(), mode),
+        spec,
+        rounds: 0,
+        maintenance: None,
+        baseline: Some(BaselineOutcome {
+            budget,
+            resilience,
+            eclipse_budget,
+        }),
+        routing: None,
+        sampling: None,
+    }
+}
+
+fn run_routing(spec: ScenarioSpec) -> ScenarioOutcome {
+    let params = spec.overlay_params();
+    let series = RoutableSeries::new(params, spec.seed, (0..spec.n as u64).map(NodeId));
+    // An unset replication keeps RoutingConfig's own default rather than
+    // inventing a second one here.
+    let mut config = RoutingConfig::default()
+        .with_holder_failure(spec.holder_failure)
+        .with_seed(spec.workload_seed_or_default() ^ 0x524F_5554);
+    if let Some(r) = spec.replication {
+        config = config.with_replication(r);
+    }
+    let workload = uniform_workload(
+        &series,
+        spec.messages_per_node,
+        spec.workload_seed_or_default(),
+    );
+    let report = RoutingSim::new(&series, config).route_all(0, &workload);
+    ScenarioOutcome {
+        label: format!(
+            "A_ROUTING, n = {}, k = {}, holder failure = {}",
+            spec.n, spec.messages_per_node, spec.holder_failure
+        ),
+        spec,
+        rounds: 0,
+        maintenance: None,
+        baseline: None,
+        routing: Some(RoutingOutcome {
+            lambda: params.lambda(),
+            total: report.total,
+            delivered: report.delivered,
+            delivery_rate: report.delivery_rate(),
+            dilation: report.dilation,
+            max_congestion: report.max_congestion,
+            mean_congestion: report.mean_congestion,
+            total_copies: report.total_copies,
+            mean_target_coverage: report.mean_target_coverage(),
+        }),
+        sampling: None,
+    }
+}
+
+fn run_sampling(spec: ScenarioSpec) -> ScenarioOutcome {
+    let params = spec.overlay_params();
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let overlay = Lds::random(params, (0..spec.n as u64).map(NodeId), &mut rng);
+    let report = sample_many(&overlay, spec.attempts, spec.workload_seed_or_default());
+    let (hits_min, hits_max) = report.hit_spread();
+    let uni = uniformity(&report.hits, spec.n);
+    let distinct = report.distinct_nodes();
+    ScenarioOutcome {
+        label: format!("A_SAMPLING, n = {}, {} attempts", spec.n, spec.attempts),
+        spec,
+        rounds: 0,
+        maintenance: None,
+        baseline: None,
+        routing: None,
+        sampling: Some(SamplingOutcome {
+            attempts: report.attempts,
+            discarded: report.discarded,
+            discard_rate: report.discard_rate(),
+            distinct_nodes: distinct,
+            hits_min,
+            hits_mean: if distinct == 0 {
+                0.0
+            } else {
+                report.delivered() as f64 / distinct as f64
+            },
+            hits_max,
+            total_variation: uni.total_variation,
+            chi_square: uni.chi_square,
+            degrees_of_freedom: uni.degrees_of_freedom,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_maintained_scenario_bootstraps_to_routable() {
+        let outcome = Scenario::maintained_lds(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+            .seed(1)
+            .run(6);
+        let m = outcome.maintenance.as_ref().expect("maintained outcome");
+        assert_eq!(m.report.node_count, 48);
+        assert!(outcome.is_routable(), "{:?}", m.report);
+        assert!(m.metrics.total_messages() > 0);
+    }
+
+    #[test]
+    fn scenario_run_exposes_the_harness_surface() {
+        let mut run = Scenario::maintained_lds(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+            .seed(2)
+            .build();
+        run.run_bootstrap();
+        run.run(4);
+        assert_eq!(run.node_count(), 48);
+        assert_eq!(run.snapshots().len(), 48);
+        assert!(run.round() > 0);
+        let outcome = run.into_outcome();
+        assert!(outcome.maintenance.is_some());
+    }
+
+    #[test]
+    fn baseline_scenarios_measure_resilience() {
+        for kind in [
+            BaselineKind::HdGraph,
+            BaselineKind::Spartan,
+            BaselineKind::ChordSwarm,
+            BaselineKind::StaticLds,
+        ] {
+            let outcome = Scenario::baseline(kind)
+                .with_n(128)
+                .churn(ChurnSpec::budget(32))
+                .adversary(AdversarySpec::targeted(1, 9))
+                .seed(3)
+                .run(0);
+            let b = outcome.baseline.expect("baseline outcome");
+            assert_eq!(b.budget, 32);
+            assert_eq!(b.resilience.nodes_before, 128);
+            assert!(b.eclipse_budget > 0, "{kind:?} has isolated nodes");
+        }
+    }
+
+    #[test]
+    fn baseline_attacks_honour_the_adversary_seed_but_share_the_structure() {
+        let base = Scenario::baseline(BaselineKind::HdGraph)
+            .with_n(96)
+            .churn(ChurnSpec::budget(24))
+            .seed(8);
+        let a = base.adversary(AdversarySpec::random(1, 1)).run(0);
+        let b = base.adversary(AdversarySpec::random(1, 2)).run(0);
+        let (ab, bb) = (a.baseline.unwrap(), b.baseline.unwrap());
+        // Same master seed → identical structure (eclipse budget is a pure
+        // function of the graph).
+        assert_eq!(ab.eclipse_budget, bb.eclipse_budget);
+        // Different adversary seeds → different random removals. Removed
+        // counts match (both spend the budget), but the survivors differ.
+        assert_eq!(ab.resilience.removed, bb.resilience.removed);
+        let same = Scenario::baseline(BaselineKind::HdGraph)
+            .with_n(96)
+            .churn(ChurnSpec::budget(24))
+            .seed(8)
+            .adversary(AdversarySpec::random(1, 1))
+            .run(0);
+        assert_eq!(
+            same.baseline.unwrap().resilience.isolated_survivors,
+            ab.resilience.isolated_survivors,
+            "identical specs must reproduce identical trials"
+        );
+    }
+
+    #[test]
+    fn routing_default_replication_matches_routing_config_default() {
+        let via_scenario = Scenario::routing(128).seed(3).run(0);
+        let series = RoutableSeries::new(
+            tsa_overlay::OverlayParams::with_default_c(128),
+            3,
+            (0..128u64).map(NodeId),
+        );
+        let spec = *Scenario::routing(128).seed(3).spec();
+        let config =
+            RoutingConfig::default().with_seed(spec.workload_seed_or_default() ^ 0x524F_5554);
+        let direct = RoutingSim::new(&series, config).route_all(
+            0,
+            &uniform_workload(&series, 1, spec.workload_seed_or_default()),
+        );
+        let r = via_scenario.routing.unwrap();
+        assert_eq!(r.total_copies, direct.total_copies);
+        assert_eq!(r.delivered, direct.delivered);
+    }
+
+    #[test]
+    fn routing_scenario_reports_exact_dilation() {
+        let outcome = Scenario::routing(128)
+            .with_replication(4)
+            .holder_failure(0.25)
+            .messages_per_node(1)
+            .seed(7)
+            .run(0);
+        let r = outcome.routing.expect("routing outcome");
+        assert_eq!(r.dilation, 2 * r.lambda as u64 + 2);
+        assert!(r.delivery_rate > 0.9, "delivery {}", r.delivery_rate);
+    }
+
+    #[test]
+    fn sampling_scenario_hits_every_node() {
+        let outcome = Scenario::sampling(128).attempts(50_000).seed(5).run(0);
+        let s = outcome.sampling.expect("sampling outcome");
+        assert_eq!(s.distinct_nodes, 128);
+        assert!(s.discard_rate < 0.6);
+        assert!(s.total_variation < 0.1);
+    }
+
+    #[test]
+    fn build_panics_for_one_shot_kinds() {
+        let result = std::panic::catch_unwind(|| Scenario::routing(64).build());
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # tsa-scenario — one fluent entry point for every experiment
+//!
+//! Every layer of the reproduction — overlay parameters, maintenance
+//! protocol, churn rules, adversary strategy, lateness, routing and sampling
+//! workloads, and the Table-1 baseline structures — is composed behind a
+//! single type-safe builder:
+//!
+//! ```
+//! use tsa_scenario::{AdversarySpec, ChurnSpec, Scenario};
+//!
+//! let outcome = Scenario::maintained_lds(48)
+//!     .with_c(1.5)
+//!     .with_tau(4)
+//!     .with_replication(2)
+//!     .churn(ChurnSpec::budget(12))
+//!     .adversary(AdversarySpec::targeted(2, 6))
+//!     .seed(11)
+//!     .run(40);
+//! assert!(outcome.maintenance.is_some());
+//! ```
+//!
+//! [`Scenario::run`] executes the whole scenario and returns a
+//! serde-serializable [`ScenarioOutcome`] (the experiment binaries dump these
+//! as `BENCH_*.json`); [`Scenario::build`] instead hands back a live
+//! [`ScenarioRun`] for experiments that need to observe the overlay while it
+//! runs. The old `MaintenanceHarness` constructors are deprecated thin
+//! wrappers over the same plumbing, so fixed seeds produce byte-identical
+//! reports through either path.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod outcome;
+pub mod spec;
+
+pub use builder::{Scenario, ScenarioRun};
+pub use outcome::{
+    BaselineOutcome, MaintenanceOutcome, RoutingOutcome, SamplingOutcome, ScenarioOutcome,
+};
+pub use spec::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind, ScenarioSpec};

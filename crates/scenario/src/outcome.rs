@@ -1,0 +1,128 @@
+//! The serde-serializable result of running a scenario.
+//!
+//! A [`ScenarioOutcome`] always carries the [`ScenarioSpec`](crate::ScenarioSpec)
+//! that produced it, plus exactly one of the kind-specific payloads. The
+//! experiment binaries serialize these as `BENCH_*.json`, so every published
+//! number is reproducible from the spec embedded next to it.
+
+use serde::{Deserialize, Serialize};
+use tsa_baselines::ResilienceOutcome;
+use tsa_core::MaintenanceReport;
+use tsa_sim::MetricsHistory;
+
+use crate::spec::ScenarioSpec;
+
+/// Result of a maintained-LDS scenario: the final health report plus the full
+/// per-round message metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MaintenanceOutcome {
+    /// Health of the overlay after the final round.
+    pub report: MaintenanceReport,
+    /// Per-round message/congestion/churn metrics of the whole run.
+    pub metrics: MetricsHistory,
+    /// The largest number of fresh-node connects any mature node received in
+    /// the final round (the Lemma 22 quantity).
+    pub max_connect_load: usize,
+}
+
+/// Result of a static-baseline attack trial.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BaselineOutcome {
+    /// The removal budget the attack spent.
+    pub budget: usize,
+    /// What was left of the structure after the attack.
+    pub resilience: ResilienceOutcome,
+    /// The budget a topology-aware adversary needs to eclipse the
+    /// easiest-to-cut node of this *static* structure: its minimum degree.
+    pub eclipse_budget: usize,
+}
+
+/// Result of an `A_ROUTING` workload over a routable series.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RoutingOutcome {
+    /// Number of address bits `λ`.
+    pub lambda: u32,
+    /// Messages routed.
+    pub total: usize,
+    /// Messages delivered to their target swarm.
+    pub delivered: usize,
+    /// Delivered fraction.
+    pub delivery_rate: f64,
+    /// The dilation every delivered message took (always `2λ + 2`).
+    pub dilation: u64,
+    /// Maximum copies handled by one node in one round.
+    pub max_congestion: usize,
+    /// Mean copies per active (node, round) pair.
+    pub mean_congestion: f64,
+    /// Total copies created across all messages.
+    pub total_copies: usize,
+    /// Mean fraction of the target swarm covered, over delivered messages.
+    pub mean_target_coverage: f64,
+}
+
+/// Result of an `A_SAMPLING` uniformity workload.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SamplingOutcome {
+    /// Sampling attempts.
+    pub attempts: usize,
+    /// Attempts discarded by the delivery rule.
+    pub discarded: usize,
+    /// Empirical discard probability (Lemma 13 bounds it by `1/2 + o(1)`).
+    pub discard_rate: f64,
+    /// Distinct nodes selected at least once.
+    pub distinct_nodes: usize,
+    /// Smallest per-node hit count.
+    pub hits_min: usize,
+    /// Mean per-node hit count.
+    pub hits_mean: f64,
+    /// Largest per-node hit count.
+    pub hits_max: usize,
+    /// Total-variation distance to the uniform distribution.
+    pub total_variation: f64,
+    /// Pearson chi-square statistic against the uniform distribution.
+    pub chi_square: f64,
+    /// Degrees of freedom of the chi-square statistic.
+    pub degrees_of_freedom: usize,
+}
+
+/// The complete, self-describing result of one scenario run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// A short human-readable description of the run.
+    pub label: String,
+    /// The spec that produced this outcome.
+    pub spec: ScenarioSpec,
+    /// Measured rounds executed after the (optional) bootstrap phase, so
+    /// `Scenario::from_spec(outcome.spec).run(outcome.rounds)` replays this
+    /// outcome exactly. 0 for one-shot trials.
+    pub rounds: u64,
+    /// Present for [`ScenarioKind::MaintainedLds`](crate::ScenarioKind) runs.
+    pub maintenance: Option<MaintenanceOutcome>,
+    /// Present for [`ScenarioKind::Baseline`](crate::ScenarioKind) runs.
+    pub baseline: Option<BaselineOutcome>,
+    /// Present for [`ScenarioKind::Routing`](crate::ScenarioKind) runs.
+    pub routing: Option<RoutingOutcome>,
+    /// Present for [`ScenarioKind::Sampling`](crate::ScenarioKind) runs.
+    pub sampling: Option<SamplingOutcome>,
+}
+
+impl ScenarioOutcome {
+    /// Whether a maintained run ended routable (always `false` for other
+    /// kinds).
+    pub fn is_routable(&self) -> bool {
+        self.maintenance
+            .as_ref()
+            .map(|m| m.report.is_routable())
+            .unwrap_or(false)
+    }
+
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("outcome serialization is infallible")
+    }
+
+    /// Pretty JSON rendering, as written into `BENCH_*.json`.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("outcome serialization is infallible")
+    }
+}

@@ -1,0 +1,364 @@
+//! The declarative description of a scenario: what kind of experiment, on how
+//! many nodes, under which churn rules, against which adversary.
+//!
+//! Every spec type is plain serde-serializable data, so a [`ScenarioSpec`]
+//! embedded in a `ScenarioOutcome` fully documents how a result was produced.
+
+use serde::{Deserialize, Serialize};
+use tsa_core::MaintenanceParams;
+use tsa_sim::{ChurnRules, Lateness};
+
+/// Which experiment a scenario executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// The paper's maintained Linearized DeBruijn Swarm: the full
+    /// message-level protocol running inside the simulator.
+    MaintainedLds,
+    /// A static comparison overlay attacked with a one-shot churn burst
+    /// (the Table-1 trials).
+    Baseline(BaselineKind),
+    /// `A_ROUTING` over a routable series of ideal LDS snapshots.
+    Routing,
+    /// `A_SAMPLING` uniformity over a static LDS snapshot.
+    Sampling,
+}
+
+/// The static comparison overlays of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// Union of `d` random rings (Drees, Gmyr & Scheideler).
+    HdGraph,
+    /// Wrapped butterfly of `Θ(log n)` committees (Augustine &
+    /// Sivasubramaniam).
+    Spartan,
+    /// Chord with swarms (Fiat, Saia & Young).
+    ChordSwarm,
+    /// A Linearized DeBruijn Swarm that is never reconfigured.
+    StaticLds,
+}
+
+impl BaselineKind {
+    /// A short human-readable label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::HdGraph => "H_d graph",
+            BaselineKind::Spartan => "SPARTAN butterfly",
+            BaselineKind::ChordSwarm => "Chord with swarms",
+            BaselineKind::StaticLds => "LDS, never reconfigured",
+        }
+    }
+}
+
+/// How much churn the engine lets the adversary spend, and under which join
+/// rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnSpec {
+    /// No churn budget at all (`max_events = 0`); with the default
+    /// [`AdversarySpec::Null`] this reproduces the old
+    /// `MaintenanceHarness::without_churn` behaviour.
+    None,
+    /// The paper's headline rules: `αn` events with `α = 1/16` per
+    /// `4λ + 14`-round window, joins via ≥2-round-old bootstrap nodes.
+    Paper,
+    /// `max_events` churn events per paper churn window (the harsher budgets
+    /// the stress experiments use, e.g. `n/4`).
+    Budget {
+        /// Maximum churn events per window.
+        max_events: usize,
+    },
+    /// Explicit events-per-window control.
+    BudgetWindow {
+        /// Maximum churn events per window.
+        max_events: usize,
+        /// The window length in rounds.
+        window: u64,
+    },
+    /// Fully explicit engine rules (impossibility experiments, weakened join
+    /// rules, unconstrained adversaries).
+    Custom {
+        /// The rules handed verbatim to the engine.
+        rules: ChurnRules,
+    },
+}
+
+impl ChurnSpec {
+    /// No churn budget.
+    pub fn none() -> Self {
+        ChurnSpec::None
+    }
+
+    /// The paper's headline churn rules.
+    pub fn paper() -> Self {
+        ChurnSpec::Paper
+    }
+
+    /// `max_events` churn events per paper churn window.
+    pub fn budget(max_events: usize) -> Self {
+        ChurnSpec::Budget { max_events }
+    }
+
+    /// `max_events` churn events per explicit `window`.
+    pub fn budget_with_window(max_events: usize, window: u64) -> Self {
+        ChurnSpec::BudgetWindow { max_events, window }
+    }
+
+    /// Fully explicit engine rules.
+    pub fn custom(rules: ChurnRules) -> Self {
+        ChurnSpec::Custom { rules }
+    }
+
+    /// Resolves the spec into concrete engine rules for `params`.
+    pub fn rules_for(&self, params: &MaintenanceParams) -> ChurnRules {
+        match *self {
+            ChurnSpec::None => ChurnRules {
+                max_events: Some(0),
+                window: params.overlay.churn_window(),
+                bootstrap_rounds: params.bootstrap_rounds(),
+                ..ChurnRules::default()
+            },
+            ChurnSpec::Paper => params.paper_churn_rules(),
+            ChurnSpec::Budget { max_events } => ChurnRules {
+                max_events: Some(max_events),
+                window: params.overlay.churn_window(),
+                bootstrap_rounds: params.bootstrap_rounds(),
+                ..ChurnRules::default()
+            },
+            ChurnSpec::BudgetWindow { max_events, window } => ChurnRules {
+                max_events: Some(max_events),
+                window,
+                bootstrap_rounds: params.bootstrap_rounds(),
+                ..ChurnRules::default()
+            },
+            ChurnSpec::Custom { rules } => rules,
+        }
+    }
+
+    /// The one-shot removal budget a baseline trial spends (the maintained
+    /// protocol spreads the same budget over a churn window instead). An
+    /// unconstrained custom spec (`max_events = None`) maps to `n`, i.e. the
+    /// whole network (the trial itself caps removals at `n - 1`).
+    pub fn burst_budget(&self, n: usize) -> usize {
+        match *self {
+            ChurnSpec::None => 0,
+            ChurnSpec::Paper => n / 16,
+            ChurnSpec::Budget { max_events } | ChurnSpec::BudgetWindow { max_events, .. } => {
+                max_events
+            }
+            ChurnSpec::Custom { rules } => rules.max_events.unwrap_or(n),
+        }
+    }
+}
+
+/// Which attack strategy drives the churn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdversarySpec {
+    /// No adversary: nothing ever leaves or joins.
+    Null,
+    /// Oblivious uniform churn (the control group).
+    Random {
+        /// Churn events attempted per round.
+        per_round: usize,
+        /// Seed of the adversary's own coin flips.
+        seed: u64,
+    },
+    /// The strongest topology-late attack: wipe out observed swarms.
+    Targeted {
+        /// Departures attempted per round.
+        per_round: usize,
+        /// Seed of the adversary's own coin flips.
+        seed: u64,
+    },
+    /// Remove the highest-degree nodes the stale topology view shows.
+    Degree {
+        /// Departures attempted per round.
+        per_round: usize,
+        /// Seed of the adversary's own coin flips.
+        seed: u64,
+    },
+}
+
+impl AdversarySpec {
+    /// No adversary.
+    pub fn null() -> Self {
+        AdversarySpec::Null
+    }
+
+    /// Oblivious uniform churn.
+    pub fn random(per_round: usize, seed: u64) -> Self {
+        AdversarySpec::Random { per_round, seed }
+    }
+
+    /// Targeted-swarm churn.
+    pub fn targeted(per_round: usize, seed: u64) -> Self {
+        AdversarySpec::Targeted { per_round, seed }
+    }
+
+    /// Degree-attack churn.
+    pub fn degree(per_round: usize, seed: u64) -> Self {
+        AdversarySpec::Degree { per_round, seed }
+    }
+
+    /// A short human-readable label matching `Adversary::name`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdversarySpec::Null => "none",
+            AdversarySpec::Random { .. } => "random-churn",
+            AdversarySpec::Targeted { .. } => "targeted-swarm",
+            AdversarySpec::Degree { .. } => "degree-attack",
+        }
+    }
+}
+
+/// The complete declarative description of one scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// What kind of experiment runs.
+    pub kind: ScenarioKind,
+    /// The network-size lower bound `n`.
+    pub n: usize,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Override of the robustness parameter `c`.
+    pub c: Option<f64>,
+    /// Override of `δ` (fresh-node connects per round).
+    pub delta: Option<usize>,
+    /// Override of `τ` (sampling tokens per round).
+    pub tau: Option<usize>,
+    /// Override of the replication factor `r`.
+    pub replication: Option<usize>,
+    /// The churn budget and join rules.
+    pub churn: ChurnSpec,
+    /// The attack strategy.
+    pub adversary: AdversarySpec,
+    /// Override of the adversary lateness (defaults to the paper's
+    /// `(2, 2λ+7)`).
+    pub lateness: Option<Lateness>,
+    /// Whether to run the churn-free bootstrap phase before the measured
+    /// rounds (maintained scenarios only).
+    pub bootstrap: bool,
+    /// Messages per node in a routing workload.
+    pub messages_per_node: usize,
+    /// Per-step holder failure probability in a routing workload.
+    pub holder_failure: f64,
+    /// Attempts in a sampling workload.
+    pub attempts: usize,
+    /// Seed of the workload generator (defaults to a value derived from
+    /// `seed`).
+    pub workload_seed: Option<u64>,
+}
+
+impl ScenarioSpec {
+    /// A fresh spec of the given kind over `n` nodes, everything else at the
+    /// paper's defaults.
+    pub fn new(kind: ScenarioKind, n: usize) -> Self {
+        ScenarioSpec {
+            kind,
+            n,
+            seed: 0xDEC0DE,
+            c: None,
+            delta: None,
+            tau: None,
+            replication: None,
+            churn: ChurnSpec::Paper,
+            adversary: AdversarySpec::Null,
+            lateness: None,
+            bootstrap: true,
+            messages_per_node: 1,
+            holder_failure: 0.0,
+            attempts: 100_000,
+            workload_seed: None,
+        }
+    }
+
+    /// The maintenance parameters this spec resolves to, built in the
+    /// canonical order (`new(n)`, then `c`, `δ`, `τ`, `r`) so results are
+    /// byte-identical to hand-built parameter chains.
+    pub fn maintenance_params(&self) -> MaintenanceParams {
+        let mut params = MaintenanceParams::new(self.n);
+        if let Some(c) = self.c {
+            params = params.with_c(c);
+        }
+        if let Some(delta) = self.delta {
+            params = params.with_delta(delta);
+        }
+        if let Some(tau) = self.tau {
+            params = params.with_tau(tau);
+        }
+        if let Some(r) = self.replication {
+            params = params.with_replication(r);
+        }
+        params
+    }
+
+    /// The overlay parameters for structure-only scenarios (baselines,
+    /// routing, sampling): `c` defaults to the overlay crate's default.
+    pub fn overlay_params(&self) -> tsa_overlay::OverlayParams {
+        match self.c {
+            Some(c) => tsa_overlay::OverlayParams::new(self.n, c),
+            None => tsa_overlay::OverlayParams::with_default_c(self.n),
+        }
+    }
+
+    /// The workload seed, derived from the master seed when unset.
+    pub fn workload_seed_or_default(&self) -> u64 {
+        self.workload_seed
+            .unwrap_or_else(|| self.seed.rotate_left(13) ^ 0x574F_524B)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_compose_in_canonical_order() {
+        let mut spec = ScenarioSpec::new(ScenarioKind::MaintainedLds, 48);
+        spec.c = Some(1.5);
+        spec.tau = Some(4);
+        spec.replication = Some(2);
+        let via_spec = spec.maintenance_params();
+        let by_hand = MaintenanceParams::new(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2);
+        assert_eq!(via_spec, by_hand);
+    }
+
+    #[test]
+    fn churn_specs_resolve_to_engine_rules() {
+        let params = MaintenanceParams::new(64);
+        assert_eq!(
+            ChurnSpec::paper().rules_for(&params),
+            params.paper_churn_rules()
+        );
+        let budget = ChurnSpec::budget(16).rules_for(&params);
+        assert_eq!(budget.max_events, Some(16));
+        assert_eq!(budget.window, params.overlay.churn_window());
+        assert_eq!(ChurnSpec::none().rules_for(&params).max_events, Some(0));
+        let custom = ChurnRules::default().with_weak_join_rule();
+        assert_eq!(ChurnSpec::custom(custom).rules_for(&params), custom);
+    }
+
+    #[test]
+    fn burst_budgets_match_the_window_budgets() {
+        assert_eq!(ChurnSpec::budget(64).burst_budget(256), 64);
+        assert_eq!(ChurnSpec::paper().burst_budget(256), 16);
+        assert_eq!(ChurnSpec::none().burst_budget(256), 0);
+        // An unconstrained custom spec means "the whole network".
+        let unconstrained = ChurnRules {
+            max_events: None,
+            ..ChurnRules::default()
+        };
+        assert_eq!(ChurnSpec::custom(unconstrained).burst_budget(256), 256);
+    }
+
+    #[test]
+    fn specs_serialize_and_deserialize() {
+        let mut spec = ScenarioSpec::new(ScenarioKind::Baseline(BaselineKind::Spartan), 128);
+        spec.adversary = AdversarySpec::targeted(2, 7);
+        spec.churn = ChurnSpec::budget(32);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

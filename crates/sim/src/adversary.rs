@@ -54,8 +54,8 @@ impl Adversary for Box<dyn Adversary> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::knowledge::{Lateness, MemberInfo};
     use crate::ids::NodeId;
+    use crate::knowledge::{Lateness, MemberInfo};
     use std::collections::BTreeMap;
 
     #[test]

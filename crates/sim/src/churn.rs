@@ -54,7 +54,7 @@ impl ChurnPlan {
 }
 
 /// Static churn rules enforced by the engine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ChurnRules {
     /// Maximum number of churn events (`C`) within any `window` rounds, or
     /// `None` for an unconstrained adversary (used by the impossibility

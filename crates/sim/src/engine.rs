@@ -245,12 +245,18 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
             let spons = sponsored.get(id).unwrap_or(&empty_sponsored);
             let mut ctx: Ctx<'_, P::Msg> = Ctx::new(*id, t, *joined_at, spons, seed, hash_seed);
             process.on_round(&mut ctx, inbox);
-            let digest = if record_digests { process.state_digest() } else { 0 };
+            let digest = if record_digests {
+                process.state_digest()
+            } else {
+                0
+            };
             let out = ctx.into_outbox().into_inner();
             (*id, out, digest, inbox.len())
         };
 
-        let results: Vec<(NodeId, Vec<(NodeId, P::Msg)>, u64, usize)> = if self.config.parallel {
+        // (node, outbox, state digest, messages received) of one stepped node.
+        type StepResult<M> = (NodeId, Vec<(NodeId, M)>, u64, usize);
+        let results: Vec<StepResult<P::Msg>> = if self.config.parallel {
             work.par_iter_mut().map(step_one).collect()
         } else {
             work.iter_mut().map(step_one).collect()
@@ -378,9 +384,7 @@ mod tests {
     }
 
     fn sim(parallel: bool) -> Simulator<Ping, NullAdversary> {
-        let config = SimConfig::default()
-            .with_seed(1)
-            .with_parallel(parallel);
+        let config = SimConfig::default().with_seed(1).with_parallel(parallel);
         Simulator::new(config, NullAdversary, Box::new(|_, _| Ping::default()))
     }
 
@@ -413,10 +417,7 @@ mod tests {
                 "divergence at {id}"
             );
         }
-        assert_eq!(
-            a.metrics().total_messages(),
-            b.metrics().total_messages()
-        );
+        assert_eq!(a.metrics().total_messages(), b.metrics().total_messages());
     }
 
     #[test]
@@ -529,7 +530,11 @@ mod tests {
             min_bootstrap_age: 2,
             ..ChurnRules::default()
         });
-        let mut s = Simulator::new(config, FreshBootstrapChurn, Box::new(|_, _| Ping::default()));
+        let mut s = Simulator::new(
+            config,
+            FreshBootstrapChurn,
+            Box::new(|_, _| Ping::default()),
+        );
         s.seed_nodes(2);
         s.run(2);
         assert_eq!(s.node_count(), 2, "join via too-fresh bootstrap rejected");
@@ -549,7 +554,10 @@ mod tests {
         s.run(3);
         assert_eq!(s.node_count(), 5, "no churn during the bootstrap phase");
         s.step();
-        assert!(s.node_count() < 5, "churn resumes after the bootstrap phase");
+        assert!(
+            s.node_count() < 5,
+            "churn resumes after the bootstrap phase"
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@ use std::fmt;
 ///
 /// Node identifiers are handed out by the [`Simulator`](crate::engine::Simulator)
 /// when the adversary churns a node in; they are never reused within a run.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u64);
 
 impl NodeId {
@@ -61,7 +63,7 @@ pub enum RoundParity {
 /// Returns the parity of a round.
 #[inline]
 pub fn parity(round: Round) -> RoundParity {
-    if round % 2 == 0 {
+    if round.is_multiple_of(2) {
         RoundParity::Even
     } else {
         RoundParity::Odd

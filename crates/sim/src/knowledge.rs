@@ -77,7 +77,7 @@ pub struct MemberInfo {
 }
 
 /// Lateness parameters `(a, b)` of the adversary.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Lateness {
     /// Rounds after which the adversary learns the topology.
     pub topology: Round,
@@ -283,7 +283,11 @@ mod tests {
 
     #[test]
     fn two_late_adversary_cannot_see_recent_topology() {
-        let recs = vec![record(7, vec![(1, 2)]), record(8, vec![(2, 3)]), record(9, vec![(3, 1)])];
+        let recs = vec![
+            record(7, vec![(1, 2)]),
+            record(8, vec![(2, 3)]),
+            record(9, vec![(3, 1)]),
+        ];
         let m = members();
         let v = KnowledgeView::new(
             10,
@@ -297,7 +301,10 @@ mod tests {
             2,
         );
         assert!(v.topology_at(8).is_some());
-        assert!(v.topology_at(9).is_none(), "round 9 is too recent for a 2-late adversary at t=10");
+        assert!(
+            v.topology_at(9).is_none(),
+            "round 9 is too recent for a 2-late adversary at t=10"
+        );
         assert_eq!(v.latest_topology().unwrap().round, 8);
         assert_eq!(v.visible_topologies().len(), 2);
     }
@@ -328,7 +335,11 @@ mod tests {
             2,
         );
         assert_eq!(v.state_digest_at(1, NodeId(1)), Some(111));
-        assert_eq!(v.state_digest_at(5, NodeId(1)), None, "round 5 is newer than t-b=4");
+        assert_eq!(
+            v.state_digest_at(5, NodeId(1)),
+            None,
+            "round 5 is newer than t-b=4"
+        );
     }
 
     #[test]
@@ -339,7 +350,10 @@ mod tests {
         let eligible = v.eligible_bootstraps();
         assert!(eligible.contains(&NodeId(1)));
         assert!(eligible.contains(&NodeId(2)));
-        assert!(!eligible.contains(&NodeId(3)), "node 3 joined at round 9, too fresh at round 10");
+        assert!(
+            !eligible.contains(&NodeId(3)),
+            "node 3 joined at round 9, too fresh at round 10"
+        );
     }
 
     #[test]

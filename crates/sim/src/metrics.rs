@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use crate::ids::{NodeId, Round};
 
 /// Metrics of a single round.
-#[derive(Clone, Debug, Default, serde::Serialize)]
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct RoundMetrics {
     /// The round these metrics describe.
     pub round: Round,
@@ -111,7 +111,7 @@ impl RoundMetricsBuilder {
 }
 
 /// The full metrics history of a run.
-#[derive(Clone, Debug, Default, serde::Serialize)]
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct MetricsHistory {
     rounds: Vec<RoundMetrics>,
 }

@@ -16,8 +16,15 @@
 //! ```text
 //! cargo run --release --example impossibility_attacks
 //! ```
+//!
+//! Unlike the other examples this one does not use the `Scenario` builder:
+//! the impossibility constructions run a *custom* gossip protocol against the
+//! raw simulator, below the maintained-LDS layer the builder composes.
 
-use two_steps_ahead::adversary::{victim_is_isolated, IsolateNewcomerAdversary, JoinChainAdversary};
+use rand::seq::SliceRandom;
+use two_steps_ahead::adversary::{
+    victim_is_isolated, IsolateNewcomerAdversary, JoinChainAdversary,
+};
 #[allow(unused_imports)]
 use two_steps_ahead::sim::{
     ChurnRules, Ctx, Envelope, Lateness, NodeId, Process, SimConfig, Simulator,
@@ -69,7 +76,6 @@ impl Process for Gossip {
             if id != ctx.id() && !self.contacts.contains(&id) {
                 // Gossip a freshly learned identifier onwards so that knowledge
                 // of newcomers spreads beyond their first contacts.
-                use rand::seq::SliceRandom as _;
                 let picks: Vec<NodeId> = self
                     .contacts
                     .choose_multiple(&mut ctx.rng, 3)
@@ -84,7 +90,6 @@ impl Process for Gossip {
         self.contacts.truncate(16);
         // Sponsor newly joined nodes: greet them and introduce them to a few
         // randomly chosen contacts (and vice versa).
-        use rand::seq::SliceRandom as _;
         let sponsored: Vec<NodeId> = ctx.sponsored().to_vec();
         for new in &sponsored {
             ctx.send(*new, GossipMsg::Hello);
@@ -103,7 +108,6 @@ impl Process for Gossip {
         }
         // Greet a small random subset of contacts: the adversary cannot tell
         // from an old snapshot who will be contacted next.
-        use rand::seq::SliceRandom;
         let sample: Vec<NodeId> = self
             .contacts
             .choose_multiple(&mut ctx.rng, 2)
@@ -224,8 +228,17 @@ fn lemma4(min_bootstrap_age: u64, label: &str) {
 
 fn main() {
     println!("== Lemma 3: a topology-aware adversary isolates newcomers in a static overlay ==");
-    lemma3(Lateness::zero_late_topology(), "  a = 0 (up-to-date adversary) ");
-    lemma3(Lateness { topology: 2, state: 1_000 }, "  a = 2 (still enough vs. a static overlay)");
+    lemma3(
+        Lateness::zero_late_topology(),
+        "  a = 0 (up-to-date adversary) ",
+    );
+    lemma3(
+        Lateness {
+            topology: 2,
+            state: 1_000,
+        },
+        "  a = 2 (still enough vs. a static overlay)",
+    );
     println!("  -> A static overlay loses newcomers even to a 2-late adversary, because who");
     println!("     will be contacted next is predictable from an old snapshot. This is exactly");
     println!("     why the paper's protocol rebuilds the whole overlay every 2 rounds: see the");

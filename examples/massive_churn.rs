@@ -10,25 +10,28 @@
 //! cargo run --release --example massive_churn
 //! ```
 
-use two_steps_ahead::adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
 use two_steps_ahead::prelude::*;
-use two_steps_ahead::sim::Adversary;
 
-fn run<A: Adversary>(label: &str, params: MaintenanceParams, adversary: A) {
-    let mut harness = MaintenanceHarness::new(params, adversary, 7);
-    harness.run_bootstrap();
+fn run(label: &str, scenario: Scenario) {
+    let mut run = scenario.build();
+    run.run_bootstrap();
     println!("\n=== {label} ===");
     println!("round  nodes  mature  wired  connected  largest-comp  max-congestion");
     for _ in 0..6 {
-        harness.run(4);
-        let r = harness.report();
+        run.run(4);
+        let r = run.report();
         println!(
             "{:>5}  {:>5}  {:>6}  {:>5}  {:>9}  {:>12.3}  {:>6}",
-            r.round, r.node_count, r.mature_count, r.participating, r.connected,
-            r.largest_component_fraction, r.max_congestion
+            r.round,
+            r.node_count,
+            r.mature_count,
+            r.participating,
+            r.connected,
+            r.largest_component_fraction,
+            r.max_congestion
         );
     }
-    let r = harness.report();
+    let r = run.report();
     assert!(
         r.largest_component_fraction > 0.9,
         "{label}: the overlay fell apart: {r:?}"
@@ -36,20 +39,23 @@ fn run<A: Adversary>(label: &str, params: MaintenanceParams, adversary: A) {
 }
 
 fn main() {
-    let params = MaintenanceParams::new(96).with_tau(6).with_replication(3);
+    let base = Scenario::maintained_lds(96)
+        .with_tau(6)
+        .with_replication(3)
+        .churn(ChurnSpec::paper())
+        .seed(7);
     // The paper's budget: αn churn events per 4λ+14 rounds. Spread it out as a
     // few events per round so the adversary is always active.
+    let params = base.spec().maintenance_params();
     let per_round = (params.overlay.churn_budget() / 8).max(1);
 
     run(
         "oblivious random churn",
-        params,
-        RandomChurnAdversary::new(per_round, 1),
+        base.adversary(AdversarySpec::random(per_round, 1)),
     );
     run(
         "2-late targeted-swarm churn",
-        params,
-        TargetedSwarmAdversary::new(per_round, 2),
+        base.adversary(AdversarySpec::targeted(per_round, 2)),
     );
 
     println!("\nBoth adversaries spend the same budget; because every overlay is");

@@ -1,6 +1,6 @@
-//! Quickstart: run the maintenance protocol through its bootstrap phase and a
-//! few steady-state epochs, then print a health report of the maintained
-//! overlay.
+//! Quickstart: compose a maintained-overlay experiment with the `Scenario`
+//! builder, run it through its bootstrap phase and a few steady-state epochs,
+//! then print a health report of the maintained overlay.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -11,8 +11,16 @@ use two_steps_ahead::prelude::*;
 fn main() {
     // A small network: n is the lower bound on the number of nodes the
     // adversary must respect; every protocol constant (λ, swarm radius, δ, τ)
-    // is derived from it.
-    let params = MaintenanceParams::new(96).with_tau(6).with_replication(3);
+    // is derived from it. The builder composes the whole stack — overlay
+    // parameters, maintenance protocol, churn rules, adversary — behind one
+    // fluent chain.
+    let mut run = Scenario::maintained_lds(96)
+        .with_tau(6)
+        .with_replication(3)
+        .churn(ChurnSpec::none())
+        .seed(42)
+        .build();
+    let params = *run.params();
     println!(
         "n = {}, λ = {}, swarm radius = {:.4}, maturity age = {} rounds",
         params.overlay.n,
@@ -23,12 +31,15 @@ fn main() {
 
     // No churn yet: just the bootstrap phase plus a few epochs of steady
     // state, so every overlay is built purely from CREATE introductions.
-    let mut harness = MaintenanceHarness::without_churn(params, 42);
-    harness.run_bootstrap();
-    harness.run(8);
+    run.run_bootstrap();
+    run.run(8);
 
-    let report = harness.report();
-    println!("\nAfter {} rounds (epoch {}):", report.round + 1, report.epoch);
+    let report = run.report();
+    println!(
+        "\nAfter {} rounds (epoch {}):",
+        report.round + 1,
+        report.epoch
+    );
     println!("  nodes               : {}", report.node_count);
     println!("  mature              : {}", report.mature_count);
     println!("  wired into overlay  : {}", report.participating);
@@ -36,9 +47,23 @@ fn main() {
     println!("  connected           : {}", report.connected);
     println!("  mean degree         : {:.1}", report.mean_degree);
     println!("  min swarm size      : {}", report.min_swarm_size);
-    println!("  peak congestion     : {} msgs/node/round", report.max_congestion);
+    println!(
+        "  peak congestion     : {} msgs/node/round",
+        report.max_congestion
+    );
     println!("  routable            : {}", report.is_routable());
 
-    assert!(report.is_routable(), "the freshly bootstrapped overlay must be routable");
-    println!("\nThe overlay was rebuilt from scratch every 2 rounds — {} times so far.", report.epoch);
+    assert!(
+        report.is_routable(),
+        "the freshly bootstrapped overlay must be routable"
+    );
+    println!(
+        "\nThe overlay was rebuilt from scratch every 2 rounds — {} times so far.",
+        report.epoch
+    );
+
+    // The same run, finalized as a serializable outcome (this is what the
+    // experiment binaries write into their BENCH_*.json files).
+    let outcome = run.into_outcome();
+    println!("\nScenario outcome label: {}", outcome.label);
 }

@@ -1,38 +1,37 @@
-//! Exercise `A_ROUTING` and `A_SAMPLING` on a routable series of LDS
-//! snapshots: measure delivery rate, the exact `2λ+2` dilation, congestion
-//! versus `k · log n`, and the uniformity of peer sampling.
+//! Exercise `A_ROUTING` and `A_SAMPLING` through the `Scenario` builder:
+//! measure delivery rate, the exact `2λ+2` dilation, congestion versus
+//! `k · log n`, and the uniformity of peer sampling.
 //!
 //! ```text
 //! cargo run --release --example routing_and_sampling
 //! ```
 
-use rand::SeedableRng;
-use two_steps_ahead::analysis::{uniformity, Summary};
-use two_steps_ahead::overlay::Lds;
+use two_steps_ahead::overlay::OverlayParams;
 use two_steps_ahead::prelude::*;
-use two_steps_ahead::routing::{sample_many, uniform_workload, RoutingSim};
-use two_steps_ahead::sim::NodeId;
 
 fn main() {
     let n = 512;
-    let params = OverlayParams::with_default_c(n);
-    let lambda = params.lambda();
-    let series = RoutableSeries::new(params, 99, (0..n as u64).map(NodeId));
+    let lambda = OverlayParams::with_default_c(n).lambda();
 
-    println!("n = {n}, λ = {lambda}, expected dilation = {} rounds", 2 * lambda + 2);
+    println!(
+        "n = {n}, λ = {lambda}, expected dilation = {} rounds",
+        2 * lambda + 2
+    );
     println!("\n-- A_ROUTING under 25% holder failure --");
     for k in [1usize, 2, 4] {
-        let config = RoutingConfig::default()
+        let outcome = Scenario::routing(n)
             .with_replication(4)
-            .with_holder_failure(0.25)
-            .with_seed(5);
-        let sim = RoutingSim::new(&series, config);
-        let report = sim.route_all(0, &uniform_workload(&series, k, 11 + k as u64));
+            .holder_failure(0.25)
+            .messages_per_node(k)
+            .seed(99)
+            .workload_seed(11 + k as u64)
+            .run(0);
+        let report = outcome.routing.expect("routing outcome");
         println!(
             "k = {k}: delivered {}/{} ({:.1}%), dilation = {} rounds, max congestion = {} (k·λ = {})",
             report.delivered,
             report.total,
-            100.0 * report.delivery_rate(),
+            100.0 * report.delivery_rate,
             report.dilation,
             report.max_congestion,
             k as u32 * lambda,
@@ -40,15 +39,25 @@ fn main() {
     }
 
     println!("\n-- A_SAMPLING uniformity --");
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
-    let overlay = Lds::random(params, (0..n as u64).map(NodeId), &mut rng);
-    let report = sample_many(&overlay, 100_000, 17);
-    let hit_summary = Summary::of_counts(report.hits.values().copied());
-    let uni = uniformity(&report.hits, n);
+    let outcome = Scenario::sampling(n)
+        .attempts(100_000)
+        .seed(3)
+        .workload_seed(17)
+        .run(0);
+    let report = outcome.sampling.expect("sampling outcome");
     println!("attempts            : {}", report.attempts);
-    println!("discard rate        : {:.3} (Lemma 13 bound: ≤ 0.5 + o(1))", report.discard_rate());
-    println!("distinct nodes hit  : {}/{n}", report.distinct_nodes());
-    println!("hits per node       : mean {:.1}, min {:.0}, max {:.0}", hit_summary.mean, hit_summary.min, hit_summary.max);
-    println!("total variation dist: {:.4}", uni.total_variation);
-    println!("chi² ({} df)       : {:.1}", uni.degrees_of_freedom, uni.chi_square);
+    println!(
+        "discard rate        : {:.3} (Lemma 13 bound: ≤ 0.5 + o(1))",
+        report.discard_rate
+    );
+    println!("distinct nodes hit  : {}/{n}", report.distinct_nodes);
+    println!(
+        "hits per node       : mean {:.1}, min {}, max {}",
+        report.hits_mean, report.hits_min, report.hits_max
+    );
+    println!("total variation dist: {:.4}", report.total_variation);
+    println!(
+        "chi² ({} df)       : {:.1}",
+        report.degrees_of_freedom, report.chi_square
+    );
 }

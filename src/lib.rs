@@ -15,7 +15,9 @@
 //!   impossibility constructions;
 //! * [`baselines`] — SPARTAN-style, H_d-graph and Chord-with-swarms
 //!   comparison overlays;
-//! * [`analysis`] — statistics, uniformity tests and table rendering.
+//! * [`analysis`] — statistics, uniformity tests and table rendering;
+//! * [`scenario`] — the fluent [`Scenario`](scenario::Scenario) builder that
+//!   composes all of the above into runnable, serializable experiments.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the reproduction results.
@@ -28,6 +30,7 @@ pub use tsa_baselines as baselines;
 pub use tsa_core as maintenance;
 pub use tsa_overlay as overlay;
 pub use tsa_routing as routing;
+pub use tsa_scenario as scenario;
 pub use tsa_sim as sim;
 
 /// The most frequently used items from across the workspace.
@@ -36,5 +39,8 @@ pub mod prelude {
     pub use tsa_core::{MaintenanceHarness, MaintenanceParams, MaintenanceReport};
     pub use tsa_overlay::{Lds, OverlayParams, Position};
     pub use tsa_routing::{RoutableSeries, RoutingConfig, RoutingSim};
+    pub use tsa_scenario::{
+        AdversarySpec, BaselineKind, ChurnSpec, Scenario, ScenarioOutcome, ScenarioRun,
+    };
     pub use tsa_sim::prelude::*;
 }

@@ -1,43 +1,36 @@
 //! Integration tests for Theorem 14: the maintenance protocol keeps the
 //! overlay routable under adversarial churn, fresh nodes are integrated, and
-//! the adversary's 2-late topology knowledge buys it nothing.
+//! the adversary's 2-late topology knowledge buys it nothing. All scenarios
+//! are composed through the `Scenario` builder.
 
-use two_steps_ahead::adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
-use two_steps_ahead::maintenance::{MaintenanceHarness, MaintenanceParams};
-use two_steps_ahead::sim::{Adversary, ChurnRules};
+use two_steps_ahead::prelude::*;
+use two_steps_ahead::scenario::ScenarioRun;
 
-fn small_params() -> MaintenanceParams {
-    MaintenanceParams::new(48)
+fn small_scenario() -> Scenario {
+    Scenario::maintained_lds(48)
         .with_c(1.5)
         .with_tau(4)
         .with_replication(2)
 }
 
-fn run_with<A: Adversary>(adversary: A, rounds: u64) -> MaintenanceHarness<A> {
-    let params = small_params();
+fn run_with(adversary: AdversarySpec, rounds: u64) -> ScenarioRun {
     // Budget: n/4 churn events per churn window — four times the paper's
     // α = 1/16 rate, applied gradually.
-    let rules = ChurnRules {
-        max_events: Some(params.overlay.n / 4),
-        window: params.overlay.churn_window(),
-        bootstrap_rounds: params.bootstrap_rounds(),
-        ..ChurnRules::default()
-    };
-    let mut harness =
-        MaintenanceHarness::with_rules(params, adversary, 11, rules, params.paper_lateness());
-    harness.run_bootstrap();
-    harness.run(rounds);
-    harness
+    let mut run = small_scenario()
+        .churn(ChurnSpec::budget(48 / 4))
+        .adversary(adversary)
+        .seed(11)
+        .build();
+    run.run_bootstrap();
+    run.run(rounds);
+    run
 }
 
 #[test]
 fn overlay_stays_connected_under_random_churn() {
-    let params = small_params();
-    let harness = run_with(
-        RandomChurnAdversary::new(2, 5),
-        3 * params.maturity_age(),
-    );
-    let report = harness.report();
+    let maturity_age = small_scenario().spec().maintenance_params().maturity_age();
+    let run = run_with(AdversarySpec::random(2, 5), 3 * maturity_age);
+    let report = run.report();
     assert!(
         report.largest_component_fraction > 0.9,
         "random churn must not shatter the overlay: {report:?}"
@@ -48,12 +41,9 @@ fn overlay_stays_connected_under_random_churn() {
 
 #[test]
 fn overlay_stays_connected_under_targeted_churn() {
-    let params = small_params();
-    let harness = run_with(
-        TargetedSwarmAdversary::new(2, 6),
-        3 * params.maturity_age(),
-    );
-    let report = harness.report();
+    let maturity_age = small_scenario().spec().maintenance_params().maturity_age();
+    let run = run_with(AdversarySpec::targeted(2, 6), 3 * maturity_age);
+    let report = run.report();
     assert!(
         report.largest_component_fraction > 0.9,
         "a 2-late targeted adversary must do no better than random churn (Lemma 16): {report:?}"
@@ -62,9 +52,9 @@ fn overlay_stays_connected_under_targeted_churn() {
 
 #[test]
 fn churned_in_nodes_eventually_join_the_overlay() {
-    let params = small_params();
-    let harness = run_with(RandomChurnAdversary::new(2, 7), 4 * params.maturity_age());
-    let snapshots = harness.snapshots();
+    let maturity_age = small_scenario().spec().maintenance_params().maturity_age();
+    let run = run_with(AdversarySpec::random(2, 7), 4 * maturity_age);
+    let snapshots = run.snapshots();
     let late_joiners: Vec<_> = snapshots
         .iter()
         .filter(|(_, s)| !s.genesis && s.mature)
@@ -84,10 +74,10 @@ fn churned_in_nodes_eventually_join_the_overlay() {
 
 #[test]
 fn congestion_stays_polylogarithmic() {
-    let params = small_params();
-    let harness = run_with(RandomChurnAdversary::new(2, 8), 2 * params.maturity_age());
+    let params = small_scenario().spec().maintenance_params();
+    let run = run_with(AdversarySpec::random(2, 8), 2 * params.maturity_age());
     let lambda = params.lambda() as usize;
-    let peak = harness.metrics().peak_congestion();
+    let peak = run.metrics().peak_congestion();
     // Lemma 24: O(log^3 n) messages per node and round. With the small
     // constants used in tests the peak must stay well below n * λ and within a
     // modest multiple of λ^3.
@@ -101,13 +91,22 @@ fn congestion_stays_polylogarithmic() {
 fn fresh_nodes_are_known_by_mature_nodes() {
     // Lemma 20/22: every fresh node connects to Θ(δ) mature nodes and no
     // mature node is overloaded with connects.
-    let params = small_params();
-    let harness = run_with(RandomChurnAdversary::new(2, 9), 2 * params.maturity_age());
-    let connect_load = harness.connect_load();
+    let params = small_scenario().spec().maintenance_params();
+    let run = run_with(AdversarySpec::random(2, 9), 2 * params.maturity_age());
+    let connect_load = run.connect_load();
     let max_load = connect_load.values().copied().max().unwrap_or(0);
     assert!(
         max_load <= 2 * params.delta + params.connect_slots(),
         "a mature node received {max_load} connects, far above 2δ = {}",
         params.connect_slots()
     );
+}
+
+#[test]
+fn scenario_outcome_captures_the_run() {
+    let run = run_with(AdversarySpec::targeted(2, 6), 20);
+    let outcome = run.into_outcome();
+    assert!(outcome.maintenance.is_some());
+    let json = outcome.to_json();
+    assert!(json.contains("\"Targeted\""), "spec embedded in outcome");
 }

@@ -14,7 +14,11 @@ use two_steps_ahead::sim::NodeId;
 
 fn lds(n: usize, c: f64, seed: u64) -> Lds {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    Lds::random(OverlayParams::new(n, c), (0..n as u64).map(NodeId), &mut rng)
+    Lds::random(
+        OverlayParams::new(n, c),
+        (0..n as u64).map(NodeId),
+        &mut rng,
+    )
 }
 
 proptest! {
@@ -92,7 +96,10 @@ fn degrees_grow_logarithmically_not_linearly() {
     let d128 = lds(128, 2.0, 1).to_graph().mean_out_degree();
     let d512 = lds(512, 2.0, 1).to_graph().mean_out_degree();
     assert!(d512 < 2.0 * d128, "degree grew too fast: {d128} -> {d512}");
-    assert!(d512 > 0.8 * d128, "degree should not shrink: {d128} -> {d512}");
+    assert!(
+        d512 > 0.8 * d128,
+        "degree should not shrink: {d128} -> {d512}"
+    );
 }
 
 #[test]

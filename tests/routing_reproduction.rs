@@ -28,7 +28,11 @@ fn lemma9_dilation_and_delivery_under_quarter_failures() {
         .with_holder_failure(0.25)
         .with_seed(2);
     let report = RoutingSim::new(&s, config).route_all(0, &uniform_workload(&s, 1, 3));
-    assert!(report.delivery_rate() > 0.97, "delivery {}", report.delivery_rate());
+    assert!(
+        report.delivery_rate() > 0.97,
+        "delivery {}",
+        report.delivery_rate()
+    );
     assert_eq!(report.dilation, 2 * lambda + 2);
     for o in report.outcomes.iter().filter(|o| o.delivered) {
         assert_eq!(o.rounds, 2 * lambda + 2, "dilation must be exactly 2λ+2");
@@ -47,7 +51,10 @@ fn lemma9_congestion_grows_linearly_in_k() {
         ys.push(report.max_congestion as f64);
     }
     let (_, r2) = fit_proportional(&xs, &ys);
-    assert!(r2 > 0.8, "congestion should scale ~linearly with k (R² = {r2})");
+    assert!(
+        r2 > 0.8,
+        "congestion should scale ~linearly with k (R² = {r2})"
+    );
     assert!(ys[2] > ys[0], "more load, more congestion");
 }
 
@@ -80,9 +87,17 @@ fn lemma13_sampling_is_uniform_and_rarely_discarded() {
         &mut rng,
     );
     let report = sample_many(&overlay, 50_000, 10);
-    assert!(report.discard_rate() < 0.6, "discard rate {}", report.discard_rate());
+    assert!(
+        report.discard_rate() < 0.6,
+        "discard rate {}",
+        report.discard_rate()
+    );
     let uni = uniformity(&report.hits, n);
-    assert_eq!(report.distinct_nodes(), n, "every node must be reachable by sampling");
+    assert_eq!(
+        report.distinct_nodes(),
+        n,
+        "every node must be reachable by sampling"
+    );
     assert!(
         uni.total_variation < 0.15,
         "sampling far from uniform: {uni:?}"

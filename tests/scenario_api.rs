@@ -1,0 +1,206 @@
+//! Guarantees for the `Scenario` migration:
+//!
+//! 1. the deprecated `MaintenanceHarness` constructors and the `Scenario`
+//!    builder produce **byte-identical** `MaintenanceReport` JSON for the
+//!    same fixed seed, so every pre-migration result stays reproducible;
+//! 2. `ScenarioOutcome` round-trips through serde without loss.
+
+use two_steps_ahead::adversary::RandomChurnAdversary;
+use two_steps_ahead::maintenance::{MaintenanceHarness, MaintenanceParams};
+use two_steps_ahead::prelude::*;
+use two_steps_ahead::sim::ChurnRules;
+
+fn params() -> MaintenanceParams {
+    MaintenanceParams::new(48)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+}
+
+#[test]
+fn deprecated_with_rules_and_scenario_builder_agree_byte_for_byte() {
+    let params = params();
+    let rules = ChurnRules {
+        max_events: Some(params.overlay.n / 4),
+        window: params.overlay.churn_window(),
+        bootstrap_rounds: params.bootstrap_rounds(),
+        ..ChurnRules::default()
+    };
+    let rounds = 2 * params.maturity_age();
+
+    #[allow(deprecated)]
+    let mut old = MaintenanceHarness::with_rules(
+        params,
+        RandomChurnAdversary::new(2, 5),
+        11,
+        rules,
+        params.paper_lateness(),
+    );
+    old.run_bootstrap();
+    old.run(rounds);
+
+    let mut new = Scenario::maintained_lds(48)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+        .churn(ChurnSpec::budget(48 / 4))
+        .adversary(AdversarySpec::random(2, 5))
+        .seed(11)
+        .build();
+    new.run_bootstrap();
+    new.run(rounds);
+
+    let old_json = serde_json::to_string(&old.report()).unwrap();
+    let new_json = serde_json::to_string(&new.report()).unwrap();
+    assert_eq!(
+        old_json, new_json,
+        "the Scenario builder must reproduce the deprecated path exactly"
+    );
+}
+
+#[test]
+fn deprecated_without_churn_and_churn_none_agree_byte_for_byte() {
+    let params = params();
+
+    #[allow(deprecated)]
+    let mut old = MaintenanceHarness::without_churn(params, 42);
+    old.run_bootstrap();
+    old.run(8);
+
+    let mut new = Scenario::maintained_lds(48)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+        .churn(ChurnSpec::none())
+        .seed(42)
+        .build();
+    new.run_bootstrap();
+    new.run(8);
+
+    assert_eq!(
+        serde_json::to_string(&old.report()).unwrap(),
+        serde_json::to_string(&new.report()).unwrap(),
+    );
+}
+
+#[test]
+fn deprecated_new_and_paper_churn_agree_byte_for_byte() {
+    let params = params();
+
+    #[allow(deprecated)]
+    let mut old = MaintenanceHarness::new(params, RandomChurnAdversary::new(1, 3), 7);
+    old.run_bootstrap();
+    old.run(10);
+
+    let mut new = Scenario::maintained_lds(48)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+        .churn(ChurnSpec::paper())
+        .adversary(AdversarySpec::random(1, 3))
+        .seed(7)
+        .build();
+    new.run_bootstrap();
+    new.run(10);
+
+    assert_eq!(
+        serde_json::to_string(&old.report()).unwrap(),
+        serde_json::to_string(&new.report()).unwrap(),
+    );
+}
+
+#[test]
+fn maintained_outcome_round_trips_through_serde() {
+    let outcome = Scenario::maintained_lds(48)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+        .churn(ChurnSpec::budget(12))
+        .adversary(AdversarySpec::targeted(1, 2))
+        .seed(9)
+        .run(10);
+    let json = serde_json::to_string(&outcome).unwrap();
+    let back: ScenarioOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    assert_eq!(back.spec, outcome.spec);
+    let (a, b) = (
+        back.maintenance.as_ref().unwrap(),
+        outcome.maintenance.as_ref().unwrap(),
+    );
+    assert_eq!(a.report.round, b.report.round);
+    assert_eq!(a.metrics.rounds().len(), b.metrics.rounds().len());
+}
+
+#[test]
+fn outcome_replays_exactly_from_its_embedded_spec_and_rounds() {
+    let outcome = Scenario::maintained_lds(48)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+        .churn(ChurnSpec::budget(12))
+        .adversary(AdversarySpec::random(2, 5))
+        .seed(13)
+        .run(6);
+    assert_eq!(outcome.rounds, 6, "rounds records the measured rounds");
+    let replay = two_steps_ahead::scenario::Scenario::from_spec(outcome.spec).run(outcome.rounds);
+    assert_eq!(
+        serde_json::to_string(&replay.maintenance.as_ref().unwrap().report).unwrap(),
+        serde_json::to_string(&outcome.maintenance.as_ref().unwrap().report).unwrap(),
+        "replaying spec + rounds must reproduce the published report"
+    );
+}
+
+#[test]
+fn manual_run_without_bootstrap_still_replays_exactly() {
+    // build() then run() without run_bootstrap(): the outcome must record
+    // what actually happened (no bootstrap), not what the spec defaulted to.
+    let mut run = Scenario::maintained_lds(48)
+        .with_c(1.5)
+        .with_tau(4)
+        .with_replication(2)
+        .seed(21)
+        .build();
+    run.run(10);
+    let outcome = run.into_outcome();
+    assert_eq!(outcome.rounds, 10);
+    assert!(!outcome.spec.bootstrap, "spec corrected to what ran");
+    let replay = two_steps_ahead::scenario::Scenario::from_spec(outcome.spec).run(outcome.rounds);
+    assert_eq!(
+        serde_json::to_string(&replay.maintenance.as_ref().unwrap().report).unwrap(),
+        serde_json::to_string(&outcome.maintenance.as_ref().unwrap().report).unwrap(),
+    );
+}
+
+#[test]
+fn null_adversary_leaves_baseline_structures_intact() {
+    let outcome = Scenario::baseline(BaselineKind::HdGraph)
+        .with_n(96)
+        .seed(4)
+        .run(0);
+    let b = outcome.baseline.unwrap();
+    assert_eq!(b.budget, 0, "Null adversary spends no churn");
+    assert_eq!(b.resilience.removed, 0);
+    assert_eq!(b.resilience.largest_component_fraction, 1.0);
+}
+
+#[test]
+fn one_shot_outcomes_round_trip_through_serde() {
+    for outcome in [
+        Scenario::baseline(BaselineKind::Spartan)
+            .with_n(128)
+            .churn(ChurnSpec::budget(32))
+            .adversary(AdversarySpec::targeted(1, 4))
+            .seed(12)
+            .run(0),
+        Scenario::routing(128)
+            .with_replication(4)
+            .holder_failure(0.25)
+            .seed(5)
+            .run(0),
+        Scenario::sampling(128).attempts(20_000).seed(6).run(0),
+    ] {
+        let json = outcome.to_json_pretty();
+        let back: ScenarioOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.to_json_pretty(), json, "{}", outcome.label);
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides a small wall-clock timing harness behind the criterion API:
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark runs
+//! a short calibration pass, then `sample_size` timed samples, and prints the
+//! median time per iteration. No statistics, plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value (e.g. a size).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+/// Runs closures and measures their wall-clock time.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, printing nothing; results are reported by the caller.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1ms?
+        let start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(1) {
+            std::hint::black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_sample = calibration_iters.max(1);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        last_median_ns: 0.0,
+    };
+    f(&mut bencher);
+    let ns = bencher.last_median_ns;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    if group.is_empty() {
+        println!("{id:<40} {value:>10.3} {unit}/iter");
+    } else {
+        println!("{group}/{id:<32} {value:>10.3} {unit}/iter");
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.0, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<ID: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().0, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one("", id, 10, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

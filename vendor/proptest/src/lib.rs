@@ -1,0 +1,224 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The [`proptest!`] macro expands each `fn name(pat in strategy, ...) { .. }`
+//! into a plain `#[test]` that draws `cases` deterministic samples from the
+//! strategies and runs the body for each. There is no shrinking: a failing
+//! case panics with the values embedded in the assertion message (the
+//! [`prop_assert!`]/[`prop_assert_eq!`] macros are plain assertions here).
+//! Sampling is deterministic per (test name, case index), so failures are
+//! exactly reproducible.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases drawn per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG driving strategy sampling (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Derives the RNG for one test case from the test name and case index.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h ^ ((case as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample from an empty range");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing vectors of values drawn from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors with lengths drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Expands property functions into deterministic multi-case `#[test]`s.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$attr:meta])* fn $name:ident( $($pat:pat in $strategy:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $( let $pat = $crate::Strategy::generate(&($strategy), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// The pieces most users want in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, f in 0.25f64..0.75, lambda in 1u32..16) {
+            prop_assert!(x < 100);
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((1..16).contains(&lambda));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(xs in crate::collection::vec(0.0f64..1.0, 1..10)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            for x in xs {
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline shim for the subset of `rayon` this workspace uses.
+//!
+//! `par_iter_mut().map(f).collect()` is genuinely parallel: the slice is
+//! split into one contiguous chunk per available core and processed on
+//! scoped OS threads, with results concatenated in slice order. The engine's
+//! per-node RNG streams depend only on `(seed, node, round)`, so parallel and
+//! sequential execution are bit-for-bit identical — this shim preserves that
+//! property by keeping chunk order deterministic. Swapping the real `rayon`
+//! back in requires no source change.
+
+/// A "parallel" mutable iterator over a slice, consumed by [`ParIterMut::map`].
+pub struct ParIterMut<'data, T: Send> {
+    slice: &'data mut [T],
+}
+
+/// The mapped form of [`ParIterMut`], consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T: Send, F> {
+    slice: &'data mut [T],
+    f: F,
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Maps each element through `f` (applied in parallel at collect time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&mut T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+impl<T: Send, F> ParMap<'_, T, F> {
+    /// Applies the map across one chunk per available core and collects the
+    /// results in slice order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&mut T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let len = self.slice.len();
+        let f = &self.f;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(len.max(1));
+        if threads <= 1 {
+            return self.slice.iter_mut().map(f).collect();
+        }
+        let chunk_size = len.div_ceil(threads);
+        let mut chunk_results: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks_mut(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<R>>()))
+                .collect();
+            chunk_results = handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect();
+        });
+        chunk_results.into_iter().flatten().collect()
+    }
+}
+
+pub mod prelude {
+    //! Parallel-iterator traits.
+
+    pub use super::ParIterMut;
+
+    /// Types that can hand out a parallel mutable iterator.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The element type.
+        type Elem: Send + 'data;
+
+        /// Returns a parallel mutable iterator over the elements.
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Elem>;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Elem = T;
+
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            super::par_iter_mut_impl(self.as_mut_slice())
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Elem = T;
+
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            super::par_iter_mut_impl(self)
+        }
+    }
+}
+
+fn par_iter_mut_impl<T: Send>(slice: &mut [T]) -> ParIterMut<'_, T> {
+    ParIterMut { slice }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_maps_and_collects_in_order() {
+        let mut xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter_mut().map(|x| *x * 2).collect();
+        let expected: Vec<u64> = (0..10_000).map(|x| x * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn mutations_through_the_parallel_iterator_stick() {
+        let mut xs = vec![1u32; 1000];
+        let _: Vec<()> = xs.par_iter_mut().map(|x| *x += 1).collect();
+        assert!(xs.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn empty_and_single_element_slices_work() {
+        let mut empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter_mut().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let mut one = vec![7u32];
+        let out: Vec<u32> = one.par_iter_mut().map(|x| *x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // single-core environment: nothing to observe
+        }
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let mut xs = vec![0u8; 64];
+        let _: Vec<()> = xs
+            .par_iter_mut()
+            .map(|_| {
+                // Slow each element slightly so multiple chunks overlap.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected more than one worker thread"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a miniature serde: instead of the visitor-based data model, serialization
+//! goes through an owned JSON-like [`value::Value`] tree ([`Serialize`] builds
+//! one, [`Deserialize`] reads one back). The companion `serde_json` shim
+//! renders and parses that tree. Derive macros for both traits are provided by
+//! the `serde_derive` shim and re-exported here, so `#[derive(Serialize,
+//! Deserialize)]` and `#[derive(serde::Serialize)]` work as with real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::Value;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A (de)serialization error: a message describing the mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom<T: fmt::Display>(message: T) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `self` back from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => return Err(Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom(format!("integer {u} out of range")))?,
+                    other => return Err(Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // Non-finite floats serialize as null (as in serde_json).
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected float, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::custom(format!("expected 2-array, got {other:?}"))),
+        }
+    }
+}
+
+/// Renders a key value the way serde_json renders JSON object keys: strings
+/// directly, everything else through its compact JSON form.
+fn key_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::Str(s) => s,
+        other => other.to_json_compact(),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort by rendered key.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<u32> = Vec::from_value(&vec![1u32, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let o: Option<u32> = Option::from_value(&Value::Null).unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn ints_coerce_to_floats() {
+        assert_eq!(f64::from_value(&Value::UInt(7)).unwrap(), 7.0);
+        assert_eq!(f64::from_value(&Value::Int(-2)).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(bool::from_value(&Value::UInt(1)).is_err());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline shim for `serde_derive`: derive macros for the value-tree-based
+//! `Serialize` / `Deserialize` traits of the vendored `serde` shim.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — everything
+//! this workspace derives on:
+//!
+//! * structs with named fields (serialized as objects in declaration order);
+//! * tuple structs with one field (serialized transparently, newtype-style)
+//!   or several fields (serialized as arrays);
+//! * enums with unit variants (serialized as the variant-name string),
+//!   single-field tuple variants (`{"Variant": value}`) and named-field
+//!   variants (`{"Variant": {..fields}}`), i.e. serde's external tagging.
+//!
+//! Generic types and serde attributes are not supported and fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Consumes leading attributes (`#[...]`) from `tokens[*pos]`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if *pos < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[*pos] {
+                        if p.as_char() == '!' {
+                            *pos += 1; // inner attribute '!'
+                        }
+                    }
+                }
+                match &tokens[*pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => *pos += 1,
+                    other => panic!("expected [...] after '#', got {other}"),
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes an optional visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected ':' after field `{name}`, got {other}"),
+        }
+        // Skip the type: everything until a ',' at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                arity += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        arity -= 1; // trailing comma
+    }
+    arity
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(tuple_arity(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == '=' {
+                panic!("explicit enum discriminants are not supported by the serde shim");
+            }
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("generic types are not supported by the serde shim (deriving on `{name}`)");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g),
+                }
+            }
+            other => panic!("unsupported struct shape for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Derives the value-tree `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         let mut entries: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::value::Value::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         ::serde::value::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::value::Value::Object(vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), ::serde::value::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            values.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => ::serde::value::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), \
+                                 ::serde::value::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim generated invalid Serialize impl")
+}
+
+/// Derives the value-tree `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut reads = String::new();
+            for f in fields {
+                reads.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::custom(\
+                             \"missing field `{f}` in {name}\"))?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::value::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if !matches!(value, ::serde::value::Value::Object(_)) {{\n\
+                             return Err(::serde::Error::custom(\"expected object for {name}\"));\n\
+                         }}\n\
+                         Ok({name} {{\n{reads}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::value::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let reads: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::value::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::value::Value::Array(items) if items.len() == {arity} => \
+                                 Ok({name}({})),\n\
+                             _ => Err(::serde::Error::custom(\"expected {arity}-array for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                reads.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let reads: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let items = match payload {{\n\
+                                     ::serde::value::Value::Array(items) if items.len() == {arity} => items,\n\
+                                     _ => return Err(::serde::Error::custom(\
+                                         \"expected {arity}-array payload for {name}::{vn}\")),\n\
+                                 }};\n\
+                                 return Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            reads.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let reads: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(payload.get(\"{f}\")\
+                                         .ok_or_else(|| ::serde::Error::custom(\
+                                             \"missing field `{f}` in {name}::{vn}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),\n",
+                            reads.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::value::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::value::Value::Str(s) = value {{\n\
+                             match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                         if let ::serde::value::Value::Object(entries) = value {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::custom(\
+                             format!(\"unrecognized {name} value: {{value:?}}\")))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim generated invalid Deserialize impl")
+}
