@@ -1,0 +1,189 @@
+//! Aggregation of seed replicates: the statistics layer parameter sweeps fold
+//! their per-cell outcomes through.
+//!
+//! A [`Replicates`] collects one metric's values across the seed replicates of
+//! a grid cell and reports mean, spread, percentiles and a normal-theory 95%
+//! confidence half-width. The `tsa-sweep` crate builds its per-axis summary
+//! tables on top of this.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::percentile_sorted;
+
+/// One metric's values across the seed replicates of a sweep cell.
+#[derive(Clone, Debug, Default)]
+pub struct Replicates {
+    values: Vec<f64>,
+}
+
+impl Replicates {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one replicate's value.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of replicates collected.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Smallest value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sample standard deviation (Bessel-corrected; 0 for fewer than two
+    /// replicates).
+    pub fn std_dev(&self) -> f64 {
+        let k = self.values.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (k - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Half-width of the normal-theory 95% confidence interval of the mean:
+    /// `1.96 · s / √k`. Zero for fewer than two replicates (no spread
+    /// estimate).
+    pub fn ci95_half_width(&self) -> f64 {
+        let k = self.values.len();
+        if k < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev() / (k as f64).sqrt()
+    }
+
+    /// The `q`-th percentile (nearest rank) of the replicate values.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        percentile_sorted(&sorted, q)
+    }
+
+    /// Folds into the serializable [`MetricSummary`] under `name`.
+    pub fn summarize(&self, name: &str) -> MetricSummary {
+        MetricSummary {
+            name: name.to_string(),
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            ci95: self.ci95_half_width(),
+        }
+    }
+}
+
+/// The serializable summary of one metric across seed replicates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// The metric's name.
+    pub name: String,
+    /// Number of replicates.
+    pub count: usize,
+    /// Mean over replicates.
+    pub mean: f64,
+    /// Smallest replicate value.
+    pub min: f64,
+    /// Largest replicate value.
+    pub max: f64,
+    /// Half-width of the 95% confidence interval of the mean (0 for a single
+    /// replicate).
+    pub ci95: f64,
+}
+
+impl MetricSummary {
+    /// Renders as `mean ± ci [min, max]` (the ± and range parts only when
+    /// they are informative).
+    pub fn display(&self) -> String {
+        let f = crate::report::fmt_f;
+        if self.count < 2 {
+            return f(self.mean);
+        }
+        format!(
+            "{} ± {} [{}, {}]",
+            f(self.mean),
+            f(self.ci95),
+            f(self.min),
+            f(self.max)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_statistics() {
+        let mut r = Replicates::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.push(v);
+        }
+        assert_eq!(r.count(), 4);
+        assert!((r.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(r.min(), 1.0);
+        assert_eq!(r.max(), 4.0);
+        // Sample sd of 1..4 is sqrt(5/3).
+        assert!((r.std_dev() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let hw = r.ci95_half_width();
+        assert!((hw - 1.96 * (5.0f64 / 3.0).sqrt() / 2.0).abs() < 1e-12);
+        assert_eq!(r.percentile(0.0), 1.0);
+        assert_eq!(r.percentile(1.0), 4.0);
+    }
+
+    #[test]
+    fn degenerate_replicates_are_safe() {
+        let empty = Replicates::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+        assert_eq!(empty.ci95_half_width(), 0.0);
+        let mut one = Replicates::new();
+        one.push(7.0);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.std_dev(), 0.0);
+        assert_eq!(one.ci95_half_width(), 0.0);
+        assert_eq!(one.summarize("x").display(), "7.00");
+    }
+
+    #[test]
+    fn summaries_serialize() {
+        let mut r = Replicates::new();
+        r.push(0.5);
+        r.push(0.7);
+        let s = r.summarize("delivery_rate");
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert!(s.display().contains("±"), "{}", s.display());
+    }
+}

@@ -6,10 +6,12 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod report;
 pub mod stats;
 pub mod uniformity;
 
+pub use aggregate::{MetricSummary, Replicates};
 pub use report::{fmt_bool, fmt_f, Table};
 pub use stats::{fit_proportional, percentile_sorted, Histogram, Summary};
 pub use uniformity::{uniformity, UniformityReport};

@@ -1,4 +1,4 @@
-//! Chord with swarms (Fiat, Saia & Young [7]): every virtual Chord address is
+//! Chord with swarms (Fiat, Saia & Young \\[7\\]): every virtual Chord address is
 //! maintained by a swarm of `Θ(log n)` nodes, the construction the LDS borrows
 //! its swarm idea from. Static baseline for Table 1.
 

@@ -1,4 +1,4 @@
-//! The H_d graph of Drees, Gmyr & Scheideler [4]: the union of `d` random
+//! The H_d graph of Drees, Gmyr & Scheideler \\[4\\]: the union of `d` random
 //! rings ("random cycles"), a constant-degree structured expander.
 //!
 //! Used as a Table-1 baseline: it tolerates enormous churn against an

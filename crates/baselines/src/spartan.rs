@@ -1,4 +1,4 @@
-//! A SPARTAN-style overlay (Augustine & Sivasubramaniam [2]): a wrapped
+//! A SPARTAN-style overlay (Augustine & Sivasubramaniam \\[2\\]): a wrapped
 //! butterfly of *virtual* nodes, each simulated by a committee of `Θ(log n)`
 //! real nodes.
 //!

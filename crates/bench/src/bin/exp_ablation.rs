@@ -1,66 +1,39 @@
 //! Experiment A1 — ablation of the two robustness knobs the design section
-//! calls out: the swarm-radius parameter `c` and the routing replication `r`.
-//! Both are swept on the standalone routing layer (which isolates their effect
-//! from the rest of the protocol) under a fixed 25% per-step holder failure.
+//! calls out, as two declarative sweeps on the standalone routing layer
+//! (which isolates their effect from the rest of the protocol) under a fixed
+//! 25% per-step holder failure:
+//!
+//! * `c`: the swarm-radius parameter at `r = 3`;
+//! * `replication`: the replication factor at `c = 2`.
 
-use tsa_analysis::{fmt_f, Table};
-use tsa_bench::write_bench_json;
-use tsa_overlay::OverlayParams;
-use tsa_scenario::{Scenario, ScenarioOutcome};
+use tsa_bench::{finish, run_sweeps, workload_spec, ExpArgs};
+use tsa_scenario::ScenarioKind;
+use tsa_sweep::SweepSpec;
 
 fn main() {
+    let exp = "exp_ablation";
+    let args = ExpArgs::parse(exp, "ablation: swarm-radius c and replication r sweeps");
     let n = 256usize;
-    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
 
-    let mut table = Table::new(
-        "Ablation: swarm-radius parameter c (r = 3, 25% holder failure, n = 256)",
-        &["c", "swarm radius", "delivery rate", "max congestion"],
-    );
-    for &c in &[0.5f64, 1.0, 1.5, 2.0, 3.0] {
-        let outcome = Scenario::routing(n)
-            .with_c(c)
-            .with_replication(3)
-            .holder_failure(0.25)
-            .messages_per_node(1)
-            .seed(3)
-            .workload_seed(5)
-            .run(0);
-        let r = outcome.routing.expect("routing outcome");
-        table.row(vec![
-            fmt_f(c),
-            fmt_f(OverlayParams::new(n, c).swarm_radius()),
-            fmt_f(r.delivery_rate),
-            r.max_congestion.to_string(),
-        ]);
-        outcomes.push(outcome);
-    }
-    println!("{}", table.to_markdown());
+    let mut base = workload_spec(ScenarioKind::Routing, n);
+    base.holder_failure = 0.25;
 
-    let mut table = Table::new(
-        "Ablation: replication factor r (c = 2, 25% holder failure, n = 256)",
-        &["r", "delivery rate", "max congestion", "total copies"],
-    );
-    for &r in &[1usize, 2, 3, 4, 6] {
-        let outcome = Scenario::routing(n)
-            .with_replication(r)
-            .holder_failure(0.25)
-            .messages_per_node(1)
-            .seed(4)
-            .workload_seed(7)
-            .run(0);
-        let report = outcome.routing.expect("routing outcome");
-        table.row(vec![
-            r.to_string(),
-            fmt_f(report.delivery_rate),
-            report.max_congestion.to_string(),
-            report.total_copies.to_string(),
-        ]);
-        outcomes.push(outcome);
-    }
-    println!("{}", table.to_markdown());
+    let mut c_base = base;
+    c_base.replication = Some(3);
+    let c_sweep = SweepSpec::new("c", c_base)
+        .over_c([0.5, 1.0, 1.5, 2.0, 3.0])
+        .seeds(3, 2);
+
+    let mut r_base = base;
+    r_base.c = Some(2.0);
+    let r_sweep = SweepSpec::new("replication", r_base)
+        .over_replication([1, 2, 3, 4, 6])
+        .seeds(4, 2);
+
+    let runs = run_sweeps(exp, &args, vec![c_sweep, r_sweep]);
     println!(
         "Small c starves swarms (delivery collapses); growing c or r buys reliability at a\n\
          linear cost in congestion — the trade-off the paper's constants encode."
     );
-    write_bench_json("exp_ablation", &outcomes);
+    finish(exp, &args, &runs, serde_json::Value::Null);
 }

@@ -7,7 +7,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
 use tsa_analysis::{fmt_f, Summary, Table};
-use tsa_bench::write_bench_json;
+use tsa_bench::{write_bench_json, write_bench_json_at, ExpArgs};
 use tsa_overlay::{Lds, OverlayParams, Position};
 use tsa_sim::NodeId;
 
@@ -26,6 +26,13 @@ struct Fig1Row {
 }
 
 fn main() {
+    // Structure-level measurement (no scenarios to sweep); the shared flags
+    // still apply for --out/--help uniformity across the exp_* binaries.
+    let args = ExpArgs::parse(
+        "exp_fig1",
+        "Figure 1: LDS neighbourhood structure, measured (structure-level, \
+         no scenario sweep: --full and --threads are accepted but no-ops)",
+    );
     let mut rows: Vec<Fig1Row> = Vec::new();
     let mut table = Table::new(
         "Figure 1 (measured): LDS neighbourhood structure",
@@ -93,5 +100,11 @@ fn main() {
          and around both de Bruijn images of its position (long-distance edges), so every\n\
          swarm is adjacent to its image swarms — the structure sketched in Figure 1."
     );
-    write_bench_json("exp_fig1", &rows);
+    match &args.out {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("output directory is creatable");
+            write_bench_json_at(&dir.join("BENCH_exp_fig1.json"), &rows);
+        }
+        None => write_bench_json("exp_fig1", &rows),
+    }
 }

@@ -1,85 +1,44 @@
 //! Experiments E7–E11 — Theorem 14 and its supporting lemmas, measured on the
-//! full message-level protocol:
+//! full message-level protocol, as two declarative sweeps:
 //!
-//! * E7 (Theorem 14 / Lemma 15): routability over time under the paper's churn
-//!   rate, for three adversaries;
-//! * E8 (Lemma 16): the lateness ablation — 2-late targeted churn is no better
-//!   than random churn;
-//! * E10 (Lemmas 20/22): fresh-node connect load on mature nodes stays ≤ 2δ;
-//! * E11 (Lemma 24): per-node congestion versus `log³ n`.
+//! * `churn`: routability under `n/4`-per-window churn for three adversaries
+//!   over the `n` axis (Theorem 14 / Lemmas 15, 16, 20, 22);
+//! * `congestion`: per-node message load versus `log³ n` in churn-free steady
+//!   state (Lemma 24).
 
-use tsa_analysis::{fmt_bool, fmt_f, Summary, Table};
-use tsa_bench::{experiment_scenario, write_bench_json};
-use tsa_scenario::{AdversarySpec, ChurnSpec, ScenarioOutcome};
-
-fn run_one(
-    n: usize,
-    adversary: AdversarySpec,
-    seed: u64,
-    table: &mut Table,
-    outcomes: &mut Vec<ScenarioOutcome>,
-) {
-    let mut run = experiment_scenario(n)
-        .churn(ChurnSpec::budget(n / 4))
-        .adversary(adversary)
-        .seed(seed)
-        .build();
-    let params = *run.params();
-    run.run_bootstrap();
-    run.run(3 * params.maturity_age());
-    let report = run.report();
-    let connect_load = run.connect_load();
-    let max_connects = connect_load.values().copied().max().unwrap_or(0);
-    let lambda = params.lambda() as f64;
-    table.row(vec![
-        n.to_string(),
-        adversary.label().to_string(),
-        fmt_bool(report.connected),
-        fmt_f(report.largest_component_fraction),
-        fmt_f(report.participation_rate),
-        report.min_swarm_size.to_string(),
-        format!("{} (2δ = {})", max_connects, params.connect_slots()),
-        report.max_congestion.to_string(),
-        fmt_f(report.max_congestion as f64 / (lambda * lambda * lambda)),
-    ]);
-    outcomes.push(run.into_outcome());
-}
+use tsa_analysis::{fmt_f, Summary, Table};
+use tsa_bench::{experiment_spec, finish, run_sweeps, ExpArgs};
+use tsa_scenario::{AdversarySpec, ChurnSpec};
+use tsa_sweep::{RoundsSpec, SweepSpec};
 
 fn main() {
-    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
-    let mut table = Table::new(
-        "Theorem 14 (measured): overlay health after 3·(2λ+4) churned rounds at rate n/4 per window",
-        &[
-            "n", "adversary", "connected", "largest comp", "participation", "min swarm",
-            "max connects/node (Lemma 22)", "max congestion (Lemma 24)", "congestion / λ³",
-        ],
+    let exp = "exp_maintenance";
+    let args = ExpArgs::parse(
+        exp,
+        "Theorem 14: routability, connect load and congestion under churn",
     );
-    for &n in &[48usize, 96] {
-        run_one(
-            n,
-            AdversarySpec::random(1, 101),
-            7,
-            &mut table,
-            &mut outcomes,
-        );
-        run_one(
-            n,
-            AdversarySpec::targeted(1, 102),
-            7,
-            &mut table,
-            &mut outcomes,
-        );
-        run_one(
-            n,
-            AdversarySpec::degree(1, 103),
-            7,
-            &mut table,
-            &mut outcomes,
-        );
-    }
-    println!("{}", table.to_markdown());
 
-    // E11: congestion scaling with n (no churn, pure protocol cost).
+    let churn = SweepSpec::new("churn", experiment_spec(48))
+        .over_n([48, 96])
+        .over_churn([ChurnSpec::fraction(1, 4)])
+        .over_adversaries([
+            AdversarySpec::random(1, 101),
+            AdversarySpec::targeted(1, 102),
+            AdversarySpec::degree(1, 103),
+        ])
+        .rounds(RoundsSpec::MaturityAges(3))
+        .seeds(7, 1);
+
+    let congestion = SweepSpec::new("congestion", experiment_spec(48))
+        .over_n([48, 96, 160])
+        .over_churn([ChurnSpec::none()])
+        .rounds(RoundsSpec::Fixed(6))
+        .seeds(5, 1);
+
+    let runs = run_sweeps(exp, &args, vec![churn, congestion]);
+
+    // E11 detail the aggregate cannot show: steady-state (post-bootstrap)
+    // means need the per-round history, which the in-memory records keep.
     let mut table = Table::new(
         "Lemma 24 (measured): per-node message load vs log³ n (steady state, no churn)",
         &[
@@ -90,39 +49,36 @@ fn main() {
             "peak / λ³",
         ],
     );
-    for &n in &[48usize, 96, 160] {
-        let mut run = experiment_scenario(n)
-            .churn(ChurnSpec::none())
-            .seed(5)
-            .build();
-        let params = *run.params();
-        run.run_bootstrap();
-        run.run(6);
-        let steady: Vec<f64> = run
-            .metrics()
+    for record in &runs[1].records {
+        let spec = record.outcome.spec;
+        let params = spec.maintenance_params();
+        let m = record
+            .outcome
+            .maintenance
+            .as_ref()
+            .expect("maintained cell");
+        let history = m.metrics.as_ref().expect("in-memory records keep history");
+        let steady: Vec<f64> = history
             .rounds()
             .iter()
             .skip(params.bootstrap_rounds() as usize)
-            .map(|m| m.mean_received_per_node)
+            .map(|r| r.mean_received_per_node)
             .collect();
-        let peak = run
-            .metrics()
+        let peak = history
             .rounds()
             .iter()
             .skip(params.bootstrap_rounds() as usize)
-            .map(|m| m.max_received_per_node)
+            .map(|r| r.max_received_per_node)
             .max()
             .unwrap_or(0);
-        let mean = Summary::of(&steady);
         let l = params.lambda() as f64;
         table.row(vec![
-            n.to_string(),
+            spec.n.to_string(),
             params.lambda().to_string(),
-            fmt_f(mean.mean),
+            fmt_f(Summary::of(&steady).mean),
             peak.to_string(),
             fmt_f(peak as f64 / (l * l * l)),
         ]);
-        outcomes.push(run.into_outcome());
     }
     println!("{}", table.to_markdown());
     println!(
@@ -130,5 +86,5 @@ fn main() {
          connect load per mature node stays within 2δ (Lemma 22), and the peak per-node\n\
          message load stays a small constant multiple of λ³ as n grows (Lemma 24)."
     );
-    write_bench_json("exp_maintenance", &outcomes);
+    finish(exp, &args, &runs, serde_json::Value::Null);
 }

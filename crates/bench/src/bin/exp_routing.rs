@@ -1,14 +1,16 @@
 //! Experiment E4/E5 — Lemmas 9–12: `A_ROUTING` delivery rate, exact dilation
-//! `2λ+2`, congestion `O(k log n)`, and trajectory-crossing counts.
+//! `2λ+2`, congestion `O(k log n)` (a declarative n × k sweep with seed
+//! replicates), and trajectory-crossing counts (a bespoke Lemma 12 check).
 
 use serde::Serialize;
 
 use tsa_analysis::{fmt_f, Table};
-use tsa_bench::write_bench_json;
+use tsa_bench::{finish, run_sweeps, workload_spec, ExpArgs};
 use tsa_overlay::{Interval, OverlayParams, Position};
 use tsa_routing::{trajectory_crossings, uniform_workload, RoutableSeries};
-use tsa_scenario::{Scenario, ScenarioOutcome};
+use tsa_scenario::ScenarioKind;
 use tsa_sim::NodeId;
+use tsa_sweep::SweepSpec;
 
 /// One measured trajectory-crossing row (Lemma 12).
 #[derive(Serialize)]
@@ -18,53 +20,26 @@ struct CrossingRow {
     predicted: f64,
 }
 
-/// Everything `exp_routing` measures, as written to `BENCH_exp_routing.json`.
-#[derive(Serialize)]
-struct RoutingBench {
-    scenarios: Vec<ScenarioOutcome>,
-    crossings: Vec<CrossingRow>,
-}
-
 fn main() {
-    // Lemma 9: delivery + dilation + congestion over n and k.
-    let mut scenarios: Vec<ScenarioOutcome> = Vec::new();
-    let mut table = Table::new(
-        "Lemma 9 (measured): A_ROUTING with 25% holder failure per step",
-        &[
-            "n",
-            "lambda",
-            "k",
-            "delivered",
-            "dilation (rounds)",
-            "max congestion",
-            "congestion / (k·λ)",
-        ],
+    let exp = "exp_routing";
+    let args = ExpArgs::parse(
+        exp,
+        "Lemmas 9-12: delivery, dilation, congestion, crossings",
     );
-    for &n in &[128usize, 256, 512] {
-        for k in [1usize, 4] {
-            let outcome = Scenario::routing(n)
-                .with_replication(4)
-                .holder_failure(0.25)
-                .messages_per_node(k)
-                .seed(7)
-                .workload_seed(3 + k as u64)
-                .run(0);
-            let r = outcome.routing.expect("routing outcome");
-            table.row(vec![
-                n.to_string(),
-                r.lambda.to_string(),
-                k.to_string(),
-                format!("{}/{}", r.delivered, r.total),
-                r.dilation.to_string(),
-                r.max_congestion.to_string(),
-                fmt_f(r.max_congestion as f64 / (k as f64 * r.lambda as f64)),
-            ]);
-            scenarios.push(outcome);
-        }
-    }
-    println!("{}", table.to_markdown());
 
-    // Lemma 12: trajectory crossings of an interval vs the k·n·|I| prediction.
+    // Lemma 9: delivery + dilation + congestion over the n × k grid, three
+    // seed replicates per cell for confidence intervals.
+    let mut base = workload_spec(ScenarioKind::Routing, 128);
+    base.replication = Some(4);
+    base.holder_failure = 0.25;
+    let grid = SweepSpec::new("grid", base)
+        .over_n([128, 256, 512])
+        .over_messages_per_node([1, 4])
+        .seeds(7, 3);
+    let runs = run_sweeps(exp, &args, vec![grid]);
+
+    // Lemma 12: trajectory crossings of an interval vs the k·n·|I| prediction
+    // (structure-level, not a Scenario — stays bespoke).
     let n = 512usize;
     let params = OverlayParams::with_default_c(n);
     let series = RoutableSeries::new(params, 9, (0..n as u64).map(NodeId));
@@ -92,11 +67,10 @@ fn main() {
         });
     }
     println!("{}", table.to_markdown());
-    write_bench_json(
-        "exp_routing",
-        &RoutingBench {
-            scenarios,
-            crossings,
-        },
+    finish(
+        exp,
+        &args,
+        &runs,
+        serde_json::to_value(&crossings).expect("crossing rows serialize"),
     );
 }

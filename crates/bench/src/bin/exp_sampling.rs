@@ -1,49 +1,24 @@
 //! Experiment E6 — Lemma 13: `A_SAMPLING` chooses every node with the same
-//! probability and discards at most half of all attempts.
+//! probability and discards at most half of all attempts — a declarative
+//! sweep over the size axis with seed replicates.
 
-use tsa_analysis::{fmt_f, Table};
-use tsa_bench::write_bench_json;
-use tsa_scenario::{Scenario, ScenarioOutcome};
+use tsa_bench::{finish, run_sweeps, workload_spec, ExpArgs};
+use tsa_scenario::ScenarioKind;
+use tsa_sweep::SweepSpec;
 
 fn main() {
-    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
-    let mut table = Table::new(
-        "Lemma 13 (measured): A_SAMPLING uniformity (100k attempts per size)",
-        &[
-            "n",
-            "discard rate (bound 0.5)",
-            "distinct nodes hit",
-            "hits mean",
-            "hits min",
-            "hits max",
-            "total variation",
-            "chi² / df",
-        ],
-    );
-    for &n in &[128usize, 256, 512] {
-        let outcome = Scenario::sampling(n)
-            .attempts(100_000)
-            .seed(21 + n as u64)
-            .workload_seed(31 + n as u64)
-            .run(0);
-        let s = outcome.sampling.expect("sampling outcome");
-        table.row(vec![
-            n.to_string(),
-            fmt_f(s.discard_rate),
-            format!("{}/{}", s.distinct_nodes, n),
-            fmt_f(s.hits_mean),
-            s.hits_min.to_string(),
-            s.hits_max.to_string(),
-            fmt_f(s.total_variation),
-            fmt_f(s.chi_square / s.degrees_of_freedom as f64),
-        ]);
-        outcomes.push(outcome);
-    }
-    println!("{}", table.to_markdown());
+    let exp = "exp_sampling";
+    let args = ExpArgs::parse(exp, "Lemma 13: A_SAMPLING uniformity and discard rate");
+
+    let uniformity = SweepSpec::new("uniformity", workload_spec(ScenarioKind::Sampling, 128))
+        .over_n([128, 256, 512])
+        .seeds(21, 3);
+    let runs = run_sweeps(exp, &args, vec![uniformity]);
+
     println!(
         "Every node is hit, hit counts concentrate around the mean, the total-variation\n\
          distance to the uniform distribution is small, and the discard rate stays at the\n\
          Lemma 13 bound of one half."
     );
-    write_bench_json("exp_sampling", &outcomes);
+    finish(exp, &args, &runs, serde_json::Value::Null);
 }

@@ -1,57 +1,50 @@
-//! Experiment T1 — Table 1, re-measured.
+//! Experiment T1 — Table 1, re-measured, as two declarative sweeps:
 //!
-//! The paper's Table 1 compares adversary models from the literature. We turn
-//! it into an executable comparison: every *static* overlay structure from the
-//! related work (H_d graph, SPARTAN-style butterfly committees, Chord with
-//! swarms, a static LDS) is attacked with the same churn budget `αn`, once by
-//! an oblivious (random) adversary and once by a topology-aware one — which is
-//! what 2-lateness amounts to against a structure that never changes. The
-//! maintained LDS (this paper) is exercised through the full protocol against
-//! the 2-late targeted adversary.
+//! * `static`: every static overlay structure from the related work (H_d
+//!   graph, SPARTAN-style butterfly, Chord with swarms, a static LDS) on the
+//!   kind axis × an oblivious and a topology-aware adversary on the adversary
+//!   axis, all attacked with the same `n/4` churn burst;
+//! * `maintained`: the paper's LDS through the full message-level protocol
+//!   against the 2-late targeted adversary.
 
 use tsa_analysis::{fmt_bool, fmt_f, Table};
-use tsa_bench::{experiment_scenario, write_bench_json};
-use tsa_scenario::{AdversarySpec, BaselineKind, ChurnSpec, Scenario, ScenarioOutcome};
-
-fn trial(
-    kind: BaselineKind,
-    n: usize,
-    budget: usize,
-    seed: u64,
-    table: &mut Table,
-    outcomes: &mut Vec<ScenarioOutcome>,
-) {
-    // Same seed for both scenarios → both attack the identical structure.
-    let base = Scenario::baseline(kind)
-        .with_n(n)
-        .churn(ChurnSpec::budget(budget))
-        .seed(seed);
-    let random = base.adversary(AdversarySpec::random(1, seed)).run(0);
-    let targeted = base.adversary(AdversarySpec::targeted(1, seed)).run(0);
-    let rb = random.baseline.expect("baseline outcome");
-    let tb = targeted.baseline.expect("baseline outcome");
-    table.row(vec![
-        kind.label().to_string(),
-        "static".to_string(),
-        fmt_f(rb.resilience.largest_component_fraction),
-        fmt_f(tb.resilience.largest_component_fraction),
-        format!(
-            "{} + {}",
-            tb.resilience.removed, tb.resilience.isolated_survivors
-        ),
-        tb.eclipse_budget.to_string(),
-    ]);
-    outcomes.push(random);
-    outcomes.push(targeted);
-}
+use tsa_bench::{experiment_spec, finish, run_sweeps, workload_spec, ExpArgs};
+use tsa_scenario::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind};
+use tsa_sweep::{RoundsSpec, SweepSpec};
 
 fn main() {
+    let exp = "exp_table1";
+    let args = ExpArgs::parse(exp, "Table 1: adversary-model comparison, re-measured");
     let n = 256usize;
-    let budget = n / 4; // αn with α = 1/4: a harsh but survivable budget
-    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
 
+    let static_sweep = SweepSpec::new(
+        "static",
+        workload_spec(ScenarioKind::Baseline(BaselineKind::HdGraph), n),
+    )
+    .over_kinds([
+        ScenarioKind::Baseline(BaselineKind::HdGraph),
+        ScenarioKind::Baseline(BaselineKind::Spartan),
+        ScenarioKind::Baseline(BaselineKind::ChordSwarm),
+        ScenarioKind::Baseline(BaselineKind::StaticLds),
+    ])
+    .over_churn([ChurnSpec::fraction(1, 4)])
+    .over_adversaries([AdversarySpec::random(1, 11), AdversarySpec::targeted(1, 11)])
+    .seeds(11, 1);
+
+    let mut maintained_base = experiment_spec(96);
+    maintained_base.churn = ChurnSpec::fraction(1, 4);
+    maintained_base.adversary = AdversarySpec::targeted(2, 5);
+    let maintained = SweepSpec::new("maintained", maintained_base)
+        .rounds(RoundsSpec::MaturityAges(2))
+        .seeds(3, 1);
+
+    let runs = run_sweeps(exp, &args, vec![static_sweep, maintained]);
+
+    // The paper-shaped exhibit: one row per overlay, random vs targeted burst
+    // side by side, with the maintained protocol last.
+    let budget = n / 4;
     let mut table = Table::new(
-        &format!("Table 1 (measured): survival of an {budget}-node churn burst, n = {n}"),
+        &format!("Table 1 (measured): survival of a {budget}-node churn burst, n = {n}"),
         &[
             "overlay",
             "maintenance",
@@ -61,51 +54,45 @@ fn main() {
             "budget to eclipse one node",
         ],
     );
-
-    trial(
-        BaselineKind::HdGraph,
-        n,
-        budget,
-        11,
-        &mut table,
-        &mut outcomes,
-    );
-    trial(
-        BaselineKind::Spartan,
-        n,
-        budget,
-        12,
-        &mut table,
-        &mut outcomes,
-    );
-    trial(
-        BaselineKind::ChordSwarm,
-        n,
-        budget,
-        13,
-        &mut table,
-        &mut outcomes,
-    );
-    trial(
-        BaselineKind::StaticLds,
-        n,
-        budget,
-        14,
-        &mut table,
-        &mut outcomes,
-    );
-
-    // The maintained LDS: the full protocol against a 2-late targeted-swarm
-    // adversary spending (roughly) the same budget over one churn window.
-    let mut run = experiment_scenario(96)
-        .churn(ChurnSpec::budget(96 / 4))
-        .adversary(AdversarySpec::targeted(2, 5))
-        .seed(3)
-        .build();
-    let params = *run.params();
-    run.run_bootstrap();
-    run.run(2 * params.maturity_age());
-    let report = run.report();
+    // Pair each overlay's random and targeted trials by their specs (not by
+    // position, which would silently break if the sweep gained replicates).
+    let mut rows: Vec<(&str, [Option<tsa_scenario::BaselineOutcome>; 2])> = Vec::new();
+    for record in &runs[0].records {
+        let label = record.outcome.spec.kind_label();
+        let slot = match record.outcome.spec.adversary {
+            AdversarySpec::Random { .. } => 0,
+            _ => 1,
+        };
+        match rows.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, pair)) => pair[slot] = record.outcome.baseline,
+            None => {
+                let mut pair = [None, None];
+                pair[slot] = record.outcome.baseline;
+                rows.push((label, pair));
+            }
+        }
+    }
+    for (label, [random, targeted]) in rows {
+        let rb = random.expect("random-adversary trial present");
+        let tb = targeted.expect("targeted-adversary trial present");
+        table.row(vec![
+            label.to_string(),
+            "static".to_string(),
+            fmt_f(rb.resilience.largest_component_fraction),
+            fmt_f(tb.resilience.largest_component_fraction),
+            format!(
+                "{} + {}",
+                tb.resilience.removed, tb.resilience.isolated_survivors
+            ),
+            tb.eclipse_budget.to_string(),
+        ]);
+    }
+    let protocol = &runs[1].records[0].outcome;
+    let report = &protocol
+        .maintenance
+        .as_ref()
+        .expect("maintained cell")
+        .report;
     let unwired = report.mature_count - report.participating;
     table.row(vec![
         "LDS + maintenance (this paper)".to_string(),
@@ -121,13 +108,11 @@ fn main() {
             report
                 .node_count
                 .saturating_sub(report.participating)
-                .min(96),
+                .min(protocol.spec.n),
             unwired
         ),
         "unbounded (positions relocate every 2 rounds)".to_string(),
     ]);
-    outcomes.push(run.into_outcome());
-
     println!("{}", table.to_markdown());
     println!(
         "Reading: every structure keeps a giant component under a single oblivious burst, but\n\
@@ -139,5 +124,5 @@ fn main() {
          adversary) offers no such static target: the neighbourhood it observes is stale two\n\
          reconfigurations later, and every mature node stays wired in."
     );
-    write_bench_json("exp_table1", &outcomes);
+    finish(exp, &args, &runs, serde_json::Value::Null);
 }

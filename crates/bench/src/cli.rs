@@ -1,0 +1,139 @@
+//! Minimal flag parsing shared by every `exp_*` binary.
+//!
+//! All experiment binaries accept the same three flags plus `--help`:
+//!
+//! * `--full` — keep full-fidelity results (per-round metrics histories and
+//!   the raw per-cell records) in `BENCH_<exp>.json` instead of the compact
+//!   aggregate;
+//! * `--out <dir>` — directory for `BENCH_<exp>.json` and the sweep shard
+//!   files (default: `BENCH_<exp>.json` in the current directory, shards
+//!   under `target/sweeps/`);
+//! * `--threads <k>` — worker threads for sweep execution (default:
+//!   `TSA_THREADS` or the machine's parallelism).
+
+use std::path::PathBuf;
+
+/// Parsed command-line arguments of an experiment binary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Keep full-fidelity results in the BENCH artifact.
+    pub full: bool,
+    /// Output directory override for the BENCH artifact and shards.
+    pub out: Option<PathBuf>,
+    /// Worker-thread override for sweep execution.
+    pub threads: Option<usize>,
+}
+
+impl ExpArgs {
+    /// Parses an argument list (without the program name). Returns an error
+    /// message for unknown or malformed flags; `Ok(None)` means `--help` was
+    /// requested and usage should be printed.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Option<ExpArgs>, String> {
+        let mut parsed = ExpArgs::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Ok(None),
+                "--full" => parsed.full = true,
+                "--out" => {
+                    let dir = args.next().ok_or("--out requires a directory argument")?;
+                    parsed.out = Some(PathBuf::from(dir));
+                }
+                "--threads" => {
+                    let k = args.next().ok_or("--threads requires a count argument")?;
+                    let k: usize = k
+                        .parse()
+                        .map_err(|_| format!("--threads expects a positive integer, got {k:?}"))?;
+                    if k == 0 {
+                        return Err("--threads expects a positive integer, got 0".to_string());
+                    }
+                    parsed.threads = Some(k);
+                }
+                other => return Err(format!("unknown flag {other:?} (try --help)")),
+            }
+        }
+        Ok(Some(parsed))
+    }
+
+    /// Parses [`std::env::args`] for the experiment `exp`, printing usage and
+    /// exiting on `--help` or a parse error.
+    pub fn parse(exp: &str, about: &str) -> ExpArgs {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(Some(args)) => args,
+            Ok(None) => {
+                println!("{}", usage(exp, about));
+                std::process::exit(0);
+            }
+            Err(message) => {
+                eprintln!("{exp}: {message}\n\n{}", usage(exp, about));
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The usage text shared by the experiment binaries.
+pub fn usage(exp: &str, about: &str) -> String {
+    format!(
+        "{exp} — {about}\n\
+         \n\
+         USAGE: {exp} [--full] [--out <dir>] [--threads <k>]\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --full         keep full-fidelity records (raw per-round metrics)\n\
+         \x20                in BENCH_{exp}.json instead of the compact aggregate\n\
+         \x20 --out <dir>    write BENCH_{exp}.json and sweep shards under <dir>\n\
+         \x20 --threads <k>  worker threads for sweep cells (default: TSA_THREADS\n\
+         \x20                or the machine's available parallelism)\n\
+         \x20 --help         print this help"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args = ExpArgs::parse_from(strings(&["--full", "--out", "results", "--threads", "4"]))
+            .unwrap()
+            .unwrap();
+        assert!(args.full);
+        assert_eq!(args.out, Some(PathBuf::from("results")));
+        assert_eq!(args.threads, Some(4));
+        assert_eq!(
+            ExpArgs::parse_from(strings(&[])).unwrap().unwrap(),
+            ExpArgs::default()
+        );
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(ExpArgs::parse_from(strings(&["--help"])).unwrap(), None);
+        assert_eq!(
+            ExpArgs::parse_from(strings(&["--full", "-h"])).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(ExpArgs::parse_from(strings(&["--frobnicate"])).is_err());
+        assert!(ExpArgs::parse_from(strings(&["--out"])).is_err());
+        assert!(ExpArgs::parse_from(strings(&["--threads"])).is_err());
+        assert!(ExpArgs::parse_from(strings(&["--threads", "zero"])).is_err());
+        assert!(ExpArgs::parse_from(strings(&["--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let text = usage("exp_x", "test experiment");
+        for flag in ["--full", "--out", "--threads", "--help"] {
+            assert!(text.contains(flag), "usage must document {flag}");
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The shared sweep driver: every `exp_*` binary is a list of
+//! [`SweepSpec`]s handed to [`run_sweeps`], which executes them with shard
+//! checkpointing, prints the aggregated tables, and writes the
+//! `BENCH_<exp>.json` artifact.
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+use serde_json::Value;
+use tsa_sweep::{aggregate, CellRecord, SweepAggregate, SweepRun, SweepRunner, SweepSpec};
+
+use crate::cli::ExpArgs;
+
+/// The machine-readable artifact an experiment writes as `BENCH_<exp>.json`:
+/// per-axis aggregates plus per-cell records — compacted to their
+/// [`MetricsSummary`](tsa_sim::MetricsSummary) digests by default, with the
+/// raw per-round metrics histories behind `--full` — plus any
+/// experiment-specific extras.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchDoc {
+    /// The experiment's name.
+    pub exp: String,
+    /// Whether the cell records keep their full metrics histories.
+    pub full: bool,
+    /// Aggregated sweep summaries (always present).
+    pub aggregates: Vec<SweepAggregate>,
+    /// Per-cell records, in sweep and enumeration order.
+    pub cells: Vec<CellRecord>,
+    /// Experiment-specific extra results (e.g. the Lemma 12 crossing counts),
+    /// `Value::Null` when unused.
+    pub extra: Value,
+}
+
+/// Where a sweep's shard file lives: `<out>/<exp>.<sweep>.jsonl` under
+/// `--out`, otherwise `target/sweeps/<exp>.<sweep>.jsonl` (checkpoints are
+/// build artifacts by default).
+pub fn shard_path(exp: &str, sweep: &str, args: &ExpArgs) -> PathBuf {
+    let dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("target").join("sweeps"));
+    dir.join(format!("{exp}.{sweep}.jsonl"))
+}
+
+/// Runs each sweep (resuming from existing shards), prints its aggregate
+/// table, and returns the runs in order.
+pub fn run_sweeps(exp: &str, args: &ExpArgs, sweeps: Vec<SweepSpec>) -> Vec<SweepRun> {
+    sweeps
+        .into_iter()
+        .map(|sweep| {
+            let mut runner = SweepRunner::new(sweep.clone()).shard_path(shard_path(
+                exp,
+                &sweep.name,
+                args,
+            ));
+            if let Some(threads) = args.threads {
+                runner = runner.threads(threads);
+            }
+            let run = runner.run();
+            if run.resumed > 0 || run.discarded > 0 {
+                println!(
+                    "[{exp}.{}: resumed {} of {} cells from shards ({} stale), ran {} on {} threads]",
+                    sweep.name,
+                    run.resumed,
+                    run.records.len(),
+                    run.discarded,
+                    run.executed,
+                    run.threads,
+                );
+            }
+            println!("{}", aggregate(&sweep.name, &run.records).to_table().to_markdown());
+            run
+        })
+        .collect()
+}
+
+/// Folds completed runs into the `BENCH_<exp>.json` document. With `--full`
+/// the raw records ride along verbatim; otherwise each outcome is compacted
+/// to its metrics digest (this is what shrinks `BENCH_exp_maintenance.json`
+/// from thousands of per-round rows to a summary).
+pub fn bench_doc(exp: &str, args: &ExpArgs, runs: &[SweepRun], extra: Value) -> BenchDoc {
+    BenchDoc {
+        exp: exp.to_string(),
+        full: args.full,
+        aggregates: runs
+            .iter()
+            .map(|run| aggregate(&run.spec.name, &run.records))
+            .collect(),
+        cells: runs
+            .iter()
+            .flat_map(|run| run.records.iter())
+            .map(|record| CellRecord {
+                cell: record.cell,
+                rounds: record.rounds,
+                outcome: if args.full {
+                    record.outcome.clone()
+                } else {
+                    record.outcome.to_compact()
+                },
+            })
+            .collect(),
+        extra,
+    }
+}
+
+/// Writes the document to `BENCH_<exp>.json` (honouring `--out`) and reports
+/// the path on stdout.
+pub fn write_bench_doc(exp: &str, args: &ExpArgs, doc: &BenchDoc) {
+    match &args.out {
+        Some(dir) => {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: could not create {}: {err}", dir.display());
+            }
+            crate::write_bench_json_at(&dir.join(format!("BENCH_{exp}.json")), doc);
+        }
+        None => crate::write_bench_json(exp, doc),
+    }
+}
+
+/// The standard tail of every sweep-driven experiment binary: aggregate,
+/// serialize, write.
+pub fn finish(exp: &str, args: &ExpArgs, runs: &[SweepRun], extra: Value) {
+    let doc = bench_doc(exp, args, runs, extra);
+    write_bench_doc(exp, args, &doc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_scenario::{ScenarioKind, ScenarioSpec};
+
+    #[test]
+    fn shard_paths_follow_the_out_flag() {
+        let default = shard_path("exp_x", "grid", &ExpArgs::default());
+        assert_eq!(default, PathBuf::from("target/sweeps/exp_x.grid.jsonl"));
+        let out = ExpArgs {
+            out: Some(PathBuf::from("results")),
+            ..ExpArgs::default()
+        };
+        assert_eq!(
+            shard_path("exp_x", "grid", &out),
+            PathBuf::from("results/exp_x.grid.jsonl")
+        );
+    }
+
+    #[test]
+    fn bench_docs_compact_unless_full_is_requested() {
+        // A maintained cell, so there is a metrics history to compact away.
+        let mut base = ScenarioSpec::new(ScenarioKind::MaintainedLds, 48);
+        base.c = Some(1.5);
+        base.tau = Some(4);
+        base.replication = Some(2);
+        let sweep = SweepSpec::new("m", base).rounds(tsa_sweep::RoundsSpec::Fixed(3));
+        let run = SweepRunner::new(sweep).threads(1).run();
+
+        let compact = bench_doc(
+            "exp_t",
+            &ExpArgs::default(),
+            std::slice::from_ref(&run),
+            Value::Null,
+        );
+        assert_eq!(compact.aggregates.len(), 1);
+        assert_eq!(compact.cells.len(), 1);
+        let m = compact.cells[0].outcome.maintenance.as_ref().unwrap();
+        assert!(m.metrics.is_none(), "history compacted away by default");
+        assert!(m.metrics_summary.rounds > 0, "digest kept");
+
+        let full_args = ExpArgs {
+            full: true,
+            ..ExpArgs::default()
+        };
+        let full = bench_doc("exp_t", &full_args, &[run], Value::Null);
+        let m = full.cells[0].outcome.maintenance.as_ref().unwrap();
+        assert!(m.metrics.is_some(), "--full keeps the raw history");
+        // The document serializes (the artifact write path), and compacting
+        // actually shrinks it.
+        let full_json = serde_json::to_string(&full).unwrap();
+        let compact_json = serde_json::to_string(&compact).unwrap();
+        assert!(full_json.contains("aggregates"));
+        assert!(compact_json.len() < full_json.len() / 2);
+    }
+}

@@ -1,12 +1,15 @@
 //! # tsa-bench — experiment harness and Criterion benchmarks
 //!
 //! Each binary in `src/bin/` regenerates one exhibit of the paper (or one
-//! quantitative claim of a lemma/theorem); the Criterion benches in `benches/`
-//! measure the wall-clock cost of the core operations. `EXPERIMENTS.md` in the
-//! repository root records the outputs. Every binary additionally writes its
-//! machine-readable results as `BENCH_<exp>.json` (serialized
-//! [`tsa_scenario::ScenarioOutcome`]s or experiment-specific rows), so the
-//! bench trajectory can be tracked across PRs.
+//! quantitative claim of a lemma/theorem) as a thin set of
+//! [`tsa_sweep::SweepSpec`] declarations over the shared [`driver`] (shards,
+//! resume, aggregation) and [`cli`] flags (`--full`, `--out`, `--threads`,
+//! `--help`); the Criterion benches in `benches/` measure the wall-clock cost
+//! of the core operations. `EXPERIMENTS.md` in the repository root records
+//! the outputs. Every binary additionally writes its machine-readable
+//! results as `BENCH_<exp>.json` (a [`BenchDoc`]: sweep aggregates plus
+//! compacted cell records), so the bench trajectory can be tracked across
+//! PRs.
 //!
 //! | binary            | exhibit / claim |
 //! |--------------------|-----------------|
@@ -19,9 +22,15 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod driver;
+
+pub use cli::ExpArgs;
+pub use driver::{bench_doc, finish, run_sweeps, shard_path, BenchDoc};
+
 use serde::Serialize;
 use tsa_core::MaintenanceParams;
-use tsa_scenario::Scenario;
+use tsa_scenario::{Scenario, ScenarioKind, ScenarioSpec};
 
 /// The standard network sizes used by the experiments. They are deliberately
 /// modest so every experiment finishes in minutes on a laptop; the asymptotic
@@ -47,14 +56,30 @@ pub fn experiment_scenario(n: usize) -> Scenario {
         .with_replication(2)
 }
 
+/// The maintained-LDS spec all sweeps start from: [`experiment_scenario`] as
+/// plain data, ready for `SweepSpec` axes.
+pub fn experiment_spec(n: usize) -> ScenarioSpec {
+    *experiment_scenario(n).spec()
+}
+
+/// A spec of the given one-shot kind over `n` nodes, at the paper's defaults.
+pub fn workload_spec(kind: ScenarioKind, n: usize) -> ScenarioSpec {
+    ScenarioSpec::new(kind, n)
+}
+
 /// Writes `results` as pretty-printed JSON to `BENCH_<exp>.json` in the
 /// current directory and reports the path on stdout.
 pub fn write_bench_json<T: Serialize>(exp: &str, results: &T) {
-    let path = format!("BENCH_{exp}.json");
+    write_bench_json_at(std::path::Path::new(&format!("BENCH_{exp}.json")), results);
+}
+
+/// Writes `results` as pretty-printed JSON to `path` and reports the path on
+/// stdout.
+pub fn write_bench_json_at<T: Serialize>(path: &std::path::Path, results: &T) {
     let json = serde_json::to_string_pretty(results).expect("bench results serialize");
-    match std::fs::write(&path, json) {
-        Ok(()) => println!("\n[machine-readable results written to {path}]"),
-        Err(err) => eprintln!("warning: could not write {path}: {err}"),
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\n[machine-readable results written to {}]", path.display()),
+        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
     }
 }
 

@@ -19,7 +19,7 @@ pub struct MaintenanceParams {
     /// Number of initial epochs during which genesis nodes may derive their
     /// neighbourhood directly from the (churn-free) initial member set instead
     /// of waiting for `CREATE` introductions. This realizes the bootstrap
-    /// construction the paper delegates to Gmyr et al. [14]; it equals
+    /// construction the paper delegates to Gmyr et al. \\[14\\]; it equals
     /// `λ + 1`, the depth of the join-request pipeline.
     pub genesis_epochs: u64,
 }

@@ -1,5 +1,5 @@
-//! The classical Linearized DeBruijn Graph (Richa et al. [9], Feldmann &
-//! Scheideler [10]) — the non-redundant topology the LDS generalizes.
+//! The classical Linearized DeBruijn Graph (Richa et al. \\[9\\], Feldmann &
+//! Scheideler \\[10\\]) — the non-redundant topology the LDS generalizes.
 //!
 //! In the classical LDG every node connects only to its closest list
 //! neighbours (left and right) and to the node *closest* to each of its two

@@ -328,7 +328,8 @@ impl ScenarioRun {
             rounds: self.harness.round().saturating_sub(bootstrap_rounds),
             maintenance: Some(MaintenanceOutcome {
                 report,
-                metrics: self.harness.metrics().clone(),
+                metrics_summary: self.harness.metrics().summary(),
+                metrics: Some(self.harness.metrics().clone()),
                 max_connect_load,
             }),
             baseline: None,
@@ -479,7 +480,26 @@ mod tests {
         let m = outcome.maintenance.as_ref().expect("maintained outcome");
         assert_eq!(m.report.node_count, 48);
         assert!(outcome.is_routable(), "{:?}", m.report);
-        assert!(m.metrics.total_messages() > 0);
+        assert!(m.metrics_summary.total_messages_sent > 0);
+        assert_eq!(
+            m.metrics.as_ref().map(|h| h.summary()),
+            Some(m.metrics_summary),
+            "digest matches the full history"
+        );
+    }
+
+    #[test]
+    fn compact_drops_the_history_but_keeps_the_digest() {
+        let outcome = Scenario::maintained_lds(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+            .seed(1)
+            .run(4)
+            .compact();
+        let m = outcome.maintenance.as_ref().unwrap();
+        assert!(m.metrics.is_none());
+        assert!(m.metrics_summary.rounds > 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The serde-serializable result of running a scenario.
 //!
-//! A [`ScenarioOutcome`] always carries the [`ScenarioSpec`](crate::ScenarioSpec)
+//! A [`ScenarioOutcome`] always carries the [`ScenarioSpec`]
 //! that produced it, plus exactly one of the kind-specific payloads. The
 //! experiment binaries serialize these as `BENCH_*.json`, so every published
 //! number is reproducible from the spec embedded next to it.
@@ -8,18 +8,24 @@
 use serde::{Deserialize, Serialize};
 use tsa_baselines::ResilienceOutcome;
 use tsa_core::MaintenanceReport;
-use tsa_sim::MetricsHistory;
+use tsa_sim::{MetricsHistory, MetricsSummary};
 
 use crate::spec::ScenarioSpec;
 
-/// Result of a maintained-LDS scenario: the final health report plus the full
-/// per-round message metrics.
+/// Result of a maintained-LDS scenario: the final health report, a compact
+/// whole-run metrics digest, and (unless compacted away) the full per-round
+/// message metrics.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MaintenanceOutcome {
     /// Health of the overlay after the final round.
     pub report: MaintenanceReport,
-    /// Per-round message/congestion/churn metrics of the whole run.
-    pub metrics: MetricsHistory,
+    /// Compact whole-run digest of the message metrics — always present, and
+    /// all `BENCH_*.json` stores by default.
+    pub metrics_summary: MetricsSummary,
+    /// Per-round message/congestion/churn metrics of the whole run. `None`
+    /// after [`ScenarioOutcome::compact`]; experiment binaries keep it behind
+    /// `--full`.
+    pub metrics: Option<MetricsHistory>,
     /// The largest number of fresh-node connects any mature node received in
     /// the final round (the Lemma 22 quantity).
     pub max_connect_load: usize,
@@ -114,6 +120,37 @@ impl ScenarioOutcome {
             .as_ref()
             .map(|m| m.report.is_routable())
             .unwrap_or(false)
+    }
+
+    /// Drops the bulky per-round metrics history, keeping the
+    /// [`MetricsSummary`] digest. One-shot outcomes are unchanged. This is
+    /// what experiment binaries serialize by default; pass `--full` to keep
+    /// the raw history.
+    pub fn compact(mut self) -> Self {
+        if let Some(m) = self.maintenance.as_mut() {
+            m.metrics = None;
+        }
+        self
+    }
+
+    /// A compacted copy: [`clone`](Clone::clone) + [`compact`](Self::compact)
+    /// without ever copying the per-round history (which for long maintained
+    /// runs is megabytes the compaction would immediately drop).
+    pub fn to_compact(&self) -> Self {
+        ScenarioOutcome {
+            label: self.label.clone(),
+            spec: self.spec,
+            rounds: self.rounds,
+            maintenance: self.maintenance.as_ref().map(|m| MaintenanceOutcome {
+                report: m.report.clone(),
+                metrics_summary: m.metrics_summary,
+                metrics: None,
+                max_connect_load: m.max_connect_load,
+            }),
+            baseline: self.baseline,
+            routing: self.routing,
+            sampling: self.sampling,
+        }
     }
 
     /// Compact JSON rendering.

@@ -73,6 +73,16 @@ pub enum ChurnSpec {
         /// The window length in rounds.
         window: u64,
     },
+    /// `n · num / den` churn events per paper churn window, resolved against
+    /// the scenario's own `n`. This is the spec a parameter sweep wants: one
+    /// churn axis value ("a quarter of the network per window") that scales
+    /// with the `n` axis instead of baking in an absolute budget.
+    Fraction {
+        /// Numerator of the fraction of `n`.
+        num: usize,
+        /// Denominator of the fraction of `n` (must be nonzero).
+        den: usize,
+    },
     /// Fully explicit engine rules (impossibility experiments, weakened join
     /// rules, unconstrained adversaries).
     Custom {
@@ -107,6 +117,32 @@ impl ChurnSpec {
         ChurnSpec::Custom { rules }
     }
 
+    /// `n · num / den` churn events per paper churn window (`n`-relative).
+    pub fn fraction(num: usize, den: usize) -> Self {
+        assert!(den > 0, "fraction denominator must be nonzero");
+        ChurnSpec::Fraction { num, den }
+    }
+
+    /// A short human-readable label for sweep tables.
+    pub fn label(&self) -> String {
+        match *self {
+            ChurnSpec::None => "none".to_string(),
+            ChurnSpec::Paper => "paper".to_string(),
+            ChurnSpec::Budget { max_events } => format!("{max_events}/window"),
+            ChurnSpec::BudgetWindow { max_events, window } => {
+                format!("{max_events}/{window}r")
+            }
+            ChurnSpec::Fraction { num, den } => {
+                if num == 1 {
+                    format!("n/{den}")
+                } else {
+                    format!("{num}n/{den}")
+                }
+            }
+            ChurnSpec::Custom { .. } => "custom".to_string(),
+        }
+    }
+
     /// Resolves the spec into concrete engine rules for `params`.
     pub fn rules_for(&self, params: &MaintenanceParams) -> ChurnRules {
         match *self {
@@ -129,6 +165,12 @@ impl ChurnSpec {
                 bootstrap_rounds: params.bootstrap_rounds(),
                 ..ChurnRules::default()
             },
+            ChurnSpec::Fraction { num, den } => ChurnRules {
+                max_events: Some(params.overlay.n * num / den.max(1)),
+                window: params.overlay.churn_window(),
+                bootstrap_rounds: params.bootstrap_rounds(),
+                ..ChurnRules::default()
+            },
             ChurnSpec::Custom { rules } => rules,
         }
     }
@@ -144,6 +186,7 @@ impl ChurnSpec {
             ChurnSpec::Budget { max_events } | ChurnSpec::BudgetWindow { max_events, .. } => {
                 max_events
             }
+            ChurnSpec::Fraction { num, den } => n * num / den.max(1),
             ChurnSpec::Custom { rules } => rules.max_events.unwrap_or(n),
         }
     }
@@ -304,6 +347,61 @@ impl ScenarioSpec {
         self.workload_seed
             .unwrap_or_else(|| self.seed.rotate_left(13) ^ 0x574F_524B)
     }
+
+    /// Returns a copy with the master seed replaced — the hook sweep
+    /// enumeration uses to stamp seed replicates onto one grid cell.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A short name for the experiment kind.
+    pub fn kind_label(&self) -> &'static str {
+        match self.kind {
+            ScenarioKind::MaintainedLds => "maintained",
+            ScenarioKind::Baseline(kind) => kind.label(),
+            ScenarioKind::Routing => "routing",
+            ScenarioKind::Sampling => "sampling",
+        }
+    }
+
+    /// A compact human-readable description of the axis point this spec sits
+    /// at — every knob except the seeds. Two seed replicates of the same grid
+    /// cell share this label, so sweeps group by it.
+    pub fn axis_label(&self) -> String {
+        let mut parts = vec![format!("{} n={}", self.kind_label(), self.n)];
+        if let Some(c) = self.c {
+            parts.push(format!("c={c}"));
+        }
+        if let Some(delta) = self.delta {
+            parts.push(format!("δ={delta}"));
+        }
+        if let Some(tau) = self.tau {
+            parts.push(format!("τ={tau}"));
+        }
+        if let Some(r) = self.replication {
+            parts.push(format!("r={r}"));
+        }
+        match self.kind {
+            ScenarioKind::MaintainedLds | ScenarioKind::Baseline(_) => {
+                parts.push(format!("churn={}", self.churn.label()));
+                parts.push(format!("adv={}", self.adversary.label()));
+                if let Some(l) = self.lateness {
+                    parts.push(format!("late=({},{})", l.topology, l.state));
+                }
+            }
+            ScenarioKind::Routing => {
+                parts.push(format!("k={}", self.messages_per_node));
+                if self.holder_failure > 0.0 {
+                    parts.push(format!("fail={}", self.holder_failure));
+                }
+            }
+            ScenarioKind::Sampling => {
+                parts.push(format!("attempts={}", self.attempts));
+            }
+        }
+        parts.join(" ")
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +448,40 @@ mod tests {
             ..ChurnRules::default()
         };
         assert_eq!(ChurnSpec::custom(unconstrained).burst_budget(256), 256);
+    }
+
+    #[test]
+    fn fraction_budgets_resolve_against_n() {
+        let params = MaintenanceParams::new(64);
+        let rules = ChurnSpec::fraction(1, 4).rules_for(&params);
+        assert_eq!(rules.max_events, Some(16));
+        assert_eq!(rules.window, params.overlay.churn_window());
+        assert_eq!(
+            rules,
+            ChurnSpec::budget(16).rules_for(&params),
+            "n/4 at n = 64 is exactly budget(16)"
+        );
+        assert_eq!(ChurnSpec::fraction(1, 4).burst_budget(256), 64);
+        assert_eq!(ChurnSpec::fraction(3, 8).burst_budget(64), 24);
+        assert_eq!(ChurnSpec::fraction(1, 4).label(), "n/4");
+        assert_eq!(ChurnSpec::fraction(3, 8).label(), "3n/8");
+    }
+
+    #[test]
+    fn axis_labels_describe_the_cell_without_seeds() {
+        let spec = ScenarioSpec::new(ScenarioKind::MaintainedLds, 96);
+        let mut replicate = spec;
+        replicate.c = Some(1.5);
+        let a = replicate.with_seed(1).axis_label();
+        let b = replicate.with_seed(2).axis_label();
+        assert_eq!(a, b, "seed replicates share the axis label");
+        assert!(a.contains("maintained n=96"), "{a}");
+        assert!(a.contains("c=1.5"), "{a}");
+        assert!(a.contains("churn=paper"), "{a}");
+        let mut routing = ScenarioSpec::new(ScenarioKind::Routing, 128);
+        routing.holder_failure = 0.25;
+        assert!(routing.axis_label().contains("k=1"));
+        assert!(routing.axis_label().contains("fail=0.25"));
     }
 
     #[test]

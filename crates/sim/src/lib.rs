@@ -61,7 +61,7 @@ pub use engine::{NodeFactory, Simulator};
 pub use ids::{parity, NodeId, Round, RoundParity};
 pub use knowledge::{CommGraph, KnowledgeView, Lateness, MemberInfo, RoundRecord};
 pub use message::{Envelope, Outbox};
-pub use metrics::{MetricsHistory, RoundMetrics, RoundMetricsBuilder};
+pub use metrics::{MetricsHistory, MetricsSummary, RoundMetrics, RoundMetricsBuilder};
 pub use node::{Ctx, Process};
 
 /// Commonly used items, re-exported for convenience.

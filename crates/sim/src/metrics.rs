@@ -110,6 +110,34 @@ impl RoundMetricsBuilder {
     }
 }
 
+/// A compact whole-run digest of a [`MetricsHistory`]: totals and peaks only,
+/// no per-round rows. This is what `BENCH_*.json` stores by default (the raw
+/// history stays available behind `--full`), shrinking maintained-run
+/// artifacts by two orders of magnitude.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSummary {
+    /// Rounds recorded.
+    pub rounds: usize,
+    /// Total messages sent over the run.
+    pub total_messages_sent: usize,
+    /// Total messages delivered over the run.
+    pub total_messages_delivered: usize,
+    /// Total messages dropped (receiver departed before delivery).
+    pub total_messages_dropped: usize,
+    /// Largest per-node receive count of any round (the Lemma 24 congestion).
+    pub peak_congestion: usize,
+    /// Largest per-node send count of any round.
+    pub peak_send_rate: usize,
+    /// Largest single-round out-degree of any node.
+    pub peak_out_degree: usize,
+    /// Mean messages sent per node per round.
+    pub mean_messages_per_node_round: f64,
+    /// Total departures over the run.
+    pub total_departures: usize,
+    /// Total joins over the run.
+    pub total_joins: usize,
+}
+
 /// The full metrics history of a run.
 #[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct MetricsHistory {
@@ -169,6 +197,27 @@ impl MetricsHistory {
     pub fn total_messages(&self) -> usize {
         self.rounds.iter().map(|m| m.messages_sent).sum()
     }
+
+    /// Folds the whole history into its compact [`MetricsSummary`] digest.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            rounds: self.rounds.len(),
+            total_messages_sent: self.total_messages(),
+            total_messages_delivered: self.rounds.iter().map(|m| m.messages_delivered).sum(),
+            total_messages_dropped: self.rounds.iter().map(|m| m.messages_dropped).sum(),
+            peak_congestion: self.peak_congestion(),
+            peak_send_rate: self.peak_send_rate(),
+            peak_out_degree: self
+                .rounds
+                .iter()
+                .map(|m| m.max_out_degree)
+                .max()
+                .unwrap_or(0),
+            mean_messages_per_node_round: self.mean_messages_per_node_round(),
+            total_departures: self.rounds.iter().map(|m| m.departures).sum(),
+            total_joins: self.rounds.iter().map(|m| m.joins).sum(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +271,31 @@ mod tests {
         assert_eq!(h.total_messages(), 17);
         assert_eq!(h.last().unwrap().round, 2);
         assert!(h.mean_messages_per_node_round() > 0.0);
+    }
+
+    #[test]
+    fn summary_folds_totals_and_peaks() {
+        let mut h = MetricsHistory::new();
+        for (r, recv) in [(0u64, 3usize), (1, 9), (2, 5)] {
+            let mut b = RoundMetricsBuilder::new(r);
+            b.record_node_count(4);
+            b.record_churn(1, 2);
+            b.record_received(NodeId(1), recv);
+            b.record_sent(NodeId(1), recv, recv);
+            b.record_dropped(1);
+            h.push(b.finish());
+        }
+        let s = h.summary();
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.total_messages_sent, 17);
+        assert_eq!(s.total_messages_delivered, 17);
+        assert_eq!(s.total_messages_dropped, 3);
+        assert_eq!(s.peak_congestion, 9);
+        assert_eq!(s.peak_send_rate, 9);
+        assert_eq!(s.peak_out_degree, 9);
+        assert_eq!(s.total_departures, 3);
+        assert_eq!(s.total_joins, 6);
+        assert_eq!(MetricsHistory::new().summary(), MetricsSummary::default());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!    exactly reproducible.
 //! 2. **Order independence** — per-node streams do not depend on the order in
 //!    which nodes are stepped, so the engine may execute the compute phase of a
-//!    round in parallel (see [`crate::parallel`]) without changing results.
+//!    round in parallel (the engine's `par_iter_mut` pass) without changing
+//!    results.
 //!
 //! The paper additionally assumes a uniform hash function `h : V × N → [0,1)`
 //! that is known to every node but opaque to the adversary (a random oracle).

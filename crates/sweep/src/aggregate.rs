@@ -1,0 +1,235 @@
+//! Folding cell records into per-axis summary tables.
+//!
+//! Cells are grouped by their axis point (every spec knob except the seeds),
+//! and each group's seed replicates are folded per metric through
+//! [`tsa_analysis::Replicates`]: mean, min, max and a 95% confidence
+//! half-width. The result is serializable — it is what `BENCH_*.json` stores
+//! by default — and renders as a markdown [`Table`].
+
+use serde::{Deserialize, Serialize};
+use tsa_analysis::{MetricSummary, Replicates, Table};
+use tsa_scenario::ScenarioOutcome;
+
+use crate::shard::CellRecord;
+
+/// The aggregated summary of one sweep: one row per grid cell (axis point),
+/// folded over seed replicates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepAggregate {
+    /// The sweep's name.
+    pub sweep: String,
+    /// Total cell records folded.
+    pub cells: usize,
+    /// One summary per axis point, in enumeration order.
+    pub groups: Vec<GroupSummary>,
+}
+
+/// The folded replicates of one axis point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// Human-readable axis point (shared by all replicates).
+    pub label: String,
+    /// Number of seed replicates folded.
+    pub replicates: usize,
+    /// Per-metric summaries, in a fixed per-kind order.
+    pub metrics: Vec<MetricSummary>,
+}
+
+impl GroupSummary {
+    /// Looks up a metric summary by name.
+    pub fn metric(&self, name: &str) -> Option<&MetricSummary> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// The metrics one outcome contributes to its group, in a fixed order per
+/// scenario kind.
+pub fn outcome_metrics(outcome: &ScenarioOutcome) -> Vec<(&'static str, f64)> {
+    let mut metrics = Vec::new();
+    if let Some(m) = &outcome.maintenance {
+        let lambda = outcome.spec.maintenance_params().lambda() as f64;
+        metrics.push(("routable", if m.report.is_routable() { 1.0 } else { 0.0 }));
+        metrics.push(("connected", if m.report.connected { 1.0 } else { 0.0 }));
+        metrics.push((
+            "largest_component_fraction",
+            m.report.largest_component_fraction,
+        ));
+        metrics.push(("participation_rate", m.report.participation_rate));
+        metrics.push(("min_swarm_size", m.report.min_swarm_size as f64));
+        metrics.push(("max_connect_load", m.max_connect_load as f64));
+        metrics.push(("peak_congestion", m.metrics_summary.peak_congestion as f64));
+        metrics.push((
+            "peak_congestion_per_lambda3",
+            m.metrics_summary.peak_congestion as f64 / (lambda * lambda * lambda),
+        ));
+        metrics.push((
+            "mean_messages_per_node_round",
+            m.metrics_summary.mean_messages_per_node_round,
+        ));
+    }
+    if let Some(b) = &outcome.baseline {
+        metrics.push((
+            "largest_component_fraction",
+            b.resilience.largest_component_fraction,
+        ));
+        metrics.push(("removed", b.resilience.removed as f64));
+        metrics.push(("isolated_survivors", b.resilience.isolated_survivors as f64));
+        metrics.push(("eclipse_budget", b.eclipse_budget as f64));
+    }
+    if let Some(r) = &outcome.routing {
+        metrics.push(("delivery_rate", r.delivery_rate));
+        metrics.push(("dilation", r.dilation as f64));
+        metrics.push(("max_congestion", r.max_congestion as f64));
+        metrics.push(("mean_congestion", r.mean_congestion));
+        metrics.push(("total_copies", r.total_copies as f64));
+        metrics.push(("mean_target_coverage", r.mean_target_coverage));
+    }
+    if let Some(s) = &outcome.sampling {
+        metrics.push(("discard_rate", s.discard_rate));
+        metrics.push(("distinct_nodes", s.distinct_nodes as f64));
+        metrics.push(("hits_min", s.hits_min as f64));
+        metrics.push(("hits_max", s.hits_max as f64));
+        metrics.push(("total_variation", s.total_variation));
+        metrics.push((
+            "chi_square_per_df",
+            s.chi_square / s.degrees_of_freedom.max(1) as f64,
+        ));
+    }
+    metrics
+}
+
+/// Folds sorted cell records into their per-axis aggregate. Groups appear in
+/// first-seen (enumeration) order, so the fold is deterministic and
+/// independent of which cells were resumed versus freshly run.
+pub fn aggregate(sweep: &str, records: &[CellRecord]) -> SweepAggregate {
+    struct Group {
+        label: String,
+        replicates: usize,
+        names: Vec<&'static str>,
+        replicate_sets: Vec<Replicates>,
+    }
+
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::HashMap<String, Group> = std::collections::HashMap::new();
+    for record in records {
+        let label = record.outcome.spec.axis_label();
+        let metrics = outcome_metrics(&record.outcome);
+        let group = groups.entry(label.clone()).or_insert_with(|| {
+            order.push(label.clone());
+            Group {
+                label,
+                replicates: 0,
+                names: metrics.iter().map(|(n, _)| *n).collect(),
+                replicate_sets: metrics.iter().map(|_| Replicates::new()).collect(),
+            }
+        });
+        group.replicates += 1;
+        for (name, value) in metrics {
+            match group.names.iter().position(|n| *n == name) {
+                Some(i) => group.replicate_sets[i].push(value),
+                None => {
+                    group.names.push(name);
+                    let mut r = Replicates::new();
+                    r.push(value);
+                    group.replicate_sets.push(r);
+                }
+            }
+        }
+    }
+
+    let groups = order
+        .into_iter()
+        .map(|label| {
+            let g = groups.remove(&label).expect("group recorded in order");
+            GroupSummary {
+                label: g.label,
+                replicates: g.replicates,
+                metrics: g
+                    .names
+                    .iter()
+                    .zip(&g.replicate_sets)
+                    .map(|(name, reps)| reps.summarize(name))
+                    .collect(),
+            }
+        })
+        .collect();
+    SweepAggregate {
+        sweep: sweep.to_string(),
+        cells: records.len(),
+        groups,
+    }
+}
+
+impl SweepAggregate {
+    /// Renders the aggregate as a markdown table: one row per axis point, one
+    /// column per metric (the union across groups, in first-seen order).
+    pub fn to_table(&self) -> Table {
+        let mut columns: Vec<&str> = Vec::new();
+        for group in &self.groups {
+            for m in &group.metrics {
+                if !columns.contains(&m.name.as_str()) {
+                    columns.push(&m.name);
+                }
+            }
+        }
+        let mut headers = vec!["cell", "seeds"];
+        headers.extend(columns.iter().copied());
+        let mut table = Table::new(&format!("sweep: {}", self.sweep), &headers);
+        for group in &self.groups {
+            let mut row = vec![group.label.clone(), group.replicates.to_string()];
+            for column in &columns {
+                row.push(
+                    group
+                        .metric(column)
+                        .map(|m| m.display())
+                        .unwrap_or_else(|| "-".to_string()),
+                );
+            }
+            table.row(row);
+        }
+        table
+    }
+
+    /// The aggregate's canonical JSON form (used by tests to pin that resume
+    /// reproduces the identical aggregate).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("aggregates serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SweepRunner;
+    use crate::spec::SweepSpec;
+    use tsa_scenario::{ScenarioKind, ScenarioSpec};
+
+    #[test]
+    fn replicates_fold_into_groups_with_cis() {
+        let mut base = ScenarioSpec::new(ScenarioKind::Sampling, 32);
+        base.attempts = 400;
+        let run = SweepRunner::new(SweepSpec::new("agg", base).over_n([32, 48]).seeds(1, 3))
+            .threads(2)
+            .run();
+        let agg = aggregate("agg", &run.records);
+        assert_eq!(agg.cells, 6);
+        assert_eq!(agg.groups.len(), 2, "two axis points");
+        for group in &agg.groups {
+            assert_eq!(group.replicates, 3);
+            let discard = group.metric("discard_rate").expect("sampling metric");
+            assert_eq!(discard.count, 3);
+            assert!(discard.min <= discard.mean && discard.mean <= discard.max);
+        }
+        // Groups follow enumeration order (n = 32 first).
+        assert!(
+            agg.groups[0].label.contains("n=32"),
+            "{}",
+            agg.groups[0].label
+        );
+        let table = agg.to_table().to_markdown();
+        assert!(table.contains("discard_rate"));
+        // Round-trips through serde.
+        let back: SweepAggregate = serde_json::from_str(&agg.to_json()).unwrap();
+        assert_eq!(back.to_json(), agg.to_json());
+    }
+}

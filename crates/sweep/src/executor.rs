@@ -1,0 +1,202 @@
+//! The parallel sweep executor.
+//!
+//! Cells are run by a pool of workers pulling indices from a shared queue
+//! (the work-stealing `rayon::for_each_index` primitive of the vendored
+//! shim), so a slow cell never blocks the rest of the grid. Each cell is a
+//! pure function of its `ScenarioSpec` and round count — the executor runs
+//! `Scenario::from_spec(spec).run(rounds)` and nothing else — so results are
+//! bit-identical whether the sweep runs on 1 thread or N, and identical to a
+//! standalone run at the same seed.
+//!
+//! Thread budget, from most to least specific:
+//! 1. an explicit [`SweepRunner::threads`] override (the `--threads` flag),
+//! 2. the `TSA_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`],
+//!
+//! always capped by [`SweepSpec::max_parallel`] and by the number of pending
+//! cells.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use tsa_scenario::Scenario;
+
+use crate::shard::{
+    append_record, open_shard_for_append, read_shards, usable_checkpoints, CellRecord,
+};
+use crate::spec::SweepSpec;
+
+/// Runs a [`SweepSpec`] to completion, streaming shards and resuming from
+/// previous ones.
+#[derive(Clone, Debug)]
+pub struct SweepRunner {
+    spec: SweepSpec,
+    threads_override: Option<usize>,
+    shard_path: Option<PathBuf>,
+}
+
+/// The completed result of a sweep run.
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    /// The sweep that ran.
+    pub spec: SweepSpec,
+    /// One record per cell, sorted by cell index (resumed + freshly run).
+    pub records: Vec<CellRecord>,
+    /// Cells restored from the shard file instead of being re-run.
+    pub resumed: usize,
+    /// Cells executed in this run.
+    pub executed: usize,
+    /// Stale or unparseable shard entries that were ignored.
+    pub discarded: usize,
+    /// Worker threads the executor actually used.
+    pub threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner for `spec` with no thread override and no shard file.
+    pub fn new(spec: SweepSpec) -> Self {
+        SweepRunner {
+            spec,
+            threads_override: None,
+            shard_path: None,
+        }
+    }
+
+    /// Overrides the worker thread count (still capped by
+    /// `SweepSpec::max_parallel`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads_override = Some(threads.max(1));
+        self
+    }
+
+    /// Streams completed cells to (and resumes from) the JSONL file at
+    /// `path`.
+    pub fn shard_path(mut self, path: impl AsRef<Path>) -> Self {
+        self.shard_path = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// The worker thread count the run will use for `pending` runnable cells:
+    /// override / `TSA_THREADS` / machine parallelism, capped by
+    /// `max_parallel` and `pending`.
+    pub fn effective_threads(&self, pending: usize) -> usize {
+        let base = self
+            .threads_override
+            .unwrap_or_else(rayon::current_num_threads);
+        base.min(self.spec.max_parallel.unwrap_or(usize::MAX))
+            .clamp(1, pending.max(1))
+    }
+
+    /// Runs every cell of the sweep (resuming any that are already
+    /// checkpointed in the shard file) and returns the complete record set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shard I/O errors — a sweep that cannot checkpoint is treated
+    /// as misconfigured rather than silently running without durability.
+    pub fn run(&self) -> SweepRun {
+        let cells = self.spec.enumerate();
+
+        // Resume: collect usable checkpoints from a previous (possibly
+        // killed) run of the same sweep.
+        let mut discarded = 0usize;
+        let mut done = std::collections::HashMap::new();
+        if let Some(path) = &self.shard_path {
+            let (records, unparseable) = read_shards(path).expect("shard file is readable");
+            let (usable, stale) = usable_checkpoints(records, &cells);
+            discarded = unparseable + stale;
+            done = usable;
+        }
+
+        let pending: Vec<usize> = cells
+            .iter()
+            .map(|c| c.index)
+            .filter(|i| !done.contains_key(i))
+            .collect();
+        let threads = self.effective_threads(pending.len());
+
+        let writer = self
+            .shard_path
+            .as_ref()
+            .map(|path| Mutex::new(open_shard_for_append(path).expect("shard file is writable")));
+        let fresh: Mutex<Vec<CellRecord>> = Mutex::new(Vec::with_capacity(pending.len()));
+
+        // Sweep workers and the simulator's own parallel compute phase would
+        // otherwise multiply into `workers × cores` threads; cap each
+        // worker's inner parallelism so the total tracks the machine.
+        let inner_cap = (rayon::current_num_threads() / threads).max(1);
+        rayon::for_each_index(pending.len(), threads, |slot| {
+            let cell = &cells[pending[slot]];
+            let outcome = rayon::with_thread_cap(inner_cap, || {
+                Scenario::from_spec(cell.spec).run(cell.rounds)
+            });
+            let record = CellRecord {
+                cell: cell.index,
+                rounds: cell.rounds,
+                outcome,
+            };
+            // Stream the record out the moment the cell completes, so a
+            // killed sweep keeps everything finished so far.
+            if let Some(writer) = &writer {
+                let mut writer = writer.lock().expect("shard writer lock");
+                append_record(&mut *writer, &record).expect("shard record appends");
+            }
+            fresh.lock().expect("record collector lock").push(record);
+        });
+
+        let executed = pending.len();
+        let resumed = done.len();
+        let mut records: Vec<CellRecord> = done.into_values().collect();
+        records.append(&mut fresh.into_inner().expect("record collector lock"));
+        records.sort_by_key(|r| r.cell);
+        SweepRun {
+            spec: self.spec.clone(),
+            records,
+            resumed,
+            executed,
+            discarded,
+            threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+    use tsa_scenario::{ScenarioKind, ScenarioSpec};
+
+    fn small_sampling_sweep(name: &str) -> SweepSpec {
+        let mut base = ScenarioSpec::new(ScenarioKind::Sampling, 32);
+        base.attempts = 400;
+        SweepSpec::new(name, base).over_n([32, 48]).seeds(5, 2)
+    }
+
+    #[test]
+    fn thread_budget_resolution_order() {
+        let runner = SweepRunner::new(small_sampling_sweep("t").max_parallel(3));
+        // Override wins but is capped by max_parallel and pending cells.
+        assert_eq!(runner.clone().threads(8).effective_threads(100), 3);
+        assert_eq!(runner.clone().threads(2).effective_threads(100), 2);
+        assert_eq!(runner.clone().threads(8).effective_threads(1), 1);
+        assert_eq!(runner.clone().threads(8).effective_threads(0), 1);
+        // Without max_parallel the override passes through.
+        let unbounded = SweepRunner::new(small_sampling_sweep("u"));
+        assert_eq!(unbounded.threads(8).effective_threads(100), 8);
+    }
+
+    #[test]
+    fn runs_without_a_shard_file() {
+        let run = SweepRunner::new(small_sampling_sweep("noshard"))
+            .threads(2)
+            .run();
+        assert_eq!(run.records.len(), 4);
+        assert_eq!(run.executed, 4);
+        assert_eq!(run.resumed, 0);
+        assert_eq!(run.threads, 2);
+        for (i, r) in run.records.iter().enumerate() {
+            assert_eq!(r.cell, i);
+            assert!(r.outcome.sampling.is_some());
+        }
+    }
+}

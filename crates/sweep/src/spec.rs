@@ -1,0 +1,455 @@
+//! The declarative grammar of a parameter sweep and its enumeration into
+//! concrete scenario cells.
+//!
+//! A [`SweepSpec`] is plain serde data, exactly like
+//! [`ScenarioSpec`]: a base scenario plus a set of
+//! *axes* (each a list of values to sweep) and a seed range of replicates.
+//! [`SweepSpec::enumerate`] expands the cartesian product of all non-empty
+//! axes × the seed range into [`SweepCell`]s, each carrying the fully
+//! resolved `ScenarioSpec` and round count — so running a cell is *exactly*
+//! `Scenario::from_spec(cell.spec).run(cell.rounds)`, bit-identical to a
+//! standalone run at the same seed.
+
+use serde::{Deserialize, Serialize};
+use tsa_scenario::{AdversarySpec, ChurnSpec, ScenarioKind, ScenarioSpec};
+use tsa_sim::Lateness;
+
+/// A contiguous range of master seeds: the replicates of every grid cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedRange {
+    /// First master seed.
+    pub start: u64,
+    /// Number of replicates (at least 1 is enumerated even when 0).
+    pub count: u64,
+}
+
+impl SeedRange {
+    /// `count` replicates starting at `start`.
+    pub fn new(start: u64, count: u64) -> Self {
+        SeedRange { start, count }
+    }
+
+    /// The seeds of this range, in order.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> {
+        let start = self.start;
+        (0..self.count.max(1)).map(move |i| start.wrapping_add(i))
+    }
+
+    /// Number of replicates enumerated (never 0).
+    pub fn len(&self) -> usize {
+        self.count.max(1) as usize
+    }
+
+    /// Always `false`: a range enumerates at least one seed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// How many measured rounds each cell runs (after the optional bootstrap).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundsSpec {
+    /// A fixed number of rounds (one-shot kinds ignore it).
+    Fixed(u64),
+    /// `m · maturity_age(n)` rounds, resolved per cell against the cell's own
+    /// maintenance parameters — the natural unit for maintained scenarios,
+    /// scaling with the `n` axis.
+    MaturityAges(u64),
+}
+
+impl RoundsSpec {
+    /// Resolves the measured round count for `spec`.
+    pub fn resolve(&self, spec: &ScenarioSpec) -> u64 {
+        match *self {
+            RoundsSpec::Fixed(rounds) => rounds,
+            RoundsSpec::MaturityAges(m) => m * spec.maintenance_params().maturity_age(),
+        }
+    }
+}
+
+/// One concrete cell of an enumerated sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Position in the enumeration order (stable across runs; the shard
+    /// checkpoint key).
+    pub index: usize,
+    /// The fully resolved scenario.
+    pub spec: ScenarioSpec,
+    /// Measured rounds the cell runs.
+    pub rounds: u64,
+}
+
+/// A declarative parameter sweep: a base scenario, the axes to sweep, and a
+/// seed range of replicates.
+///
+/// Every `Vec` field is an axis: empty means "keep the base spec's value",
+/// non-empty means "take the cartesian product over these values". The
+/// enumeration order is fixed and documented (kind, n, c, δ, τ, r, churn,
+/// adversary, lateness, k, holder failure, attempts, then seed innermost), so
+/// cell indices are stable for shard checkpoints.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Name of the sweep (shard file stem, table title).
+    pub name: String,
+    /// The template every cell starts from.
+    pub base: ScenarioSpec,
+    /// Measured rounds per cell.
+    pub rounds: RoundsSpec,
+    /// Seed replicates of every grid cell.
+    pub seeds: SeedRange,
+    /// Axis over the experiment kind (e.g. the four Table-1 baselines).
+    pub kind: Vec<ScenarioKind>,
+    /// Axis over the network size `n`.
+    pub n: Vec<usize>,
+    /// Axis over the robustness parameter `c`.
+    pub c: Vec<f64>,
+    /// Axis over `δ` (fresh-node connects per round).
+    pub delta: Vec<usize>,
+    /// Axis over `τ` (sampling tokens per round).
+    pub tau: Vec<usize>,
+    /// Axis over the replication factor `r`.
+    pub replication: Vec<usize>,
+    /// Axis over the churn budget / join rules.
+    pub churn: Vec<ChurnSpec>,
+    /// Axis over the attack strategy.
+    pub adversary: Vec<AdversarySpec>,
+    /// Axis over the adversary lateness.
+    pub lateness: Vec<Lateness>,
+    /// Axis over messages per node in routing workloads.
+    pub messages_per_node: Vec<usize>,
+    /// Axis over the per-step holder failure probability.
+    pub holder_failure: Vec<f64>,
+    /// Axis over sampling attempts.
+    pub attempts: Vec<usize>,
+    /// Upper bound on worker threads for this sweep (`None` = no bound
+    /// beyond `TSA_THREADS` / the machine). CI specs pin this to keep small
+    /// boxes responsive.
+    pub max_parallel: Option<usize>,
+}
+
+impl SweepSpec {
+    /// A sweep named `name` over the single cell described by `base`, with
+    /// one seed replicate (the base's own seed) and no axes. Fill in axes by
+    /// mutating the public fields or through the `over_*` builders.
+    pub fn new(name: &str, base: ScenarioSpec) -> Self {
+        SweepSpec {
+            name: name.to_string(),
+            rounds: RoundsSpec::Fixed(0),
+            seeds: SeedRange::new(base.seed, 1),
+            base,
+            kind: Vec::new(),
+            n: Vec::new(),
+            c: Vec::new(),
+            delta: Vec::new(),
+            tau: Vec::new(),
+            replication: Vec::new(),
+            churn: Vec::new(),
+            adversary: Vec::new(),
+            lateness: Vec::new(),
+            messages_per_node: Vec::new(),
+            holder_failure: Vec::new(),
+            attempts: Vec::new(),
+            max_parallel: None,
+        }
+    }
+
+    /// Sets the per-cell round count.
+    pub fn rounds(mut self, rounds: RoundsSpec) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the seed range: `count` replicates starting at `start`.
+    pub fn seeds(mut self, start: u64, count: u64) -> Self {
+        self.seeds = SeedRange::new(start, count);
+        self
+    }
+
+    /// Sweeps the experiment kind.
+    pub fn over_kinds(mut self, kinds: impl IntoIterator<Item = ScenarioKind>) -> Self {
+        self.kind = kinds.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the network size `n`.
+    pub fn over_n(mut self, ns: impl IntoIterator<Item = usize>) -> Self {
+        self.n = ns.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the robustness parameter `c`.
+    pub fn over_c(mut self, cs: impl IntoIterator<Item = f64>) -> Self {
+        self.c = cs.into_iter().collect();
+        self
+    }
+
+    /// Sweeps `τ`.
+    pub fn over_tau(mut self, taus: impl IntoIterator<Item = usize>) -> Self {
+        self.tau = taus.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the replication factor `r`.
+    pub fn over_replication(mut self, rs: impl IntoIterator<Item = usize>) -> Self {
+        self.replication = rs.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the churn budget.
+    pub fn over_churn(mut self, churns: impl IntoIterator<Item = ChurnSpec>) -> Self {
+        self.churn = churns.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the attack strategy.
+    pub fn over_adversaries(mut self, advs: impl IntoIterator<Item = AdversarySpec>) -> Self {
+        self.adversary = advs.into_iter().collect();
+        self
+    }
+
+    /// Sweeps messages per node (routing workloads).
+    pub fn over_messages_per_node(mut self, ks: impl IntoIterator<Item = usize>) -> Self {
+        self.messages_per_node = ks.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the holder failure probability (routing workloads).
+    pub fn over_holder_failure(mut self, ps: impl IntoIterator<Item = f64>) -> Self {
+        self.holder_failure = ps.into_iter().collect();
+        self
+    }
+
+    /// Bounds the worker threads used for this sweep.
+    pub fn max_parallel(mut self, threads: usize) -> Self {
+        self.max_parallel = Some(threads);
+        self
+    }
+
+    /// Number of cells the sweep enumerates (grid size × seed replicates).
+    pub fn cell_count(&self) -> usize {
+        let axis = |len: usize| len.max(1);
+        axis(self.kind.len())
+            * axis(self.n.len())
+            * axis(self.c.len())
+            * axis(self.delta.len())
+            * axis(self.tau.len())
+            * axis(self.replication.len())
+            * axis(self.churn.len())
+            * axis(self.adversary.len())
+            * axis(self.lateness.len())
+            * axis(self.messages_per_node.len())
+            * axis(self.holder_failure.len())
+            * axis(self.attempts.len())
+            * self.seeds.len()
+    }
+
+    /// Expands the cartesian grid × seed range into concrete cells, in the
+    /// fixed enumeration order (seed varies fastest).
+    pub fn enumerate(&self) -> Vec<SweepCell> {
+        // Each axis contributes either its values or the single "keep the
+        // base" marker (None).
+        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
+        }
+
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &kind in &axis(&self.kind) {
+            for &n in &axis(&self.n) {
+                for &c in &axis(&self.c) {
+                    for &delta in &axis(&self.delta) {
+                        for &tau in &axis(&self.tau) {
+                            for &replication in &axis(&self.replication) {
+                                for &churn in &axis(&self.churn) {
+                                    for &adversary in &axis(&self.adversary) {
+                                        for &lateness in &axis(&self.lateness) {
+                                            for &k in &axis(&self.messages_per_node) {
+                                                for &fail in &axis(&self.holder_failure) {
+                                                    for &attempts in &axis(&self.attempts) {
+                                                        for seed in self.seeds.seeds() {
+                                                            let mut spec =
+                                                                self.base.with_seed(seed);
+                                                            if let Some(kind) = kind {
+                                                                spec.kind = kind;
+                                                            }
+                                                            if let Some(n) = n {
+                                                                spec.n = n;
+                                                            }
+                                                            if let Some(c) = c {
+                                                                spec.c = Some(c);
+                                                            }
+                                                            if let Some(delta) = delta {
+                                                                spec.delta = Some(delta);
+                                                            }
+                                                            if let Some(tau) = tau {
+                                                                spec.tau = Some(tau);
+                                                            }
+                                                            if let Some(r) = replication {
+                                                                spec.replication = Some(r);
+                                                            }
+                                                            if let Some(churn) = churn {
+                                                                spec.churn = churn;
+                                                            }
+                                                            if let Some(adv) = adversary {
+                                                                spec.adversary = adv;
+                                                            }
+                                                            if let Some(l) = lateness {
+                                                                spec.lateness = Some(l);
+                                                            }
+                                                            if let Some(k) = k {
+                                                                spec.messages_per_node = k;
+                                                            }
+                                                            if let Some(p) = fail {
+                                                                spec.holder_failure = p;
+                                                            }
+                                                            if let Some(a) = attempts {
+                                                                spec.attempts = a;
+                                                            }
+                                                            let rounds = self.rounds.resolve(&spec);
+                                                            cells.push(SweepCell {
+                                                                index: cells.len(),
+                                                                spec,
+                                                                rounds,
+                                                            });
+                                                        }
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_scenario::BaselineKind;
+
+    fn routing_base() -> ScenarioSpec {
+        ScenarioSpec::new(ScenarioKind::Routing, 64)
+    }
+
+    #[test]
+    fn empty_axes_enumerate_the_base_cell() {
+        let sweep = SweepSpec::new("one", routing_base());
+        let cells = sweep.enumerate();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(sweep.cell_count(), 1);
+        assert_eq!(cells[0].index, 0);
+        assert_eq!(cells[0].spec, routing_base());
+        assert_eq!(cells[0].rounds, 0);
+    }
+
+    #[test]
+    fn cartesian_product_with_seed_innermost() {
+        let sweep = SweepSpec::new("grid", routing_base())
+            .over_n([32, 64])
+            .over_messages_per_node([1, 2, 4])
+            .seeds(10, 2);
+        let cells = sweep.enumerate();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(cells.len(), sweep.cell_count());
+        // Seed varies fastest, then k, then n.
+        assert_eq!(
+            (
+                cells[0].spec.n,
+                cells[0].spec.messages_per_node,
+                cells[0].spec.seed
+            ),
+            (32, 1, 10)
+        );
+        assert_eq!(
+            (
+                cells[1].spec.n,
+                cells[1].spec.messages_per_node,
+                cells[1].spec.seed
+            ),
+            (32, 1, 11)
+        );
+        assert_eq!(
+            (
+                cells[2].spec.n,
+                cells[2].spec.messages_per_node,
+                cells[2].spec.seed
+            ),
+            (32, 2, 10)
+        );
+        assert_eq!(
+            (
+                cells[6].spec.n,
+                cells[6].spec.messages_per_node,
+                cells[6].spec.seed
+            ),
+            (64, 1, 10)
+        );
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+    }
+
+    #[test]
+    fn kind_axis_sweeps_the_baselines() {
+        let sweep = SweepSpec::new(
+            "table1",
+            ScenarioSpec::new(ScenarioKind::Baseline(BaselineKind::HdGraph), 128),
+        )
+        .over_kinds([
+            ScenarioKind::Baseline(BaselineKind::HdGraph),
+            ScenarioKind::Baseline(BaselineKind::Spartan),
+            ScenarioKind::Baseline(BaselineKind::ChordSwarm),
+            ScenarioKind::Baseline(BaselineKind::StaticLds),
+        ])
+        .over_adversaries([AdversarySpec::random(1, 1), AdversarySpec::targeted(1, 1)]);
+        let cells = sweep.enumerate();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(
+            cells[2].spec.kind,
+            ScenarioKind::Baseline(BaselineKind::Spartan)
+        );
+    }
+
+    #[test]
+    fn maturity_rounds_resolve_per_cell() {
+        let base = ScenarioSpec::new(ScenarioKind::MaintainedLds, 48);
+        let sweep = SweepSpec::new("m", base)
+            .over_n([48, 96])
+            .rounds(RoundsSpec::MaturityAges(3));
+        let cells = sweep.enumerate();
+        assert_eq!(cells.len(), 2);
+        let expect = |n: usize| {
+            3 * ScenarioSpec::new(ScenarioKind::MaintainedLds, n)
+                .maintenance_params()
+                .maturity_age()
+        };
+        assert_eq!(cells[0].rounds, expect(48));
+        assert_eq!(cells[1].rounds, expect(96));
+        assert!(cells[1].rounds > cells[0].rounds);
+    }
+
+    #[test]
+    fn sweep_specs_round_trip_through_serde() {
+        let sweep = SweepSpec::new("rt", routing_base())
+            .over_n([32, 64])
+            .over_c([1.0, 1.5])
+            .over_churn([ChurnSpec::fraction(1, 4), ChurnSpec::none()])
+            .over_adversaries([AdversarySpec::targeted(1, 5)])
+            .rounds(RoundsSpec::MaturityAges(2))
+            .seeds(3, 4)
+            .max_parallel(2);
+        let json = serde_json::to_string(&sweep).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sweep);
+        assert_eq!(back.enumerate(), sweep.enumerate());
+    }
+}

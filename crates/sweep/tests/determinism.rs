@@ -1,0 +1,108 @@
+//! The sweep engine's central guarantee: a sweep is nothing but a set of
+//! standalone `Scenario::run` calls.
+//!
+//! * Running the same sweep with 1 thread and with N threads produces
+//!   byte-identical sorted JSONL shards (a proptest over randomized grids).
+//! * Every cell's outcome is byte-identical to the standalone
+//!   `Scenario::from_spec(spec).run(rounds)` at the same seed.
+
+use proptest::prelude::*;
+use tsa_scenario::{Scenario, ScenarioKind, ScenarioSpec};
+use tsa_sweep::{RoundsSpec, SweepRunner, SweepSpec};
+
+fn shard_file(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tsa-sweep-det-{}-{tag}.jsonl", std::process::id()))
+}
+
+fn sorted_shard_lines(path: &std::path::Path) -> Vec<String> {
+    let mut lines: Vec<String> = std::fs::read_to_string(path)
+        .unwrap()
+        .lines()
+        .map(|l| l.to_string())
+        .collect();
+    lines.sort();
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn shards_are_byte_identical_across_thread_counts(
+        case in 0u64..1_000_000,
+        n_axis_len in 1usize..3,
+        k_axis_len in 1usize..3,
+        seed_count in 1u64..3,
+        threads in 2usize..5,
+    ) {
+        let mut base = ScenarioSpec::new(ScenarioKind::Routing, 32);
+        base.holder_failure = 0.25;
+        base.replication = Some(2);
+        let sweep = SweepSpec::new("det", base)
+            .over_n((0..n_axis_len).map(|i| 32 + 16 * i).collect::<Vec<_>>())
+            .over_messages_per_node((0..k_axis_len).map(|i| 1 + i).collect::<Vec<_>>())
+            .seeds(case, seed_count);
+
+        let serial_path = shard_file(&format!("{case}-serial"));
+        let parallel_path = shard_file(&format!("{case}-parallel"));
+        let _ = std::fs::remove_file(&serial_path);
+        let _ = std::fs::remove_file(&parallel_path);
+
+        let serial = SweepRunner::new(sweep.clone())
+            .threads(1)
+            .shard_path(&serial_path)
+            .run();
+        let parallel = SweepRunner::new(sweep.clone())
+            .threads(threads)
+            .shard_path(&parallel_path)
+            .run();
+        prop_assert_eq!(serial.records.len(), sweep.cell_count());
+        prop_assert_eq!(parallel.records.len(), sweep.cell_count());
+
+        // Byte-identical sorted shards, regardless of completion order.
+        prop_assert_eq!(
+            sorted_shard_lines(&serial_path),
+            sorted_shard_lines(&parallel_path)
+        );
+
+        // Every cell equals the standalone run at the same seed, byte for
+        // byte.
+        for (cell, record) in sweep.enumerate().iter().zip(&parallel.records) {
+            let standalone = Scenario::from_spec(cell.spec).run(cell.rounds);
+            prop_assert_eq!(
+                serde_json::to_string(&record.outcome).unwrap(),
+                serde_json::to_string(&standalone).unwrap()
+            );
+        }
+
+        std::fs::remove_file(&serial_path).unwrap();
+        std::fs::remove_file(&parallel_path).unwrap();
+    }
+}
+
+#[test]
+fn maintained_cells_match_standalone_runs_byte_for_byte() {
+    // The protocol-in-simulator kind, with churn and a real adversary — the
+    // expensive case, pinned deterministically (2 cells).
+    let mut base = ScenarioSpec::new(ScenarioKind::MaintainedLds, 48);
+    base.c = Some(1.5);
+    base.tau = Some(4);
+    base.replication = Some(2);
+    base.churn = tsa_scenario::ChurnSpec::fraction(1, 4);
+    base.adversary = tsa_scenario::AdversarySpec::targeted(1, 17);
+    let sweep = SweepSpec::new("maintained", base)
+        .rounds(RoundsSpec::MaturityAges(1))
+        .seeds(23, 2);
+
+    let run = SweepRunner::new(sweep.clone()).threads(2).run();
+    assert_eq!(run.records.len(), 2);
+    for (cell, record) in sweep.enumerate().iter().zip(&run.records) {
+        let standalone = Scenario::from_spec(cell.spec).run(cell.rounds);
+        assert_eq!(
+            serde_json::to_string(&record.outcome).unwrap(),
+            serde_json::to_string(&standalone).unwrap(),
+            "maintained cell at seed {} must equal the standalone run",
+            cell.spec.seed
+        );
+    }
+}

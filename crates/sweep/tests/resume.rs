@@ -1,0 +1,106 @@
+//! The acceptance sweep: ≥ 24 grid cells run in parallel, stream JSONL
+//! shards, survive a kill, and resume to an identical aggregate.
+
+use tsa_scenario::{ScenarioKind, ScenarioSpec};
+use tsa_sweep::{aggregate, read_shards, SweepRunner, SweepSpec};
+
+fn shard_file(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "tsa-sweep-resume-{}-{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// 2 n × 2 c × 2 k × 3 seeds = 24 cells of routing workloads.
+fn acceptance_sweep() -> SweepSpec {
+    let mut base = ScenarioSpec::new(ScenarioKind::Routing, 48);
+    base.holder_failure = 0.25;
+    base.replication = Some(2);
+    SweepSpec::new("acceptance", base)
+        .over_n([48, 64])
+        .over_c([1.0, 1.5])
+        .over_messages_per_node([1, 2])
+        .seeds(41, 3)
+}
+
+#[test]
+fn killed_sweep_resumes_from_shards_to_an_identical_aggregate() {
+    let sweep = acceptance_sweep();
+    assert!(sweep.cell_count() >= 24, "acceptance grid has ≥ 24 cells");
+
+    // Reference: the full sweep in one go, in parallel.
+    let reference_path = shard_file("reference");
+    let _ = std::fs::remove_file(&reference_path);
+    let reference = SweepRunner::new(sweep.clone())
+        .threads(2)
+        .shard_path(&reference_path)
+        .run();
+    assert_eq!(reference.threads, 2, "the sweep runs in parallel");
+    assert_eq!(reference.executed, sweep.cell_count());
+    let reference_aggregate = aggregate(&sweep.name, &reference.records);
+
+    // "Kill" a run partway: keep only a prefix of the streamed shard lines
+    // (including a truncated final line, as a real kill mid-write leaves).
+    let killed_path = shard_file("killed");
+    let full = std::fs::read_to_string(&reference_path).unwrap();
+    let lines: Vec<&str> = full.lines().collect();
+    let keep = lines.len() / 3;
+    let mut partial = lines[..keep].join("\n");
+    partial.push('\n');
+    partial.push_str(&lines[keep][..lines[keep].len() / 2]);
+    std::fs::write(&killed_path, &partial).unwrap();
+
+    // Resume against the partial shard file.
+    let resumed = SweepRunner::new(sweep.clone())
+        .threads(2)
+        .shard_path(&killed_path)
+        .run();
+    assert_eq!(resumed.resumed, keep, "the intact prefix is reused");
+    assert_eq!(resumed.executed, sweep.cell_count() - keep);
+    assert_eq!(resumed.discarded, 1, "the truncated tail is discarded");
+    assert_eq!(resumed.records.len(), sweep.cell_count());
+
+    // The resumed aggregate is byte-identical to the uninterrupted one.
+    let resumed_aggregate = aggregate(&sweep.name, &resumed.records);
+    assert_eq!(resumed_aggregate.to_json(), reference_aggregate.to_json());
+
+    // And the shard file now checkpoints the complete sweep: a further run
+    // resumes everything and executes nothing.
+    let (records, _) = read_shards(&killed_path).unwrap();
+    assert_eq!(records.len(), sweep.cell_count());
+    let noop = SweepRunner::new(sweep.clone())
+        .threads(2)
+        .shard_path(&killed_path)
+        .run();
+    assert_eq!(noop.executed, 0);
+    assert_eq!(noop.resumed, sweep.cell_count());
+    assert_eq!(
+        aggregate(&sweep.name, &noop.records).to_json(),
+        reference_aggregate.to_json()
+    );
+
+    std::fs::remove_file(&reference_path).unwrap();
+    std::fs::remove_file(&killed_path).unwrap();
+}
+
+#[test]
+fn tsa_threads_env_var_bounds_the_default_thread_budget() {
+    // This test owns the TSA_THREADS variable: nothing else in this binary
+    // reads it (every other runner passes an explicit override).
+    let sweep = acceptance_sweep();
+    std::env::set_var("TSA_THREADS", "3");
+    assert_eq!(rayon::current_num_threads(), 3);
+    assert_eq!(SweepRunner::new(sweep.clone()).effective_threads(100), 3);
+    // max_parallel still caps the env-provided budget.
+    assert_eq!(
+        SweepRunner::new(sweep.clone().max_parallel(2)).effective_threads(100),
+        2
+    );
+    std::env::set_var("TSA_THREADS", "not a number");
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    assert_eq!(rayon::current_num_threads(), machine, "garbage is ignored");
+    std::env::remove_var("TSA_THREADS");
+    assert_eq!(rayon::current_num_threads(), machine);
+}

@@ -17,7 +17,10 @@
 //!   comparison overlays;
 //! * [`analysis`] — statistics, uniformity tests and table rendering;
 //! * [`scenario`] — the fluent [`Scenario`](scenario::Scenario) builder that
-//!   composes all of the above into runnable, serializable experiments.
+//!   composes all of the above into runnable, serializable experiments;
+//! * [`sweep`] — declarative parameter sweeps over `Scenario`: grid
+//!   enumeration, parallel execution with streaming JSONL shards and resume,
+//!   and replicate aggregation.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the reproduction results.
@@ -32,6 +35,7 @@ pub use tsa_overlay as overlay;
 pub use tsa_routing as routing;
 pub use tsa_scenario as scenario;
 pub use tsa_sim as sim;
+pub use tsa_sweep as sweep;
 
 /// The most frequently used items from across the workspace.
 pub mod prelude {
@@ -43,4 +47,5 @@ pub mod prelude {
         AdversarySpec, BaselineKind, ChurnSpec, Scenario, ScenarioOutcome, ScenarioRun,
     };
     pub use tsa_sim::prelude::*;
+    pub use tsa_sweep::{aggregate, RoundsSpec, SweepAggregate, SweepRunner, SweepSpec};
 }

@@ -128,7 +128,11 @@ fn maintained_outcome_round_trips_through_serde() {
         outcome.maintenance.as_ref().unwrap(),
     );
     assert_eq!(a.report.round, b.report.round);
-    assert_eq!(a.metrics.rounds().len(), b.metrics.rounds().len());
+    assert_eq!(a.metrics_summary.rounds, b.metrics_summary.rounds);
+    assert_eq!(
+        a.metrics.as_ref().unwrap().rounds().len(),
+        b.metrics.as_ref().unwrap().rounds().len()
+    );
 }
 
 #[test]

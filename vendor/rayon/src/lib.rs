@@ -8,6 +8,83 @@
 //! property by keeping chunk order deterministic. Swapping the real `rayon`
 //! back in requires no source change.
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static THREAD_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations use by default: the
+/// `TSA_THREADS` environment variable when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`]; further capped by an
+/// enclosing [`with_thread_cap`] scope. CI and laptops bound parallelism by
+/// exporting `TSA_THREADS`; both the slice iterators here and the
+/// `tsa-sweep` executor honour it.
+pub fn current_num_threads() -> usize {
+    let base = std::env::var("TSA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    match THREAD_CAP.get() {
+        Some(cap) => base.min(cap.max(1)),
+        None => base,
+    }
+}
+
+/// Runs `f` with [`current_num_threads`] capped at `cap` on this thread.
+/// Nested parallelism uses this so an outer pool of workers does not
+/// multiply into `workers × cores` threads: each `tsa-sweep` worker runs its
+/// cells under a cap of `machine / workers`. The cap is thread-local and
+/// restored on exit (also on panic).
+pub fn with_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.set(self.0);
+        }
+    }
+    let _restore = Restore(THREAD_CAP.replace(Some(cap.max(1))));
+    f()
+}
+
+/// Runs `f(i)` for every `i in 0..jobs` across `threads` scoped workers that
+/// pull indices from a shared counter. Scheduling steals work at the
+/// granularity of whole jobs — a fast worker simply takes the next index — so
+/// wall-clock tracks the slowest job, not the slowest static chunk. `f` must
+/// be deterministic per index for results to be independent of `threads`.
+pub fn for_each_index<F>(jobs: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = threads.clamp(1, jobs.max(1));
+    if threads <= 1 {
+        for i in 0..jobs {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
 /// A "parallel" mutable iterator over a slice, consumed by [`ParIterMut::map`].
 pub struct ParIterMut<'data, T: Send> {
     slice: &'data mut [T],
@@ -44,10 +121,7 @@ impl<T: Send, F> ParMap<'_, T, F> {
     {
         let len = self.slice.len();
         let f = &self.f;
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(len.max(1));
+        let threads = current_num_threads().min(len.max(1));
         if threads <= 1 {
             return self.slice.iter_mut().map(f).collect();
         }
@@ -130,6 +204,53 @@ mod tests {
         let mut one = vec![7u32];
         let out: Vec<u32> = one.par_iter_mut().map(|x| *x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn for_each_index_visits_every_job_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1usize, 2, 7] {
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            super::for_each_index(100, threads, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads = {threads}"
+            );
+        }
+        // Zero jobs and zero threads are both safe no-ops / serial fallbacks.
+        super::for_each_index(0, 4, |_| panic!("no jobs to run"));
+        let ran = AtomicUsize::new(0);
+        super::for_each_index(3, 0, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn thread_caps_scope_and_restore() {
+        let base = super::current_num_threads();
+        super::with_thread_cap(1, || {
+            assert_eq!(super::current_num_threads(), 1);
+            // Nested caps apply and restore independently.
+            super::with_thread_cap(3, || {
+                assert!(super::current_num_threads() <= 3);
+            });
+            assert_eq!(super::current_num_threads(), 1);
+            // Zero is clamped to one, never zero threads.
+            super::with_thread_cap(0, || {
+                assert_eq!(super::current_num_threads(), 1);
+            });
+        });
+        assert_eq!(super::current_num_threads(), base);
+        // The cap is thread-local: a fresh thread is uncapped.
+        super::with_thread_cap(1, || {
+            let other = std::thread::spawn(super::current_num_threads)
+                .join()
+                .unwrap();
+            assert_eq!(other, base);
+        });
     }
 
     #[test]
