@@ -1,0 +1,58 @@
+//! Criterion benchmark of one whole sweep cell: `Scenario::from_spec(..)
+//! .run(rounds)` end to end — exactly what `tsa-sweep` executes thousands of
+//! times per experiment, so this is the multiplier on every sweep, table and
+//! CI run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tsa_bench::experiment_spec;
+use tsa_scenario::{AdversarySpec, ChurnSpec, Scenario, ScenarioKind, ScenarioSpec};
+
+fn bench_maintained_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell/maintained");
+    group.sample_size(10);
+    for &n in &[48usize, 96] {
+        let mut spec = experiment_spec(n);
+        spec.churn = ChurnSpec::fraction(1, 4);
+        spec.adversary = AdversarySpec::random(1, 17);
+        spec = spec.with_seed(23);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(Scenario::from_spec(spec).run(6).is_routable()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_shot_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell/one_shot");
+    group.sample_size(10);
+    let mut sampling = ScenarioSpec::new(ScenarioKind::Sampling, 64);
+    sampling.attempts = 2_000;
+    group.bench_function("sampling_n64", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Scenario::from_spec(sampling)
+                    .run(0)
+                    .sampling
+                    .unwrap()
+                    .discard_rate,
+            )
+        })
+    });
+    let routing = ScenarioSpec::new(ScenarioKind::Routing, 64).with_seed(3);
+    group.bench_function("routing_n64", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Scenario::from_spec(routing)
+                    .run(0)
+                    .routing
+                    .unwrap()
+                    .delivery_rate,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintained_cell, bench_one_shot_cells);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmark of the engine's round loop in isolation.
+//!
+//! Two workloads bracket the engine's cost spectrum:
+//!
+//! * a synthetic flood protocol (every node messages its two id-adjacent
+//!   peers) isolates the engine overhead itself — delivery sort, inbox
+//!   slicing, outbox draining, metrics — with a near-zero compute phase;
+//! * the full maintenance protocol measures a realistic compute phase on
+//!   top, at 1 worker thread and at the machine's budget.
+//!
+//! `TSA_THREADS` bounds the parallel variants exactly as it does everywhere
+//! else.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tsa_bench::experiment_scenario;
+use tsa_scenario::{AdversarySpec, ChurnSpec};
+use tsa_sim::prelude::*;
+use tsa_sim::NullAdversary;
+
+/// Every node floods a counter to its two id-adjacent peers each round.
+struct Flood;
+
+impl Process for Flood {
+    type Msg = u64;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Envelope<u64>]) {
+        let heard = inbox.len() as u64;
+        let me = ctx.id().raw();
+        ctx.send(NodeId(me.wrapping_add(1)), heard);
+        if me > 0 {
+            ctx.send(NodeId(me - 1), heard);
+        }
+    }
+}
+
+fn bench_engine_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_loop/flood");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = SimConfig::default()
+                .with_seed(5)
+                .with_history_window(8)
+                .with_parallel(false);
+            let mut sim = Simulator::new(config, NullAdversary, Box::new(|_, _| Flood));
+            sim.seed_nodes(n);
+            sim.run(2); // reach buffer steady state before timing
+            b.iter(|| {
+                sim.step();
+                std::hint::black_box(sim.in_flight_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_maintained_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_loop/maintained");
+    group.sample_size(10);
+    for (label, threads) in [("t1", 1usize), ("budget", rayon::current_num_threads())] {
+        group.bench_with_input(BenchmarkId::new(label, 96), &96usize, |b, &n| {
+            rayon::with_thread_cap(threads, || {
+                let mut run = experiment_scenario(n)
+                    .churn(ChurnSpec::paper())
+                    .adversary(AdversarySpec::random(1, 3))
+                    .seed(7)
+                    .build();
+                run.run_bootstrap();
+                b.iter(|| {
+                    run.step();
+                    std::hint::black_box(run.round())
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_overhead, bench_maintained_round);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion benchmark of [`tsa_overlay::SwarmIndex`]: range queries,
+//! allocation-free counting, and incremental maintenance versus a full
+//! rebuild under join/leave churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tsa_overlay::{Interval, OverlayParams, Position, SwarmIndex};
+use tsa_sim::NodeId;
+
+fn positions(n: usize, seed: u64) -> Vec<(NodeId, Position)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n as u64)
+        .map(|id| (NodeId(id), Position::new(rng.gen::<f64>())))
+        .collect()
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm_index/query");
+    group.sample_size(10);
+    for &n in &[1024usize, 16384] {
+        let index = SwarmIndex::build(positions(n, 42));
+        let params = OverlayParams::with_default_c(n);
+        let radius = params.swarm_radius();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::new("within", n), &n, |b, _| {
+            b.iter(|| {
+                let p = Position::new(rng.gen::<f64>());
+                std::hint::black_box(index.within(p, radius).len())
+            })
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::new("count_within", n), &n, |b, _| {
+            b.iter(|| {
+                let p = Position::new(rng.gen::<f64>());
+                std::hint::black_box(index.count_within(p, radius))
+            })
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        group.bench_with_input(BenchmarkId::new("wraparound", n), &n, |b, _| {
+            b.iter(|| {
+                // An interval straddling 0/1: both halves of the ring.
+                let interval = Interval::around(Position::new(rng.gen::<f64>() * 0.01), 0.02);
+                std::hint::black_box(index.count_in_interval(&interval))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn_maintenance(c: &mut Criterion) {
+    // One *round's* worth of churn — the paper's α n events spread over the
+    // `4λ + 14` window, i.e. a handful of joins/leaves per round — applied
+    // incrementally versus by rebuilding the index from scratch. Incremental
+    // maintenance wins exactly in this regime (few events against a large
+    // index); a whole window's churn applied at once would favour a rebuild.
+    let mut group = c.benchmark_group("swarm_index/churn_round");
+    group.sample_size(10);
+    for &n in &[1024usize, 16384] {
+        let assignment = positions(n, 42);
+        let window = 4 * OverlayParams::with_default_c(n).lambda() as usize + 14;
+        let batch = (n / 16 / window).max(1);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            let mut index = SwarmIndex::build(assignment.iter().copied());
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            let mut next_id = n as u64;
+            b.iter(|| {
+                for _ in 0..batch {
+                    let (leave, _) = assignment[rng.gen::<u64>() as usize % n];
+                    index.remove(leave);
+                    index.insert(NodeId(next_id), Position::new(rng.gen::<f64>()));
+                    index.insert(leave, Position::new(rng.gen::<f64>()));
+                    index.remove(NodeId(next_id));
+                    next_id += 1;
+                }
+                std::hint::black_box(index.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                let index = SwarmIndex::build(assignment.iter().copied());
+                std::hint::black_box(index.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_churn_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,316 @@
+//! Experiment PERF — the simulator's round-loop throughput trajectory.
+//!
+//! Every paper claim in this repository is a sweep over `Scenario::run`
+//! cells, so the per-round cost of the `tsa-sim` engine multiplies into
+//! everything (ROADMAP: "as fast as the hardware allows"). This binary
+//! measures that cost directly and writes `BENCH_exp_perf.json`, so the perf
+//! trajectory is diffable across PRs like every other claim. See the
+//! "Performance model" chapter of DESIGN.md for the cost model behind the
+//! numbers and EXPERIMENTS.md for how to read them.
+//!
+//! Two workloads bracket the engine:
+//!
+//! * `engine_flood` — a synthetic two-neighbour flood at
+//!   `n ∈ {256, 1024, 4096}`: a near-zero compute phase, so the number is
+//!   the round loop itself (delivery sort, inbox slicing, outbox draining,
+//!   metrics, record recycling);
+//! * `maintained_lds` — the full maintenance protocol under paper churn at
+//!   `n ∈ {64, 128, 256}`: a realistic compute phase on top. (The protocol's
+//!   `Θ(n·λ³)` message volume makes larger `n` a memory-bound sweep of its
+//!   own, deliberately out of scope here.)
+//!
+//! Both run at `threads ∈ {1, 2, machine budget}`; `--smoke` shrinks
+//! everything to a seconds-long CI-sized grid whose only job is to keep the
+//! perf suite from bit-rotting.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use tsa_bench::{experiment_scenario, usage, write_bench_json, write_bench_json_at, ExpArgs};
+use tsa_core::ProtocolMsg;
+use tsa_scenario::{AdversarySpec, ChurnSpec};
+use tsa_sim::prelude::*;
+use tsa_sim::{Envelope as SimEnvelope, MetricsHistory, NullAdversary};
+
+/// One measured cell of the throughput grid.
+#[derive(Serialize)]
+struct PerfRow {
+    /// `engine_flood` (round-loop overhead) or `maintained_lds` (full
+    /// protocol).
+    workload: &'static str,
+    /// Network size.
+    n: usize,
+    /// Worker-thread budget actually in effect for the engine's compute
+    /// phase (the requested cap bounded by the ambient TSA_THREADS/cores
+    /// budget).
+    threads: usize,
+    /// Warm-up rounds excluded from timing (bootstrap phase, or buffer
+    /// warm-up for the flood).
+    warmup_rounds: u64,
+    /// Measured rounds.
+    rounds: u64,
+    /// Wall-clock of the measured rounds, in milliseconds.
+    wall_ms: f64,
+    /// The headline number: measured rounds per second.
+    rounds_per_sec: f64,
+    /// Protocol messages processed per second over the measured window.
+    messages_per_sec: f64,
+    /// Mean messages sent per round over the measured window.
+    mean_messages_per_round: f64,
+    /// Largest single-round in-flight message count of the whole run.
+    peak_in_flight_messages: usize,
+    /// `peak_in_flight_messages × sizeof(Envelope)`: the engine's dominant
+    /// steady-state buffer, as bytes.
+    peak_in_flight_bytes: usize,
+    /// Linux `VmHWM` (peak resident set) in kB after this cell, when
+    /// `/proc/self/status` is readable; 0 elsewhere. Monotone across cells —
+    /// a process-level high-water mark, not a per-cell measurement.
+    vm_hwm_kb: u64,
+}
+
+/// The `BENCH_exp_perf.json` document.
+#[derive(Serialize)]
+struct PerfDoc {
+    /// The experiment's name.
+    exp: &'static str,
+    /// Whether this was a `--smoke` run (CI-sized, not comparable to full).
+    smoke: bool,
+    /// The machine's worker-thread budget at launch (`TSA_THREADS` / cores).
+    machine_threads: usize,
+    /// One row per `(workload, n, threads)` cell.
+    rows: Vec<PerfRow>,
+}
+
+/// Linux peak-RSS high-water mark, in kB.
+fn vm_hwm_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Every node floods a counter to its two id-adjacent peers each round — the
+/// cheapest possible compute phase, isolating the engine overhead.
+struct Flood;
+
+impl Process for Flood {
+    type Msg = u64;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Envelope<u64>]) {
+        let heard = inbox.len() as u64;
+        let me = ctx.id().raw();
+        ctx.send(NodeId(me.wrapping_add(1)), heard);
+        if me > 0 {
+            ctx.send(NodeId(me - 1), heard);
+        }
+    }
+}
+
+/// Folds a finished run's metrics into a [`PerfRow`].
+#[allow(clippy::too_many_arguments)]
+fn finish_row(
+    workload: &'static str,
+    n: usize,
+    threads: usize,
+    warmup_rounds: u64,
+    rounds: u64,
+    wall_secs: f64,
+    metrics: &MetricsHistory,
+    envelope_bytes: usize,
+) -> PerfRow {
+    let measured = &metrics.rounds()[warmup_rounds as usize..];
+    let messages: usize = measured.iter().map(|m| m.messages_sent).sum();
+    let peak_in_flight = metrics
+        .rounds()
+        .iter()
+        .map(|m| m.messages_sent)
+        .max()
+        .unwrap_or(0);
+    let wall_secs = wall_secs.max(1e-9);
+    PerfRow {
+        workload,
+        n,
+        threads,
+        warmup_rounds,
+        rounds,
+        wall_ms: wall_secs * 1e3,
+        rounds_per_sec: rounds as f64 / wall_secs,
+        messages_per_sec: messages as f64 / wall_secs,
+        mean_messages_per_round: messages as f64 / rounds.max(1) as f64,
+        peak_in_flight_messages: peak_in_flight,
+        peak_in_flight_bytes: peak_in_flight * envelope_bytes,
+        vm_hwm_kb: vm_hwm_kb(),
+    }
+}
+
+fn measure_flood(n: usize, threads: usize, rounds: u64) -> PerfRow {
+    rayon::with_thread_cap(threads, || {
+        // Record the budget actually in effect under the cap: a cap can only
+        // lower the ambient TSA_THREADS/cores budget, never raise it, so
+        // this is what really ran (the grid is pre-filtered to the ambient
+        // budget, but the row stays honest either way).
+        let actual_threads = rayon::current_num_threads();
+        let config = SimConfig::default()
+            .with_seed(5)
+            .with_history_window(8)
+            .with_parallel(true);
+        let mut sim = Simulator::new(config, NullAdversary, Box::new(|_, _| Flood));
+        sim.seed_nodes(n);
+        let warmup = 2u64;
+        sim.run(warmup); // reach buffer steady state before timing
+        let t0 = Instant::now();
+        sim.run(rounds);
+        let wall = t0.elapsed().as_secs_f64();
+        finish_row(
+            "engine_flood",
+            n,
+            actual_threads,
+            warmup,
+            rounds,
+            wall,
+            sim.metrics(),
+            std::mem::size_of::<SimEnvelope<u64>>(),
+        )
+    })
+}
+
+fn measure_maintained(n: usize, threads: usize, rounds: u64) -> PerfRow {
+    rayon::with_thread_cap(threads, || {
+        let actual_threads = rayon::current_num_threads();
+        let mut run = experiment_scenario(n)
+            .churn(ChurnSpec::paper())
+            .adversary(AdversarySpec::random(1, 13))
+            .seed(29)
+            .build();
+        let warmup = run.params().bootstrap_rounds();
+        run.run_bootstrap();
+        let t0 = Instant::now();
+        run.run(rounds);
+        let wall = t0.elapsed().as_secs_f64();
+        finish_row(
+            "maintained_lds",
+            n,
+            actual_threads,
+            warmup,
+            rounds,
+            wall,
+            run.metrics(),
+            std::mem::size_of::<SimEnvelope<ProtocolMsg>>(),
+        )
+    })
+}
+
+fn main() {
+    // `--smoke` is this binary's own flag; everything else is the shared
+    // experiment CLI (--full is accepted but a no-op: the grid has no raw
+    // histories to keep).
+    let mut smoke = false;
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--smoke" {
+                smoke = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let about = "round-loop throughput (rounds/sec, peak-memory proxy) across \
+                 workload × n × threads; --smoke runs a seconds-long CI-sized grid";
+    let args = match ExpArgs::parse_from(rest) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!(
+                "{}\n\nEXTRA:\n  --smoke        CI-sized grid (a few seconds end to end)",
+                usage("exp_perf", about)
+            );
+            return;
+        }
+        Err(message) => {
+            eprintln!("exp_perf: {message}\n\n{}", usage("exp_perf", about));
+            std::process::exit(2);
+        }
+    };
+
+    // The per-cell thread budget is applied with `with_thread_cap`, which
+    // can only *lower* the ambient TSA_THREADS/cores budget — so `--threads`
+    // lowers the whole grid's ceiling, and grid points above the ceiling are
+    // dropped rather than run mislabeled.
+    let ambient = rayon::current_num_threads();
+    let machine_threads = args.threads.map_or(ambient, |t| t.min(ambient));
+    let (flood_sizes, flood_rounds): (&[usize], u64) = if smoke {
+        (&[256], 5)
+    } else {
+        (&[256, 1024, 4096], 30)
+    };
+    let (maintained_sizes, maintained_rounds): (&[usize], u64) = if smoke {
+        (&[48, 64], 3)
+    } else {
+        (&[64, 128, 256], 10)
+    };
+    let mut thread_grid: Vec<usize> = if smoke {
+        vec![1, 2]
+    } else {
+        vec![1, 2, machine_threads]
+    };
+    thread_grid.retain(|&t| t <= machine_threads);
+    thread_grid.sort_unstable();
+    thread_grid.dedup();
+
+    let mut rows = Vec::new();
+    println!(
+        "exp_perf{}: flood n ∈ {flood_sizes:?} × maintained n ∈ {maintained_sizes:?} × \
+         threads ∈ {thread_grid:?}",
+        if smoke { " (smoke)" } else { "" },
+    );
+    let cells = flood_sizes
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                flood_rounds,
+                measure_flood as fn(usize, usize, u64) -> PerfRow,
+            )
+        })
+        .chain(maintained_sizes.iter().map(|&n| {
+            (
+                n,
+                maintained_rounds,
+                measure_maintained as fn(usize, usize, u64) -> PerfRow,
+            )
+        }));
+    for (n, rounds, measure) in cells {
+        for &threads in &thread_grid {
+            let row = measure(n, threads, rounds);
+            println!(
+                "  {:<14} n = {n:>5}, threads = {threads}: {:>9.1} rounds/s, \
+                 {:>12.0} msgs/s, peak in-flight {:>8} msgs, VmHWM {} kB",
+                row.workload,
+                row.rounds_per_sec,
+                row.messages_per_sec,
+                row.peak_in_flight_messages,
+                row.vm_hwm_kb,
+            );
+            rows.push(row);
+        }
+    }
+
+    let doc = PerfDoc {
+        exp: "exp_perf",
+        smoke,
+        machine_threads,
+        rows,
+    };
+    match &args.out {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("output directory is creatable");
+            write_bench_json_at(&dir.join("BENCH_exp_perf.json"), &doc);
+        }
+        None => write_bench_json("exp_perf", &doc),
+    }
+}

@@ -25,7 +25,7 @@
 pub mod cli;
 pub mod driver;
 
-pub use cli::ExpArgs;
+pub use cli::{usage, ExpArgs};
 pub use driver::{bench_doc, finish, run_sweeps, shard_path, BenchDoc};
 
 use serde::Serialize;

@@ -201,13 +201,18 @@ impl<A: Adversary> MaintenanceHarness<A> {
         let epoch = round / 2;
         let snapshots = self.snapshots();
         let node_count = snapshots.len();
-        let mature: Vec<&(NodeId, NodeSnapshot)> =
-            snapshots.iter().filter(|(_, s)| s.mature).collect();
-        let participating: Vec<&(NodeId, NodeSnapshot)> = mature
-            .iter()
-            .copied()
-            .filter(|(_, s)| s.participating)
-            .collect();
+        // Single pass: count the mature nodes and keep the participating
+        // subset (no intermediate reference vectors, no set clones).
+        let mut mature_count = 0usize;
+        let mut participating: Vec<(NodeId, &NodeSnapshot)> = Vec::new();
+        for (id, snap) in &snapshots {
+            if snap.mature {
+                mature_count += 1;
+                if snap.participating {
+                    participating.push((*id, snap));
+                }
+            }
+        }
         let participating_ids: HashSet<NodeId> = participating.iter().map(|(id, _)| *id).collect();
 
         // The actual neighbour graph over participating nodes.
@@ -243,21 +248,20 @@ impl<A: Adversary> MaintenanceHarness<A> {
                 self.sim.config().hash_seed,
                 epoch,
             );
-            let survivors: HashSet<NodeId> = participating_ids.clone();
-            lds.goodness_stats(&survivors, 0.75).min_swarm_size
+            lds.goodness_stats(&participating_ids, 0.75).min_swarm_size
         };
 
-        let participation_rate = if mature.is_empty() {
+        let participation_rate = if mature_count == 0 {
             0.0
         } else {
-            participating.len() as f64 / mature.len() as f64
+            participating.len() as f64 / mature_count as f64
         };
 
         MaintenanceReport {
             round,
             epoch,
             node_count,
-            mature_count: mature.len(),
+            mature_count,
             participating: participating.len(),
             participation_rate,
             connected,

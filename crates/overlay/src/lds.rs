@@ -81,6 +81,22 @@ impl Lds {
         &self.params
     }
 
+    /// Adds (or moves) `node` at position `p`, incrementally maintaining the
+    /// position index — no rebuild. Equivalent to rebuilding the LDS from the
+    /// updated assignment set.
+    pub fn insert(&mut self, node: NodeId, p: Position) {
+        self.positions.insert(node, p);
+        self.index.insert(node, p);
+    }
+
+    /// Removes `node`, incrementally maintaining the position index. Returns
+    /// its position, or `None` if it was not a member.
+    pub fn remove(&mut self, node: NodeId) -> Option<Position> {
+        let p = self.positions.remove(&node)?;
+        self.index.remove(node);
+        Some(p)
+    }
+
     /// The underlying position index.
     pub fn index(&self) -> &SwarmIndex {
         &self.index
@@ -169,14 +185,53 @@ impl Lds {
         g
     }
 
+    /// Precomputes the neighbour set of every member in one pass. Checks that
+    /// probe many points against the same snapshot (e.g. the Figure-1 swarm
+    /// property sweep in `exp_fig1`) should compute this once and pass it to
+    /// [`Lds::swarm_property_holds_at_with`] instead of re-deriving each
+    /// node's neighbourhood per probe.
+    pub fn neighbor_sets(&self) -> HashMap<NodeId, HashSet<NodeId>> {
+        self.members()
+            .map(|v| (v, self.neighbors(v).into_iter().collect()))
+            .collect()
+    }
+
     /// Checks the swarm property (Lemma 6) at point `p`: every node of `S(p)`
-    /// has an edge to every node of `S(p/2)` and of `S((p+1)/2)`.
+    /// has an edge to every node of `S(p/2)` and of `S((p+1)/2)`. One-shot
+    /// form: derives the (few) needed neighbour sets on the fly; repeated
+    /// probes should precompute [`Lds::neighbor_sets`] and use
+    /// [`Lds::swarm_property_holds_at_with`].
     pub fn swarm_property_holds_at(&self, p: Position) -> bool {
         let source = self.swarm(p);
         for image in [p.half(), p.half_plus()] {
             let target = self.swarm(image);
             for &v in &source {
                 let nbrs: HashSet<NodeId> = self.neighbors(v).into_iter().collect();
+                for &w in &target {
+                    if w != v && !nbrs.contains(&w) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// [`Lds::swarm_property_holds_at`] against precomputed
+    /// [`Lds::neighbor_sets`] — the allocation-light form for repeated
+    /// probing.
+    pub fn swarm_property_holds_at_with(
+        &self,
+        p: Position,
+        neighbor_sets: &HashMap<NodeId, HashSet<NodeId>>,
+    ) -> bool {
+        let source = self.swarm(p);
+        for image in [p.half(), p.half_plus()] {
+            let target = self.swarm(image);
+            for &v in &source {
+                let Some(nbrs) = neighbor_sets.get(&v) else {
+                    return false;
+                };
                 for &w in &target {
                     if w != v && !nbrs.contains(&w) {
                         return false;
@@ -377,6 +432,38 @@ mod tests {
             assert!(
                 intervals.iter().any(|i| i.contains(pw)),
                 "neighbour {w} at {pw} outside all responsibility intervals of {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_membership_equals_rebuild() {
+        let params = OverlayParams::new(64, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut live = Lds::random(params, (0..64).map(NodeId), &mut rng);
+        // Interleave leaves and joins, then compare against a from-scratch
+        // build over the surviving assignment set.
+        for id in (0..64u64).step_by(3) {
+            assert!(live.remove(NodeId(id)).is_some());
+        }
+        assert!(live.remove(NodeId(0)).is_none(), "double-leave is a no-op");
+        for id in 100..110u64 {
+            live.insert(NodeId(id), Position::new((id as f64) / 128.0));
+        }
+        let rebuilt = Lds::build(
+            params,
+            live.members().map(|id| (id, live.position(id).unwrap())),
+        );
+        assert_eq!(live.len(), rebuilt.len());
+        for id in live.members() {
+            assert_eq!(live.neighbors(id), rebuilt.neighbors(id), "node {id}");
+        }
+        let sets = live.neighbor_sets();
+        for p in [0.1, 0.45, 0.99] {
+            let p = Position::new(p);
+            assert_eq!(
+                live.swarm_property_holds_at(p),
+                live.swarm_property_holds_at_with(p, &sets)
             );
         }
     }

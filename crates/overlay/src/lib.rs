@@ -25,7 +25,7 @@
 //! assert!(lds.swarm_property_holds_at(Position::new(0.25)));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod graph;
 pub mod interval;

@@ -13,9 +13,20 @@ use crate::position::Position;
 
 /// A sorted index from positions to node identifiers supporting wrap-around
 /// range queries, nearest-neighbour queries and swarm extraction.
+///
+/// The index is **incrementally maintainable**: [`SwarmIndex::insert`] and
+/// [`SwarmIndex::remove`] keep the sorted order under join/leave churn, so
+/// callers tracking a changing membership never rebuild from scratch.
+/// `insert` locates its slot by binary search; `remove` scans linearly for
+/// the node (positions, not identifiers, are the sort key); both shift the
+/// tail, so each operation is `O(n)` worst case — for the handful of churn
+/// events one round actually brings, far cheaper than an `O(n log n)`
+/// rebuild (measured by `bench_swarm_index`). An incrementally maintained
+/// index is always byte-identical to a fresh [`SwarmIndex::build`] over the
+/// same membership (pinned by a property test below).
 #[derive(Clone, Debug, Default)]
 pub struct SwarmIndex {
-    /// Entries sorted by position value.
+    /// Entries sorted by `(position value, node id)`.
     entries: Vec<(f64, NodeId)>,
 }
 
@@ -31,6 +42,24 @@ impl SwarmIndex {
             .collect();
         entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
         SwarmIndex { entries }
+    }
+
+    /// Inserts `node` at position `p`, keeping the index sorted. A node that
+    /// is already indexed (at any position) is moved to `p`.
+    pub fn insert(&mut self, node: NodeId, p: Position) {
+        self.remove(node);
+        let key = (p.value(), node);
+        let at = self.entries.partition_point(|&(v, id)| (v, id) < key);
+        self.entries.insert(at, (key.0, key.1));
+    }
+
+    /// Removes `node` from the index. Returns its position, or `None` if the
+    /// node was not indexed. Locating the node scans linearly (positions are
+    /// the sort key, not identifiers); the index stays sorted.
+    pub fn remove(&mut self, node: NodeId) -> Option<Position> {
+        let at = self.entries.iter().position(|&(_, id)| id == node)?;
+        let (v, _) = self.entries.remove(at);
+        Some(Position::new(v))
     }
 
     /// Number of indexed nodes.
@@ -79,6 +108,38 @@ impl SwarmIndex {
         }
     }
 
+    /// Number of nodes whose position lies in `interval` — the counting
+    /// counterpart of [`SwarmIndex::in_interval`]: two binary searches, no
+    /// allocation, identical tolerance semantics.
+    pub fn count_in_interval(&self, interval: &Interval) -> usize {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        if interval.is_full_ring() {
+            return self.entries.len();
+        }
+        let lo = interval.left_end().value();
+        let hi = interval.right_end().value();
+        if lo <= hi {
+            self.count_range(lo, hi)
+        } else {
+            // Wraps around 0/1.
+            self.count_range(lo, 1.0) + self.count_range(0.0, hi)
+        }
+    }
+
+    fn count_range(&self, lo: f64, hi: f64) -> usize {
+        let start = self.entries.partition_point(|(v, _)| *v < lo - 1e-15);
+        let end = self.entries.partition_point(|(v, _)| *v <= hi + 1e-15);
+        end.saturating_sub(start)
+    }
+
+    /// Number of nodes within `radius` of `p` (allocation-free
+    /// [`SwarmIndex::within`]).
+    pub fn count_within(&self, p: Position, radius: f64) -> usize {
+        self.count_in_interval(&Interval::around(p, radius))
+    }
+
     /// The swarm `S(p)` under `params`: all nodes within `cλ/n` of `p`.
     pub fn swarm(&self, p: Position, params: &OverlayParams) -> Vec<NodeId> {
         self.in_interval(&Interval::around(p, params.swarm_radius()))
@@ -109,9 +170,11 @@ impl SwarmIndex {
     }
 
     /// Sizes of the swarms around every indexed node (used by experiment F1).
+    /// Counts via binary search instead of materializing each swarm.
     pub fn swarm_size_distribution(&self, params: &OverlayParams) -> Vec<usize> {
+        let radius = params.swarm_radius();
         self.iter()
-            .map(|(_, p)| self.swarm(p, params).len())
+            .map(|(_, p)| self.count_within(p, radius))
             .collect()
     }
 }
@@ -198,7 +261,103 @@ mod tests {
         );
     }
 
+    #[test]
+    fn insert_and_remove_maintain_sorted_order() {
+        let mut s = SwarmIndex::default();
+        s.insert(NodeId(2), Position::new(0.5));
+        s.insert(NodeId(0), Position::new(0.9));
+        s.insert(NodeId(1), Position::new(0.1));
+        let order: Vec<NodeId> = s.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![NodeId(1), NodeId(2), NodeId(0)]);
+        // Re-inserting moves a node instead of duplicating it.
+        s.insert(NodeId(2), Position::new(0.95));
+        assert_eq!(s.len(), 3);
+        let order: Vec<NodeId> = s.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![NodeId(1), NodeId(0), NodeId(2)]);
+        // Removal returns the position; absent nodes are a no-op.
+        let p = s.remove(NodeId(0)).unwrap();
+        assert!(p.distance(Position::new(0.9)) < 1e-12);
+        assert!(s.remove(NodeId(0)).is_none());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn count_within_matches_materialized_queries() {
+        let s = idx(&[0.05, 0.1, 0.2, 0.5, 0.95]);
+        for (center, radius) in [(0.1, 0.06), (0.0, 0.11), (0.5, 0.0), (0.7, 0.5)] {
+            let interval = Interval::around(Position::new(center), radius);
+            assert_eq!(
+                s.count_in_interval(&interval),
+                s.in_interval(&interval).len(),
+                "center {center}, radius {radius}"
+            );
+        }
+        assert_eq!(
+            SwarmIndex::default().count_within(Position::new(0.5), 0.2),
+            0
+        );
+    }
+
+    /// One step of an interleaved churn/query workload for the property test.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Join(u64, f64),
+        Leave(u64),
+        Query(f64, f64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..40, 0.0f64..1.0).prop_map(|(id, p)| Op::Join(id, p)),
+            (0u64..40).prop_map(Op::Leave),
+            (0.0f64..1.0, 0.0f64..0.6).prop_map(|(c, r)| Op::Query(c, r)),
+        ]
+    }
+
     proptest! {
+        /// The incremental index equals a from-scratch rebuild after arbitrary
+        /// interleaved join/leave/query sequences — every query (wrap-around
+        /// and interior alike) answers identically, and the final entry order
+        /// is byte-identical.
+        #[test]
+        fn prop_incremental_index_equals_rebuild(
+            ops in proptest::collection::vec(op_strategy(), 1..120),
+        ) {
+            let mut incremental = SwarmIndex::default();
+            let mut membership: Vec<(NodeId, Position)> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Join(id, p) => {
+                        let (id, p) = (NodeId(id), Position::new(p));
+                        membership.retain(|(m, _)| *m != id);
+                        membership.push((id, p));
+                        incremental.insert(id, p);
+                    }
+                    Op::Leave(id) => {
+                        let id = NodeId(id);
+                        membership.retain(|(m, _)| *m != id);
+                        incremental.remove(id);
+                    }
+                    Op::Query(center, radius) => {
+                        let rebuilt = SwarmIndex::build(membership.iter().copied());
+                        let interval = Interval::around(Position::new(center), radius);
+                        prop_assert_eq!(
+                            incremental.in_interval(&interval),
+                            rebuilt.in_interval(&interval)
+                        );
+                        prop_assert_eq!(
+                            incremental.count_in_interval(&interval),
+                            rebuilt.count_in_interval(&interval)
+                        );
+                    }
+                }
+            }
+            let rebuilt = SwarmIndex::build(membership.iter().copied());
+            let a: Vec<(NodeId, Position)> = incremental.iter().collect();
+            let b: Vec<(NodeId, Position)> = rebuilt.iter().collect();
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+
         #[test]
         fn prop_in_interval_matches_bruteforce(
             positions in proptest::collection::vec(0.0f64..1.0, 1..60),

@@ -503,6 +503,42 @@ mod tests {
     }
 
     #[test]
+    fn compact_records_peak_congestion_before_dropping_the_history() {
+        // Regression: compacting must re-fold the digest from the per-round
+        // rows *before* they are dropped, so a stale digest (e.g. an outcome
+        // assembled by hand or from a pre-digest artifact) cannot lose the
+        // paper's Lemma 24 congestion claim.
+        let outcome = Scenario::maintained_lds(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+            .seed(4)
+            .run(4);
+        let expected = outcome
+            .maintenance
+            .as_ref()
+            .unwrap()
+            .metrics
+            .as_ref()
+            .unwrap()
+            .summary();
+        assert!(expected.peak_congestion > 0);
+
+        let mut stale = outcome.clone();
+        stale.maintenance.as_mut().unwrap().metrics_summary = Default::default();
+        let via_compact = stale.clone().compact();
+        let via_to_compact = stale.to_compact();
+        for compacted in [&via_compact, &via_to_compact] {
+            let m = compacted.maintenance.as_ref().unwrap();
+            assert!(m.metrics.is_none(), "history dropped");
+            assert_eq!(
+                m.metrics_summary, expected,
+                "digest re-folded from the history before the drop"
+            );
+        }
+    }
+
+    #[test]
     fn scenario_run_exposes_the_harness_surface() {
         let mut run = Scenario::maintained_lds(48)
             .with_c(1.5)

@@ -126,9 +126,20 @@ impl ScenarioOutcome {
     /// [`MetricsSummary`] digest. One-shot outcomes are unchanged. This is
     /// what experiment binaries serialize by default; pass `--full` to keep
     /// the raw history.
+    ///
+    /// The digest is **re-folded from the history first** whenever a history
+    /// is present: the per-round congestion rows are the source of truth for
+    /// the paper's Lemma 24 claim (max per-node congestion over the whole
+    /// run), so the max must be recorded before the rows are dropped.
+    /// Without this, an outcome whose digest went stale — assembled by hand,
+    /// or deserialized from an artifact written before the digest existed —
+    /// would silently lose its peak congestion in every compacted
+    /// `BENCH_*.json`.
     pub fn compact(mut self) -> Self {
         if let Some(m) = self.maintenance.as_mut() {
-            m.metrics = None;
+            if let Some(history) = m.metrics.take() {
+                m.metrics_summary = history.summary();
+            }
         }
         self
     }
@@ -143,7 +154,13 @@ impl ScenarioOutcome {
             rounds: self.rounds,
             maintenance: self.maintenance.as_ref().map(|m| MaintenanceOutcome {
                 report: m.report.clone(),
-                metrics_summary: m.metrics_summary,
+                // Same rule as `compact`: the history, when present, is the
+                // source of truth for the digest.
+                metrics_summary: m
+                    .metrics
+                    .as_ref()
+                    .map(|h| h.summary())
+                    .unwrap_or(m.metrics_summary),
                 metrics: None,
                 max_connect_load: m.max_connect_load,
             }),

@@ -11,24 +11,60 @@
 //!   sent in round `t - 1`, computes, and sends messages that arrive in `t+1`;
 //! * the communication graph `G_t` (who messaged whom) is archived and exposed
 //!   to the adversary with lateness `a`, node-state digests with lateness `b`.
+//!
+//! # Hot-path design
+//!
+//! The round loop is engineered to perform **no steady-state heap
+//! allocation** and to run its compute phase **in parallel** without changing
+//! a single output bit (see the "Performance model" chapter of DESIGN.md):
+//!
+//! * node slots live in a `Vec` sorted by identifier (identifiers are
+//!   assigned monotonically, so joins append in order and the sort is free);
+//! * message delivery groups the in-flight buffer by receiver with a stable
+//!   counting scatter (count → prefix-sum → move into the second buffer) and
+//!   hands every node a contiguous *slice* of it — no per-node inbox vectors
+//!   and no sort scratch;
+//! * every node owns a reusable outbox buffer that is re-wrapped via
+//!   [`Outbox::from_vec`] each round; departing nodes donate their buffers to
+//!   a spare pool that joining nodes draw from;
+//! * the in-flight queue is double-buffered: next-round messages are drained
+//!   into the second buffer and the two are swapped;
+//! * round records (communication graphs, digests) trimmed out of a bounded
+//!   history window are recycled as the scratch for new rounds;
+//! * the compute phase runs on [`rayon::for_each_index_mut`], a work-stealing
+//!   loop at node granularity whose worker count follows the
+//!   `TSA_THREADS` / [`rayon::with_thread_cap`] budget, so sweep workers and
+//!   the simulator never multiply into `workers × cores` threads. Per-node
+//!   RNG streams depend only on `(seed, node, round)`, which makes parallel
+//!   and sequential execution bit-for-bit identical.
 
-use std::collections::{BTreeMap, HashMap};
-
-use rayon::prelude::*;
+use std::collections::BTreeMap;
 
 use crate::adversary::Adversary;
 use crate::churn::{ChurnBudget, ChurnOutcome, ChurnPlan};
 use crate::config::SimConfig;
 use crate::ids::{NodeId, Round};
 use crate::knowledge::{CommGraph, KnowledgeView, MemberInfo, RoundRecord};
-use crate::message::Envelope;
+use crate::message::{Envelope, Outbox};
 use crate::metrics::{MetricsHistory, RoundMetricsBuilder};
 use crate::node::{Ctx, Process};
 
-/// A node in the engine: its protocol state plus bookkeeping.
-struct NodeSlot<P> {
-    process: P,
+/// A node in the engine: its protocol state plus per-round scratch that is
+/// reused across rounds (outbox buffer, inbox/sponsorship ranges, digest).
+struct NodeSlot<P: Process> {
+    id: NodeId,
     joined_at: Round,
+    process: P,
+    /// Reusable outbox buffer; drained into the in-flight queue each round.
+    out: Vec<(NodeId, P::Msg)>,
+    /// State digest captured at the end of the last compute phase.
+    digest: u64,
+    /// This round's inbox: `in_flight[inbox_start..inbox_start + inbox_len]`.
+    inbox_start: usize,
+    inbox_len: usize,
+    /// This round's sponsorships: a range of `sponsored_ids`.
+    sponsored_start: usize,
+    sponsored_len: usize,
 }
 
 /// Creates the protocol state for a node that joins the network.
@@ -43,9 +79,37 @@ pub struct Simulator<P: Process, A: Adversary> {
     config: SimConfig,
     adversary: A,
     factory: NodeFactory<P>,
-    nodes: BTreeMap<NodeId, NodeSlot<P>>,
+    /// Node slots, sorted by identifier (the append-only id sequence keeps
+    /// joins in order; departures preserve order).
+    slots: Vec<NodeSlot<P>>,
     members: BTreeMap<NodeId, MemberInfo>,
+    /// Messages sent last round, not yet delivered (sorted by receiver during
+    /// the delivery phase of the next step).
     in_flight: Vec<Envelope<P::Msg>>,
+    /// Double buffer: next round's in-flight set is drained into this vector
+    /// and the two buffers are swapped at the end of the step.
+    next_in_flight: Vec<Envelope<P::Msg>>,
+    /// Scratch: `(bootstrap, joiner)` pairs of the current round, sorted by
+    /// bootstrap node.
+    sponsored_pairs: Vec<(NodeId, NodeId)>,
+    /// Scratch: joiner ids grouped contiguously per bootstrap node; slots
+    /// reference ranges of this vector.
+    sponsored_ids: Vec<NodeId>,
+    /// Outbox buffers donated by departed nodes, reused by joining nodes.
+    spare_outboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Scratch: each in-flight envelope's receiver slot index (or the drop
+    /// sentinel), computed during the delivery scatter.
+    route_slots: Vec<usize>,
+    /// Scratch: per-slot write cursors of the delivery scatter.
+    route_cursors: Vec<usize>,
+    /// Scratch for per-node distinct-receiver computation.
+    dedup_scratch: Vec<NodeId>,
+    /// Scratch for departure deduplication inside `apply_plan`.
+    plan_seen: Vec<NodeId>,
+    /// Scratch for per-bootstrap join fan-in accounting inside `apply_plan`.
+    plan_fanin: Vec<(NodeId, usize)>,
+    /// Round records trimmed out of the history window, recycled as scratch.
+    spare_records: Vec<RoundRecord>,
     records: Vec<RoundRecord>,
     metrics: MetricsHistory,
     budget: ChurnBudget,
@@ -62,9 +126,19 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
             config,
             adversary,
             factory,
-            nodes: BTreeMap::new(),
+            slots: Vec::new(),
             members: BTreeMap::new(),
             in_flight: Vec::new(),
+            next_in_flight: Vec::new(),
+            sponsored_pairs: Vec::new(),
+            sponsored_ids: Vec::new(),
+            spare_outboxes: Vec::new(),
+            route_slots: Vec::new(),
+            route_cursors: Vec::new(),
+            dedup_scratch: Vec::new(),
+            plan_seen: Vec::new(),
+            plan_fanin: Vec::new(),
+            spare_records: Vec::new(),
             records: Vec::new(),
             metrics: MetricsHistory::new(),
             budget: ChurnBudget::new(),
@@ -78,6 +152,7 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
     /// Returns their identifiers.
     pub fn seed_nodes(&mut self, count: usize) -> Vec<NodeId> {
         let mut ids = Vec::with_capacity(count);
+        self.slots.reserve(count);
         for _ in 0..count {
             ids.push(self.spawn_node(self.round));
         }
@@ -88,15 +163,25 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
         let id = NodeId(self.next_id);
         self.next_id += 1;
         let process = (self.factory)(id, round);
-        self.nodes.insert(
+        let out = self.spare_outboxes.pop().unwrap_or_default();
+        self.slots.push(NodeSlot {
             id,
-            NodeSlot {
-                process,
-                joined_at: round,
-            },
-        );
+            joined_at: round,
+            process,
+            out,
+            digest: 0,
+            inbox_start: 0,
+            inbox_len: 0,
+            sponsored_start: 0,
+            sponsored_len: 0,
+        });
         self.members.insert(id, MemberInfo { joined_at: round });
         id
+    }
+
+    /// The slot index of `id`, if it is a current member.
+    fn slot_index(&self, id: NodeId) -> Option<usize> {
+        self.slots.binary_search_by_key(&id, |s| s.id).ok()
     }
 
     /// The current round (the next round to be executed).
@@ -111,12 +196,12 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
 
     /// Number of nodes currently in the network.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.slots.len()
     }
 
     /// Identifiers of all current members, in ascending order.
     pub fn member_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        self.slots.iter().map(|s| s.id).collect()
     }
 
     /// The round a current member joined, if it exists.
@@ -126,17 +211,17 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
 
     /// Immutable access to a node's protocol state.
     pub fn node(&self, id: NodeId) -> Option<&P> {
-        self.nodes.get(&id).map(|s| &s.process)
+        self.slot_index(id).map(|i| &self.slots[i].process)
     }
 
     /// Mutable access to a node's protocol state (tests and harnesses only).
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
-        self.nodes.get_mut(&id).map(|s| &mut s.process)
+        self.slot_index(id).map(|i| &mut self.slots[i].process)
     }
 
     /// Iterates over `(id, protocol state)` pairs of all current members.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
-        self.nodes.iter().map(|(id, s)| (*id, &s.process))
+        self.slots.iter().map(|s| (s.id, &s.process))
     }
 
     /// Metrics collected so far.
@@ -175,6 +260,7 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
 
     /// Executes `rounds` rounds.
     pub fn run(&mut self, rounds: u64) {
+        self.metrics.reserve(rounds as usize);
         for _ in 0..rounds {
             self.step();
         }
@@ -186,9 +272,13 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
         let mut mb = RoundMetricsBuilder::new(t);
 
         // Phase 1: adversarial churn (suppressed during the bootstrap phase).
-        let outcome = if t < self.config.churn_rules.bootstrap_rounds {
-            ChurnOutcome::default()
-        } else {
+        // The previous round's outcome buffers are recycled.
+        let mut outcome = std::mem::take(&mut self.last_outcome);
+        outcome.departed.clear();
+        outcome.joined.clear();
+        outcome.rejected_departures.clear();
+        outcome.rejected_joins.clear();
+        if t >= self.config.churn_rules.bootstrap_rounds {
             let remaining = self.budget.remaining(t, &self.config.churn_rules);
             let plan = {
                 let view = KnowledgeView::new(
@@ -201,101 +291,190 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
                 );
                 self.adversary.plan(t, &view)
             };
-            self.apply_plan(t, plan)
-        };
+            self.apply_plan(t, plan, &mut outcome);
+        }
         mb.record_churn(outcome.departed.len(), outcome.joined.len());
 
-        // Phase 2: deliver messages sent in round t-1 to surviving receivers.
-        let mut inboxes: HashMap<NodeId, Vec<Envelope<P::Msg>>> = HashMap::new();
+        // Phase 2: deliver messages sent in round t-1 to surviving receivers,
+        // as a stable counting scatter: locate each envelope's receiver slot
+        // (binary search), prefix-sum the counts into per-slot ranges, then
+        // move every delivered envelope into its range in the second buffer
+        // and swap. Each node's inbox is then one contiguous slice, grouped
+        // in slot (= id) order with sender order preserved within each group
+        // — exactly what a stable sort by receiver would produce, but with
+        // no sort scratch: a `sort_by_key` here would heap-allocate its
+        // merge buffer every round.
+        for slot in self.slots.iter_mut() {
+            slot.inbox_start = 0;
+            slot.inbox_len = 0;
+            slot.sponsored_start = 0;
+            slot.sponsored_len = 0;
+        }
         let mut dropped = 0usize;
-        for env in self.in_flight.drain(..) {
-            if self.nodes.contains_key(&env.to) {
-                inboxes.entry(env.to).or_default().push(env);
-            } else {
-                dropped += 1;
+        const DROP: usize = usize::MAX;
+        self.route_slots.clear();
+        for env in self.in_flight.iter() {
+            match self.slots.binary_search_by_key(&env.to, |s| s.id) {
+                Ok(idx) => {
+                    self.slots[idx].inbox_len += 1;
+                    self.route_slots.push(idx);
+                }
+                Err(_) => {
+                    dropped += 1;
+                    self.route_slots.push(DROP);
+                }
             }
         }
+        let mut delivered = 0usize;
+        self.route_cursors.clear();
+        for slot in self.slots.iter_mut() {
+            slot.inbox_start = delivered;
+            self.route_cursors.push(delivered);
+            delivered += slot.inbox_len;
+        }
+        self.next_in_flight.clear();
+        self.next_in_flight.reserve(delivered);
+        {
+            let spare = self.next_in_flight.spare_capacity_mut();
+            for (env, &slot_idx) in self.in_flight.drain(..).zip(self.route_slots.iter()) {
+                if slot_idx == DROP {
+                    continue; // receiver departed before delivery
+                }
+                let cursor = &mut self.route_cursors[slot_idx];
+                spare[*cursor].write(env);
+                *cursor += 1;
+            }
+        }
+        // SAFETY: the prefix sums partition 0..delivered into disjoint
+        // per-slot ranges; every non-dropped envelope was written through
+        // exactly one cursor, and each cursor advanced exactly `inbox_len`
+        // times within its slot's range — so all `delivered` spare elements
+        // are initialized.
+        unsafe {
+            self.next_in_flight.set_len(delivered);
+        }
+        std::mem::swap(&mut self.in_flight, &mut self.next_in_flight);
         mb.record_dropped(dropped);
 
-        // Sponsored joiners, grouped by bootstrap node.
-        let mut sponsored: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        for (new_id, bootstrap) in &outcome.joined {
-            sponsored.entry(*bootstrap).or_default().push(*new_id);
+        // Sponsored joiners, grouped contiguously by bootstrap node (the
+        // stable sort keeps joiners in join order within each bootstrap).
+        self.sponsored_pairs.clear();
+        self.sponsored_pairs.extend(
+            outcome
+                .joined
+                .iter()
+                .map(|&(joiner, bootstrap)| (bootstrap, joiner)),
+        );
+        self.sponsored_pairs
+            .sort_by_key(|&(bootstrap, _)| bootstrap);
+        self.sponsored_ids.clear();
+        self.sponsored_ids
+            .extend(self.sponsored_pairs.iter().map(|&(_, joiner)| joiner));
+        {
+            let mut s = 0usize;
+            let mut k = 0usize;
+            while k < self.sponsored_pairs.len() {
+                let bootstrap = self.sponsored_pairs[k].0;
+                let run_start = k;
+                while k < self.sponsored_pairs.len() && self.sponsored_pairs[k].0 == bootstrap {
+                    k += 1;
+                }
+                while s < self.slots.len() && self.slots[s].id < bootstrap {
+                    s += 1;
+                }
+                if s < self.slots.len() && self.slots[s].id == bootstrap {
+                    self.slots[s].sponsored_start = run_start;
+                    self.slots[s].sponsored_len = k - run_start;
+                }
+            }
         }
-        let empty_sponsored: Vec<NodeId> = Vec::new();
-        let empty_inbox: Vec<Envelope<P::Msg>> = Vec::new();
 
-        mb.record_node_count(self.nodes.len());
+        mb.record_node_count(self.slots.len());
 
         // Phase 3: compute. Every node steps exactly once; its RNG stream
         // depends only on (seed, id, round), so parallel and sequential
-        // execution produce identical results.
+        // execution produce identical results. Work is stolen at node
+        // granularity; the worker count honours the TSA_THREADS /
+        // with_thread_cap budget so nested parallelism (e.g. under a sweep
+        // worker) stays within the machine. Tiny rounds run serially no
+        // matter the budget: the scoped workers cost tens of microseconds to
+        // spawn and join, which would dominate a round with little to do
+        // (the budget can change wall-clock only, never an output bit, so
+        // this gate is free to be a heuristic).
+        const PARALLEL_WORK_THRESHOLD: usize = 2048;
         let seed = self.config.seed;
         let hash_seed = self.config.hash_seed;
         let record_digests = self.config.record_digests;
-
-        let mut work: Vec<(NodeId, Round, &mut P)> = self
-            .nodes
-            .iter_mut()
-            .map(|(id, slot)| (*id, slot.joined_at, &mut slot.process))
-            .collect();
-
-        let step_one = |(id, joined_at, process): &mut (NodeId, Round, &mut P)| {
-            let inbox = inboxes.get(id).unwrap_or(&empty_inbox);
-            let spons = sponsored.get(id).unwrap_or(&empty_sponsored);
-            let mut ctx: Ctx<'_, P::Msg> = Ctx::new(*id, t, *joined_at, spons, seed, hash_seed);
-            process.on_round(&mut ctx, inbox);
-            let digest = if record_digests {
-                process.state_digest()
-            } else {
-                0
-            };
-            let out = ctx.into_outbox().into_inner();
-            (*id, out, digest, inbox.len())
-        };
-
-        // (node, outbox, state digest, messages received) of one stepped node.
-        type StepResult<M> = (NodeId, Vec<(NodeId, M)>, u64, usize);
-        let results: Vec<StepResult<P::Msg>> = if self.config.parallel {
-            work.par_iter_mut().map(step_one).collect()
+        let work_items = self.slots.len().max(self.in_flight.len());
+        let threads = if self.config.parallel && work_items >= PARALLEL_WORK_THRESHOLD {
+            rayon::current_num_threads()
         } else {
-            work.iter_mut().map(step_one).collect()
+            1
         };
-        drop(work);
+        {
+            let in_flight = &self.in_flight;
+            let sponsored_ids = &self.sponsored_ids;
+            rayon::for_each_index_mut(&mut self.slots, threads, |_, slot| {
+                let inbox = &in_flight[slot.inbox_start..slot.inbox_start + slot.inbox_len];
+                let sponsored =
+                    &sponsored_ids[slot.sponsored_start..slot.sponsored_start + slot.sponsored_len];
+                let out = Outbox::from_vec(std::mem::take(&mut slot.out));
+                let mut ctx: Ctx<'_, P::Msg> =
+                    Ctx::with_outbox(slot.id, t, slot.joined_at, sponsored, seed, hash_seed, out);
+                slot.process.on_round(&mut ctx, inbox);
+                slot.digest = if record_digests {
+                    slot.process.state_digest()
+                } else {
+                    0
+                };
+                slot.out = ctx.into_outbox().into_inner();
+            });
+        }
 
-        // Phase 4: collect outboxes into next round's in-flight set, record the
-        // communication graph and per-node metrics.
-        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-        let mut digests: Vec<(NodeId, u64)> = Vec::new();
-        for (id, out, digest, received) in results {
-            mb.record_received(id, received);
-            let mut distinct: Vec<NodeId> = out.iter().map(|(to, _)| *to).collect();
-            distinct.sort_unstable();
-            distinct.dedup();
-            mb.record_sent(id, out.len(), distinct.len());
-            for to in &distinct {
-                edges.push((id, *to));
-            }
-            if record_digests {
-                digests.push((id, digest));
-            }
-            for (to, payload) in out {
-                self.in_flight.push(Envelope::new(id, to, t, payload));
+        // Phase 4: drain outboxes into the next round's in-flight buffer,
+        // record the communication graph and per-node metrics. All buffers
+        // (double-buffered queue, dedup scratch, recycled round records) are
+        // reused, so the steady state allocates nothing.
+        let mut rec = self.spare_records.pop().unwrap_or_default();
+        rec.graph.round = t;
+        rec.graph.edges.clear();
+        rec.graph.members.clear();
+        rec.digests.clear();
+        self.next_in_flight.clear();
+        {
+            let next_in_flight = &mut self.next_in_flight;
+            let scratch = &mut self.dedup_scratch;
+            for slot in self.slots.iter_mut() {
+                mb.record_received(slot.id, slot.inbox_len);
+                scratch.clear();
+                scratch.extend(slot.out.iter().map(|(to, _)| *to));
+                scratch.sort_unstable();
+                scratch.dedup();
+                mb.record_sent(slot.id, slot.out.len(), scratch.len());
+                for &to in scratch.iter() {
+                    rec.graph.edges.push((slot.id, to));
+                }
+                if record_digests {
+                    rec.digests.push((slot.id, slot.digest));
+                }
+                for (to, payload) in slot.out.drain(..) {
+                    next_in_flight.push(Envelope::new(slot.id, to, t, payload));
+                }
+                rec.graph.members.push(slot.id);
             }
         }
-        edges.sort_unstable();
-        edges.dedup();
+        std::mem::swap(&mut self.in_flight, &mut self.next_in_flight);
+        rec.graph.edges.sort_unstable();
+        rec.graph.edges.dedup();
 
-        let graph = CommGraph {
-            round: t,
-            edges,
-            members: self.nodes.keys().copied().collect(),
-        };
-        self.records.push(RoundRecord { graph, digests });
+        self.records.push(rec);
         if let Some(window) = self.config.history_window {
-            if self.records.len() > window {
-                let excess = self.records.len() - window;
-                self.records.drain(..excess);
+            while self.records.len() > window {
+                let mut old = self.records.remove(0);
+                old.graph.edges.clear();
+                old.graph.members.clear();
+                old.digests.clear();
+                self.spare_records.push(old);
             }
         }
 
@@ -305,37 +484,56 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
     }
 
     /// Validates and applies a churn plan, honouring budget and join rules.
-    fn apply_plan(&mut self, t: Round, plan: ChurnPlan) -> ChurnOutcome {
+    /// Results are accumulated into `outcome` (a recycled buffer).
+    fn apply_plan(&mut self, t: Round, plan: ChurnPlan, outcome: &mut ChurnOutcome) {
         let rules = self.config.churn_rules;
-        let mut outcome = ChurnOutcome::default();
         let mut remaining = self.budget.remaining(t, &rules);
 
         // Departures first (the paper's O_t).
-        let mut seen: Vec<NodeId> = Vec::new();
+        self.plan_seen.clear();
         for id in plan.departures {
-            if seen.contains(&id) {
+            if self.plan_seen.contains(&id) {
                 continue;
             }
-            seen.push(id);
-            if remaining == 0 || !self.nodes.contains_key(&id) {
+            self.plan_seen.push(id);
+            let slot_idx = if remaining == 0 {
+                None
+            } else {
+                self.slot_index(id)
+            };
+            let Some(idx) = slot_idx else {
                 outcome.rejected_departures.push(id);
                 continue;
-            }
-            self.nodes.remove(&id);
+            };
+            let slot = self.slots.remove(idx);
+            let mut out = slot.out;
+            out.clear();
+            self.spare_outboxes.push(out);
             self.members.remove(&id);
             outcome.departed.push(id);
             remaining = remaining.saturating_sub(1);
         }
 
         // Joins (the paper's J_t), each via an eligible bootstrap node.
-        let mut per_bootstrap: HashMap<NodeId, usize> = HashMap::new();
+        self.plan_fanin.clear();
         for join in plan.joins {
             let eligible = self
                 .members
                 .get(&join.bootstrap)
                 .map(|m| m.joined_at + rules.min_bootstrap_age <= t)
                 .unwrap_or(false);
-            let fanin = per_bootstrap.entry(join.bootstrap).or_insert(0);
+            let fanin_idx = match self
+                .plan_fanin
+                .iter()
+                .position(|(id, _)| *id == join.bootstrap)
+            {
+                Some(i) => i,
+                None => {
+                    self.plan_fanin.push((join.bootstrap, 0));
+                    self.plan_fanin.len() - 1
+                }
+            };
+            let fanin = &mut self.plan_fanin[fanin_idx].1;
             if remaining == 0 || !eligible || *fanin >= rules.max_joins_per_bootstrap {
                 outcome.rejected_joins.push(join);
                 continue;
@@ -347,7 +545,6 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
         }
 
         self.budget.record(t, outcome.events());
-        outcome
     }
 }
 
@@ -418,6 +615,63 @@ mod tests {
             );
         }
         assert_eq!(a.metrics().total_messages(), b.metrics().total_messages());
+    }
+
+    #[test]
+    fn parallel_runs_are_identical_across_thread_budgets() {
+        // The determinism contract of the parallel compute phase: with the
+        // thread budget pinned at 1, 2 and 4 workers, a fixed-seed run is
+        // bit-for-bit identical (inboxes, metrics, comm graphs, digests).
+        let run_with_cap = |cap: usize| {
+            rayon::with_thread_cap(cap, || {
+                let config = SimConfig::default().with_seed(9).with_parallel(true);
+                let mut s = Simulator::new(config, NullAdversary, Box::new(|_, _| Ping::default()));
+                // Enough nodes that the in-flight volume crosses the
+                // parallel work threshold, so capped workers really run.
+                s.seed_nodes(1200);
+                s.run(6);
+                let heard: Vec<Vec<u64>> = s
+                    .member_ids()
+                    .iter()
+                    .map(|&id| s.node(id).unwrap().heard.clone())
+                    .collect();
+                let edges = s.records().last().unwrap().graph.edges.clone();
+                (heard, edges, s.metrics().total_messages())
+            })
+        };
+        let baseline = run_with_cap(1);
+        for cap in [2usize, 4] {
+            assert_eq!(run_with_cap(cap), baseline, "divergence at {cap} threads");
+        }
+    }
+
+    #[test]
+    fn steady_state_rounds_do_not_grow_scratch_buffers() {
+        // After a warm-up round at a fixed node count, the reusable buffers
+        // must have reached their steady-state capacities: further rounds
+        // reuse them instead of growing them.
+        let config = SimConfig::default()
+            .with_seed(3)
+            .with_history_window(4)
+            .with_parallel(false);
+        let mut s = Simulator::new(config, NullAdversary, Box::new(|_, _| Ping::default()));
+        s.seed_nodes(32);
+        s.run(3);
+        let caps = |s: &Simulator<Ping, NullAdversary>| {
+            (
+                s.in_flight.capacity(),
+                s.next_in_flight.capacity(),
+                s.dedup_scratch.capacity(),
+                s.slots
+                    .iter()
+                    .map(|slot| slot.out.capacity())
+                    .sum::<usize>(),
+            )
+        };
+        let warm = caps(&s);
+        s.run(20);
+        assert_eq!(caps(&s), warm, "steady-state rounds must not reallocate");
+        assert_eq!(s.records().len(), 4, "window bounds the archive");
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! assert!(sim.metrics().total_messages() > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adversary;
 pub mod churn;

@@ -61,6 +61,16 @@ impl<M> Outbox<M> {
         }
     }
 
+    /// Wraps an existing buffer (cleared first) so its capacity is reused.
+    ///
+    /// This is how the engine keeps the steady-state round loop
+    /// allocation-free: every node's outbox buffer survives from round to
+    /// round and is re-wrapped here instead of being reallocated.
+    pub fn from_vec(mut buf: Vec<(NodeId, M)>) -> Self {
+        buf.clear();
+        Outbox { msgs: buf }
+    }
+
     /// Queues `payload` for delivery to `to` at the beginning of the next round.
     #[inline]
     pub fn send(&mut self, to: NodeId, payload: M) {
@@ -130,6 +140,19 @@ mod tests {
         assert_eq!(e.to, NodeId(6));
         assert_eq!(e.sent_at, 12);
         assert_eq!(e.payload, 99);
+    }
+
+    #[test]
+    fn from_vec_reuses_capacity_and_clears_contents() {
+        let mut buf: Vec<(NodeId, u8)> = Vec::with_capacity(64);
+        buf.push((NodeId(1), 1));
+        let cap = buf.capacity();
+        let mut ob = Outbox::from_vec(buf);
+        assert!(ob.is_empty(), "stale contents are cleared");
+        ob.send(NodeId(2), 2);
+        let inner = ob.into_inner();
+        assert_eq!(inner, vec![(NodeId(2), 2)]);
+        assert_eq!(inner.capacity(), cap, "capacity survives the round trip");
     }
 
     #[test]

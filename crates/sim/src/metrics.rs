@@ -4,8 +4,6 @@
 //! messages per node and round; experiment E11 measures exactly the quantities
 //! collected here.
 
-use std::collections::HashMap;
-
 use crate::ids::{NodeId, Round};
 
 /// Metrics of a single round.
@@ -40,12 +38,23 @@ pub struct RoundMetrics {
 
 /// Accumulates per-node counters during a round and finalizes them into a
 /// [`RoundMetrics`].
+///
+/// The builder holds only running totals and maxima — no per-node tables —
+/// so recording a round's metrics performs no heap allocation (part of the
+/// engine's zero-allocation round loop; see the "Performance model" chapter
+/// of DESIGN.md). The engine steps every node exactly once per round, so
+/// [`record_sent`](Self::record_sent) and
+/// [`record_received`](Self::record_received) must be called **at most once
+/// per node per round**: the `count` of a call is the node's whole-round
+/// total, which feeds both the sum and the per-node maximum.
 #[derive(Debug, Default)]
 pub struct RoundMetricsBuilder {
     round: Round,
-    sent: HashMap<NodeId, usize>,
-    received: HashMap<NodeId, usize>,
-    out_degree: HashMap<NodeId, usize>,
+    total_sent: usize,
+    total_received: usize,
+    max_sent: usize,
+    max_received: usize,
+    max_out_degree: usize,
     node_count: usize,
     dropped: usize,
     departures: usize,
@@ -72,9 +81,11 @@ impl RoundMetricsBuilder {
         self.node_count = n;
     }
 
-    /// Records that `node` received `count` messages.
-    pub fn record_received(&mut self, node: NodeId, count: usize) {
-        *self.received.entry(node).or_insert(0) += count;
+    /// Records that one node received `count` messages this round (one call
+    /// per node per round).
+    pub fn record_received(&mut self, _node: NodeId, count: usize) {
+        self.total_received += count;
+        self.max_received = self.max_received.max(count);
     }
 
     /// Records a dropped message (receiver no longer exists).
@@ -82,28 +93,28 @@ impl RoundMetricsBuilder {
         self.dropped += count;
     }
 
-    /// Records that `node` sent `count` messages to `distinct` distinct peers.
-    pub fn record_sent(&mut self, node: NodeId, count: usize, distinct: usize) {
-        *self.sent.entry(node).or_insert(0) += count;
-        *self.out_degree.entry(node).or_insert(0) += distinct;
+    /// Records that one node sent `count` messages to `distinct` distinct
+    /// peers this round (one call per node per round).
+    pub fn record_sent(&mut self, _node: NodeId, count: usize, distinct: usize) {
+        self.total_sent += count;
+        self.max_sent = self.max_sent.max(count);
+        self.max_out_degree = self.max_out_degree.max(distinct);
     }
 
     /// Finalizes the round's metrics.
     pub fn finish(self) -> RoundMetrics {
-        let total_sent: usize = self.sent.values().sum();
-        let total_received: usize = self.received.values().sum();
         let n = self.node_count.max(1);
         RoundMetrics {
             round: self.round,
             node_count: self.node_count,
-            messages_sent: total_sent,
-            messages_delivered: total_received,
+            messages_sent: self.total_sent,
+            messages_delivered: self.total_received,
             messages_dropped: self.dropped,
-            max_sent_per_node: self.sent.values().copied().max().unwrap_or(0),
-            max_received_per_node: self.received.values().copied().max().unwrap_or(0),
-            mean_sent_per_node: total_sent as f64 / n as f64,
-            mean_received_per_node: total_received as f64 / n as f64,
-            max_out_degree: self.out_degree.values().copied().max().unwrap_or(0),
+            max_sent_per_node: self.max_sent,
+            max_received_per_node: self.max_received,
+            mean_sent_per_node: self.total_sent as f64 / n as f64,
+            mean_received_per_node: self.total_received as f64 / n as f64,
+            max_out_degree: self.max_out_degree,
             departures: self.departures,
             joins: self.joins,
         }
@@ -148,6 +159,19 @@ impl MetricsHistory {
     /// Creates an empty history.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty history with room for `rounds` rows preallocated.
+    pub fn with_capacity(rounds: usize) -> Self {
+        MetricsHistory {
+            rounds: Vec::with_capacity(rounds),
+        }
+    }
+
+    /// Ensures room for `additional` more rows, so a run of known length
+    /// records every round into preallocated storage.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rounds.reserve(additional);
     }
 
     /// Appends one round's metrics.

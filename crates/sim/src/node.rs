@@ -40,6 +40,29 @@ impl<'a, M> Ctx<'a, M> {
         seed: u64,
         hash_seed: u64,
     ) -> Self {
+        Self::with_outbox(
+            id,
+            round,
+            joined_at,
+            sponsored,
+            seed,
+            hash_seed,
+            Outbox::new(),
+        )
+    }
+
+    /// Like [`Ctx::new`], but sends into a caller-provided outbox — usually
+    /// one wrapping a buffer recycled from an earlier round via
+    /// [`Outbox::from_vec`], so the steady-state round loop allocates nothing.
+    pub fn with_outbox(
+        id: NodeId,
+        round: Round,
+        joined_at: Round,
+        sponsored: &'a [NodeId],
+        seed: u64,
+        hash_seed: u64,
+        outbox: Outbox<M>,
+    ) -> Self {
         Ctx {
             id,
             round,
@@ -47,7 +70,7 @@ impl<'a, M> Ctx<'a, M> {
             sponsored,
             hash_seed,
             rng: rng::node_round_rng(seed, id, round),
-            outbox: Outbox::new(),
+            outbox,
         }
     }
 

@@ -81,6 +81,34 @@ proptest! {
 }
 
 #[test]
+fn maintained_runs_are_byte_identical_across_compute_thread_budgets() {
+    // The engine's compute phase runs in parallel (work stolen at node
+    // granularity under the TSA_THREADS / with_thread_cap budget); per-node
+    // RNG streams depend only on (seed, node, round), so the budget must
+    // never change a single output bit. Pin the phase at 1, 2 and 4 worker
+    // threads and require byte-identical serialized outcomes.
+    let mut base = ScenarioSpec::new(ScenarioKind::MaintainedLds, 48);
+    base.c = Some(1.5);
+    base.tau = Some(4);
+    base.replication = Some(2);
+    base.churn = tsa_scenario::ChurnSpec::fraction(1, 4);
+    base.adversary = tsa_scenario::AdversarySpec::random(1, 5);
+    let run_with_cap = |cap: usize| {
+        rayon::with_thread_cap(cap, || {
+            serde_json::to_string(&Scenario::from_spec(base.with_seed(31)).run(8)).unwrap()
+        })
+    };
+    let single = run_with_cap(1);
+    for cap in [2usize, 4] {
+        assert_eq!(
+            run_with_cap(cap),
+            single,
+            "outcome diverged with the compute phase pinned at {cap} threads"
+        );
+    }
+}
+
+#[test]
 fn maintained_cells_match_standalone_runs_byte_for_byte() {
     // The protocol-in-simulator kind, with churn and a real adversary — the
     // expensive case, pinned deterministically (2 cells).

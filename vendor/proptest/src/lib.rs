@@ -79,6 +79,89 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (the `proptest` combinator of the
+    /// same name).
+    fn prop_map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> R,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, R, F: Fn(S::Value) -> R> Strategy for Map<S, F> {
+    type Value = R;
+
+    fn generate(&self, rng: &mut TestRng) -> R {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// A uniform choice between boxed strategies of one value type; built by
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty), each drawn with equal
+    /// probability.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Boxes a strategy for storage in a [`Union`] (implementation detail of
+/// [`prop_oneof!`]).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Chooses uniformly between the listed strategies (the unweighted subset of
+/// `proptest`'s macro of the same name).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    };
 }
 
 macro_rules! impl_int_strategy {
@@ -187,7 +270,9 @@ macro_rules! prop_assert_eq {
 
 /// The pieces most users want in scope.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy, TestRng,
+    };
 }
 
 #[cfg(test)]
@@ -210,6 +295,19 @@ mod tests {
             for x in xs {
                 prop_assert!((0.0..1.0).contains(&x));
             }
+        }
+
+        #[test]
+        fn tuples_map_and_oneof_compose(
+            pair in (0u64..10, 0.0f64..1.0).prop_map(|(a, b)| (a * 2, b)),
+            choice in prop_oneof![
+                (0u32..5).prop_map(|x| x as i64),
+                (10u32..15).prop_map(|x| x as i64),
+            ],
+        ) {
+            prop_assert!(pair.0 % 2 == 0 && pair.0 < 20);
+            prop_assert!((0.0..1.0).contains(&pair.1));
+            prop_assert!((0..5).contains(&choice) || (10..15).contains(&choice));
         }
     }
 

@@ -85,6 +85,56 @@ where
     });
 }
 
+/// Runs `f(i, &mut slice[i])` for every element of `slice` across `threads`
+/// scoped workers pulling indices from a shared counter — the mutable-slice
+/// sibling of [`for_each_index`]. Every index is claimed by exactly one
+/// worker, so each element is mutated by exactly one thread; results are
+/// therefore independent of `threads` whenever `f` is deterministic per
+/// index. This is the primitive behind the simulator's parallel compute
+/// phase: one job per node, stolen at node granularity, writing into that
+/// node's own slot.
+pub fn for_each_index_mut<T, F>(slice: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let jobs = slice.len();
+    let threads = threads.clamp(1, jobs.max(1));
+    if threads <= 1 {
+        for (i, item) in slice.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    // A raw base pointer shared across the scoped workers. Disjointness is
+    // guaranteed by the atomic index counter: `fetch_add` hands every index
+    // to exactly one worker, so no two threads ever form a reference to the
+    // same element.
+    struct SyncPtr<T>(*mut T);
+    unsafe impl<T: Send> Sync for SyncPtr<T> {}
+    let base = SyncPtr(slice.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let base = &base;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                // SAFETY: `i < jobs = slice.len()` and the counter hands out
+                // each index exactly once, so this is the only live reference
+                // to element `i`; the scope keeps the borrow of `slice` alive
+                // past every worker.
+                let item = unsafe { &mut *base.0.add(i) };
+                f(i, item);
+            });
+        }
+    });
+}
+
 /// A "parallel" mutable iterator over a slice, consumed by [`ParIterMut::map`].
 pub struct ParIterMut<'data, T: Send> {
     slice: &'data mut [T],
@@ -226,6 +276,26 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn for_each_index_mut_mutates_every_element_exactly_once() {
+        for threads in [1usize, 2, 5] {
+            let mut xs = vec![0u64; 257];
+            super::for_each_index_mut(&mut xs, threads, |i, x| {
+                *x += i as u64 + 1;
+            });
+            assert!(
+                xs.iter().enumerate().all(|(i, &x)| x == i as u64 + 1),
+                "threads = {threads}"
+            );
+        }
+        // Empty slices and zero threads are safe no-ops / serial fallbacks.
+        let mut empty: Vec<u8> = Vec::new();
+        super::for_each_index_mut(&mut empty, 4, |_, _| panic!("no jobs"));
+        let mut one = vec![1u8];
+        super::for_each_index_mut(&mut one, 0, |_, x| *x = 9);
+        assert_eq!(one, vec![9]);
     }
 
     #[test]
