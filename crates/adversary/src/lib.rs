@@ -17,7 +17,7 @@
 //! [`tsa_sim::KnowledgeView`], so an experiment that hands the same strategy a
 //! different lateness automatically measures how much that knowledge is worth.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod isolate;
 pub mod join_chain;

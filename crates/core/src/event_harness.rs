@@ -1,0 +1,226 @@
+//! The maintenance protocol under the virtual-time event engine.
+//!
+//! [`AsyncMaintenanceHarness`] is the asynchronous sibling of
+//! [`MaintenanceHarness`](crate::MaintenanceHarness): the *same*
+//! [`ProtocolNode`] state machine, the same genesis configuration, the same
+//! churn arbiter and health reporting — but scheduled by `tsa-event`'s
+//! discrete-event engine, where every message individually samples a latency
+//! (plus jitter) and may be lost. An event run whose delays never exceed one
+//! round is bit-identical to the round harness at the same seed; everything
+//! beyond that measures how much asynchrony the two-steps-ahead maintenance
+//! actually tolerates.
+
+use std::collections::HashMap;
+
+use tsa_event::{EventConfig, EventSimulator, NetModel, NetStats};
+use tsa_sim::{Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, Round};
+
+use crate::harness::{build_report, harness_factory, harness_sim_config};
+use crate::node::ProtocolNode;
+use crate::params::MaintenanceParams;
+use crate::snapshot::NodeSnapshot;
+use crate::MaintenanceReport;
+use tsa_overlay::Position;
+
+/// The maintenance protocol running inside the event engine against an
+/// adversary and a network model.
+pub struct AsyncMaintenanceHarness<A: Adversary> {
+    sim: EventSimulator<ProtocolNode, A>,
+    params: MaintenanceParams,
+}
+
+impl<A: Adversary> AsyncMaintenanceHarness<A> {
+    /// Wires the protocol, an adversary, the event engine and a network
+    /// model together from fully explicit parts — the async counterpart of
+    /// [`MaintenanceHarness::assemble`](crate::MaintenanceHarness::assemble),
+    /// sharing its genesis configuration bit for bit.
+    pub fn assemble(
+        params: MaintenanceParams,
+        adversary: A,
+        seed: u64,
+        churn_rules: ChurnRules,
+        lateness: Lateness,
+        net: NetModel,
+    ) -> Self {
+        let config = EventConfig::new(harness_sim_config(seed, churn_rules, lateness), net);
+        let mut sim = EventSimulator::new(config, adversary, harness_factory(params));
+        sim.seed_nodes(params.overlay.n);
+        AsyncMaintenanceHarness { sim, params }
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &MaintenanceParams {
+        &self.params
+    }
+
+    /// The current round (boundary of the virtual clock).
+    pub fn round(&self) -> Round {
+        self.sim.round()
+    }
+
+    /// The current overlay epoch.
+    pub fn epoch(&self) -> u64 {
+        self.sim.round() / 2
+    }
+
+    /// Number of nodes currently in the network.
+    pub fn node_count(&self) -> usize {
+        self.sim.node_count()
+    }
+
+    /// Runs `rounds` round boundaries.
+    pub fn run(&mut self, rounds: u64) {
+        self.sim.run(rounds);
+    }
+
+    /// Runs the full churn-free bootstrap phase.
+    pub fn run_bootstrap(&mut self) {
+        self.run(self.params.bootstrap_rounds());
+    }
+
+    /// Executes a single round boundary.
+    pub fn step(&mut self) {
+        self.sim.step();
+    }
+
+    /// Direct access to the underlying event simulator.
+    pub fn simulator(&self) -> &EventSimulator<ProtocolNode, A> {
+        &self.sim
+    }
+
+    /// The per-round message metrics (congestion, Lemma 24).
+    pub fn metrics(&self) -> &MetricsHistory {
+        self.sim.metrics()
+    }
+
+    /// Whole-run counters of the network model's effects (loss, delays).
+    pub fn net_stats(&self) -> NetStats {
+        self.sim.net_stats()
+    }
+
+    /// Snapshots of every node's observable state.
+    pub fn snapshots(&self) -> Vec<(NodeId, NodeSnapshot)> {
+        let now = self.sim.round().saturating_sub(1);
+        self.sim
+            .nodes()
+            .map(|(id, node)| (id, node.snapshot(now)))
+            .collect()
+    }
+
+    /// The health report for the most recently completed round — the same
+    /// routability criterion as the round harness, computed by the shared
+    /// report builder.
+    pub fn report(&self) -> MaintenanceReport {
+        let round = self.sim.round().saturating_sub(1);
+        let snapshots = self.snapshots();
+        build_report(
+            &self.params,
+            self.sim.config().sim.hash_seed,
+            round,
+            &snapshots,
+            self.metrics()
+                .last()
+                .map(|m| m.max_received_per_node)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Per-node connect counts of the last round, keyed by node — the
+    /// quantity bounded by Lemma 22.
+    pub fn connect_load(&self) -> HashMap<NodeId, usize> {
+        self.snapshots()
+            .into_iter()
+            .map(|(id, s)| (id, s.stats.connects_received_last_round))
+            .collect()
+    }
+
+    /// The current positions (ideal overlay) of all participating mature
+    /// nodes, for analyses that need them.
+    pub fn ideal_positions(&self) -> Vec<(NodeId, Position)> {
+        let epoch = self.epoch();
+        let hash_seed = self.sim.config().sim.hash_seed;
+        self.snapshots()
+            .into_iter()
+            .filter(|(_, s)| s.mature && s.participating)
+            .map(|(id, _)| {
+                (
+                    id,
+                    Position::new(tsa_sim::rng::position_hash(hash_seed, id, epoch)),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_event::LatencyModel;
+    use tsa_sim::NullAdversary;
+
+    fn small_params() -> MaintenanceParams {
+        MaintenanceParams::new(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+    }
+
+    #[test]
+    fn zero_latency_async_report_matches_the_round_harness() {
+        let params = small_params();
+        let assemble_round = || {
+            crate::MaintenanceHarness::assemble(
+                params,
+                NullAdversary,
+                17,
+                params.paper_churn_rules(),
+                params.paper_lateness(),
+            )
+        };
+        let mut sync = assemble_round();
+        sync.run_bootstrap();
+        sync.run(6);
+
+        let mut asynch = AsyncMaintenanceHarness::assemble(
+            params,
+            NullAdversary,
+            17,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+            NetModel::new(LatencyModel::constant(0)),
+        );
+        asynch.run_bootstrap();
+        asynch.run(6);
+
+        assert_eq!(
+            serde_json::to_string(&sync.report()).unwrap(),
+            serde_json::to_string(&asynch.report()).unwrap(),
+            "a zero-delay event run is the round model"
+        );
+        assert_eq!(sync.metrics().summary(), asynch.metrics().summary());
+    }
+
+    #[test]
+    fn bounded_asynchrony_keeps_the_overlay_routable() {
+        // Uniform delays up to a round and a half: messages straddle at
+        // most one extra boundary. The maintenance protocol holds two steps
+        // ahead, so the overlay must stay routable.
+        let params = small_params();
+        let mut h = AsyncMaintenanceHarness::assemble(
+            params,
+            NullAdversary,
+            3,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+            NetModel::new(LatencyModel::uniform(0, 1500)),
+        );
+        h.run_bootstrap();
+        h.run(8);
+        let report = h.report();
+        assert_eq!(report.node_count, 48);
+        assert!(
+            report.is_routable(),
+            "sub-round asynchrony must not break the overlay: {report:?}"
+        );
+    }
+}

@@ -7,8 +7,7 @@ use std::sync::Arc;
 
 use tsa_overlay::{Lds, OverlayGraph, Position};
 use tsa_sim::{
-    Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, NullAdversary, Round, SimConfig,
-    Simulator,
+    Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, Round, SimConfig, Simulator,
 };
 
 use crate::node::ProtocolNode;
@@ -58,54 +57,121 @@ pub struct MaintenanceHarness<A: Adversary> {
     params: MaintenanceParams,
 }
 
-impl MaintenanceHarness<NullAdversary> {
-    /// A harness with no churn at all (bootstrap and steady-state testing).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `tsa_scenario::Scenario::maintained_lds(n).churn(ChurnSpec::none())` instead"
-    )]
-    pub fn without_churn(params: MaintenanceParams, seed: u64) -> Self {
-        Self::assemble(
-            params,
-            NullAdversary,
-            seed,
-            params.paper_churn_rules(),
-            params.paper_lateness(),
-        )
+/// The genesis [`SimConfig`] shared by the round harness and the async
+/// harness: same seed/hash-seed derivation, same history window — so the two
+/// scheduler policies start from bit-identical worlds.
+pub(crate) fn harness_sim_config(
+    seed: u64,
+    churn_rules: ChurnRules,
+    lateness: Lateness,
+) -> SimConfig {
+    SimConfig::default()
+        .with_seed(seed)
+        .with_churn_rules(churn_rules)
+        .with_lateness(lateness)
+        .with_parallel(true)
+        .with_history_window(64)
+}
+
+/// The node factory shared by both harnesses: genesis nodes (round 0) know
+/// the initial member set, later joiners know nothing.
+pub(crate) fn harness_factory(params: MaintenanceParams) -> tsa_sim::NodeFactory<ProtocolNode> {
+    let n = params.overlay.n;
+    let genesis: Arc<Vec<NodeId>> = Arc::new((0..n as u64).map(NodeId).collect());
+    Box::new(move |_, round| {
+        let genesis_ref = if round == 0 {
+            Some(genesis.clone())
+        } else {
+            None
+        };
+        ProtocolNode::new(params, genesis_ref)
+    })
+}
+
+/// Builds the [`MaintenanceReport`] for one instant of a maintained overlay —
+/// shared by the round harness and the async harness, so "healthy" means the
+/// same thing under every execution engine.
+pub(crate) fn build_report(
+    params: &MaintenanceParams,
+    hash_seed: u64,
+    round: Round,
+    snapshots: &[(NodeId, NodeSnapshot)],
+    max_congestion: usize,
+) -> MaintenanceReport {
+    let epoch = round / 2;
+    let node_count = snapshots.len();
+    // Single pass: count the mature nodes and keep the participating
+    // subset (no intermediate reference vectors, no set clones).
+    let mut mature_count = 0usize;
+    let mut participating: Vec<(NodeId, &NodeSnapshot)> = Vec::new();
+    for (id, snap) in snapshots {
+        if snap.mature {
+            mature_count += 1;
+            if snap.participating {
+                participating.push((*id, snap));
+            }
+        }
+    }
+    let participating_ids: HashSet<NodeId> = participating.iter().map(|(id, _)| *id).collect();
+
+    // The actual neighbour graph over participating nodes.
+    let mut graph = OverlayGraph::with_vertices(participating_ids.iter().copied());
+    for (id, snap) in &participating {
+        for n in &snap.neighbors {
+            if participating_ids.contains(n) {
+                graph.add_edge(*id, *n);
+            }
+        }
+    }
+    let connected = !participating.is_empty() && graph.is_connected();
+    let largest = if participating.is_empty() {
+        0.0
+    } else {
+        graph.largest_component_fraction()
+    };
+    let mean_degree = if participating.is_empty() {
+        0.0
+    } else {
+        participating.iter().map(|(_, s)| s.degree()).sum::<usize>() as f64
+            / participating.len() as f64
+    };
+
+    // Ideal overlay over participating nodes: the smallest swarm size
+    // determines whether routing can still make progress everywhere.
+    let min_swarm_size = if participating.is_empty() {
+        0
+    } else {
+        let lds = Lds::from_hash(
+            params.overlay,
+            participating_ids.iter().copied(),
+            hash_seed,
+            epoch,
+        );
+        lds.goodness_stats(&participating_ids, 0.75).min_swarm_size
+    };
+
+    let participation_rate = if mature_count == 0 {
+        0.0
+    } else {
+        participating.len() as f64 / mature_count as f64
+    };
+
+    MaintenanceReport {
+        round,
+        epoch,
+        node_count,
+        mature_count,
+        participating: participating.len(),
+        participation_rate,
+        connected,
+        largest_component_fraction: largest,
+        mean_degree,
+        min_swarm_size,
+        max_congestion,
     }
 }
 
 impl<A: Adversary> MaintenanceHarness<A> {
-    /// Creates a harness with the paper's churn rules and lateness.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `tsa_scenario::Scenario::maintained_lds(n)` with the fluent builder instead"
-    )]
-    pub fn new(params: MaintenanceParams, adversary: A, seed: u64) -> Self {
-        Self::assemble(
-            params,
-            adversary,
-            seed,
-            params.paper_churn_rules(),
-            params.paper_lateness(),
-        )
-    }
-
-    /// Creates a harness with explicit churn rules and adversary lateness.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `tsa_scenario::Scenario::maintained_lds(n).churn(..).adversary(..).lateness(..)` instead"
-    )]
-    pub fn with_rules(
-        params: MaintenanceParams,
-        adversary: A,
-        seed: u64,
-        churn_rules: ChurnRules,
-        lateness: Lateness,
-    ) -> Self {
-        Self::assemble(params, adversary, seed, churn_rules, lateness)
-    }
-
     /// Wires the protocol, an adversary and the simulator together from fully
     /// explicit parts. This is the low-level entry point the `tsa-scenario`
     /// builder sits on; experiments should prefer `tsa_scenario::Scenario`.
@@ -116,28 +182,9 @@ impl<A: Adversary> MaintenanceHarness<A> {
         churn_rules: ChurnRules,
         lateness: Lateness,
     ) -> Self {
-        let n = params.overlay.n;
-        let genesis: Arc<Vec<NodeId>> = Arc::new((0..n as u64).map(NodeId).collect());
-        let config = SimConfig::default()
-            .with_seed(seed)
-            .with_churn_rules(churn_rules)
-            .with_lateness(lateness)
-            .with_parallel(true)
-            .with_history_window(64);
-        let factory_params = params;
-        let mut sim = Simulator::new(
-            config,
-            adversary,
-            Box::new(move |_, round| {
-                let genesis_ref = if round == 0 {
-                    Some(genesis.clone())
-                } else {
-                    None
-                };
-                ProtocolNode::new(factory_params, genesis_ref)
-            }),
-        );
-        sim.seed_nodes(n);
+        let config = harness_sim_config(seed, churn_rules, lateness);
+        let mut sim = Simulator::new(config, adversary, harness_factory(params));
+        sim.seed_nodes(params.overlay.n);
         MaintenanceHarness { sim, params }
     }
 
@@ -198,82 +245,17 @@ impl<A: Adversary> MaintenanceHarness<A> {
     /// The health report for the most recently completed round.
     pub fn report(&self) -> MaintenanceReport {
         let round = self.sim.round().saturating_sub(1);
-        let epoch = round / 2;
         let snapshots = self.snapshots();
-        let node_count = snapshots.len();
-        // Single pass: count the mature nodes and keep the participating
-        // subset (no intermediate reference vectors, no set clones).
-        let mut mature_count = 0usize;
-        let mut participating: Vec<(NodeId, &NodeSnapshot)> = Vec::new();
-        for (id, snap) in &snapshots {
-            if snap.mature {
-                mature_count += 1;
-                if snap.participating {
-                    participating.push((*id, snap));
-                }
-            }
-        }
-        let participating_ids: HashSet<NodeId> = participating.iter().map(|(id, _)| *id).collect();
-
-        // The actual neighbour graph over participating nodes.
-        let mut graph = OverlayGraph::with_vertices(participating_ids.iter().copied());
-        for (id, snap) in &participating {
-            for n in &snap.neighbors {
-                if participating_ids.contains(n) {
-                    graph.add_edge(*id, *n);
-                }
-            }
-        }
-        let connected = !participating.is_empty() && graph.is_connected();
-        let largest = if participating.is_empty() {
-            0.0
-        } else {
-            graph.largest_component_fraction()
-        };
-        let mean_degree = if participating.is_empty() {
-            0.0
-        } else {
-            participating.iter().map(|(_, s)| s.degree()).sum::<usize>() as f64
-                / participating.len() as f64
-        };
-
-        // Ideal overlay over participating nodes: the smallest swarm size
-        // determines whether routing can still make progress everywhere.
-        let min_swarm_size = if participating.is_empty() {
-            0
-        } else {
-            let lds = Lds::from_hash(
-                self.params.overlay,
-                participating_ids.iter().copied(),
-                self.sim.config().hash_seed,
-                epoch,
-            );
-            lds.goodness_stats(&participating_ids, 0.75).min_swarm_size
-        };
-
-        let participation_rate = if mature_count == 0 {
-            0.0
-        } else {
-            participating.len() as f64 / mature_count as f64
-        };
-
-        MaintenanceReport {
+        build_report(
+            &self.params,
+            self.sim.config().hash_seed,
             round,
-            epoch,
-            node_count,
-            mature_count,
-            participating: participating.len(),
-            participation_rate,
-            connected,
-            largest_component_fraction: largest,
-            mean_degree,
-            min_swarm_size,
-            max_congestion: self
-                .metrics()
+            &snapshots,
+            self.metrics()
                 .last()
                 .map(|m| m.max_received_per_node)
                 .unwrap_or(0),
-        }
+        )
     }
 
     /// Per-node connect counts of the last round, keyed by node — the quantity
@@ -306,6 +288,7 @@ impl<A: Adversary> MaintenanceHarness<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tsa_sim::NullAdversary;
 
     fn small_params() -> MaintenanceParams {
         MaintenanceParams::new(48)

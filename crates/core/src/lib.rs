@@ -34,14 +34,16 @@
 //! assert!(report.is_routable());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod event_harness;
 pub mod harness;
 pub mod messages;
 pub mod node;
 pub mod params;
 pub mod snapshot;
 
+pub use event_harness::AsyncMaintenanceHarness;
 pub use harness::{MaintenanceHarness, MaintenanceReport};
 pub use messages::{MsgKind, ProtocolMsg};
 pub use node::ProtocolNode;

@@ -1,0 +1,563 @@
+//! The deterministic virtual-time discrete-event engine.
+//!
+//! # Model
+//!
+//! Virtual time is measured in integer *ticks*;
+//! [`TICKS_PER_ROUND`] ticks make one protocol round.
+//! Nodes keep the synchronous cadence of the paper's model — every node
+//! activates once per round boundary of the virtual clock, with the same
+//! per-`(seed, node, round)` RNG streams as the lockstep engine — but the
+//! *network* between them is asynchronous: each message individually samples
+//! a latency (plus jitter) from the [`NetModel`] and may be lost. A message
+//! whose arrival tick has passed is handed to its receiver at the next round
+//! boundary ("round-boundary delivery"), so a delay of at most one round
+//! reproduces the synchronous model's one-round message delay exactly, while
+//! longer or spread-out delays let messages straddle epochs — the asynchrony
+//! the two-steps-ahead maintenance protocol was never proved against.
+//!
+//! # Event queue and determinism
+//!
+//! Pending deliveries live in a binary heap ordered by
+//! `(arrival tick, sequence number, receiver)`. The sequence number is the
+//! message's global send index, which makes the order total and *stable*.
+//! Each boundary's deliverable batch is additionally re-sorted into send
+//! order before it reaches the inboxes (residual jitter within one boundary
+//! has no semantic meaning), so every inbox is filled exactly like the
+//! lockstep engine's in-flight buffer would fill it. Message fates are pure functions of
+//! `(master seed, sequence number)` and the engine itself is strictly
+//! sequential, so identical seeds give byte-identical traces at any
+//! thread/host configuration — including under `TSA_THREADS` caps and inside
+//! parallel sweep workers. See the "Execution models" chapter of DESIGN.md
+//! for the full argument.
+//!
+//! Churn happens at round boundaries through the *same* arbiter as the
+//! lockstep engine ([`tsa_sim::apply_churn_plan`]), against the same
+//! lateness-filtered [`KnowledgeView`] — the budget, bootstrap-age and
+//! fan-in rules cannot drift between the two scheduler policies.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use tsa_sim::knowledge::{KnowledgeView, MemberInfo, RoundRecord};
+use tsa_sim::{
+    apply_churn_plan, run_activation, Adversary, ChurnBudget, ChurnOutcome, CommGraph, Envelope,
+    MetricsHistory, NodeFactory, NodeId, PlanScratch, ProtocolStep, Round, RoundMetricsBuilder,
+    SimConfig,
+};
+
+use crate::model::NetModel;
+use crate::TICKS_PER_ROUND;
+
+/// Configuration of an event-driven run: the shared simulation knobs (seed,
+/// lateness, churn rules, history window — `parallel` is ignored, the event
+/// loop is strictly sequential) plus the network model and clock resolution.
+#[derive(Clone, Debug)]
+pub struct EventConfig {
+    /// The shared simulation configuration. Seeds and hash seeds are derived
+    /// exactly as in the lockstep engine, so a zero-delay event run and a
+    /// round run of the same seed are bit-identical.
+    pub sim: SimConfig,
+    /// The per-message latency/jitter/loss model.
+    pub net: NetModel,
+    /// Virtual ticks per protocol round (defaults to
+    /// [`TICKS_PER_ROUND`]).
+    pub ticks_per_round: u64,
+}
+
+impl EventConfig {
+    /// An event configuration over `sim` with network model `net` at the
+    /// default clock resolution.
+    pub fn new(sim: SimConfig, net: NetModel) -> Self {
+        EventConfig {
+            sim,
+            net,
+            ticks_per_round: TICKS_PER_ROUND,
+        }
+    }
+}
+
+/// Whole-run counters of the network model's effects.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages dropped by the loss model.
+    pub lost: u64,
+    /// Messages dropped because the receiver departed before delivery.
+    pub dropped_departed: u64,
+    /// Largest sampled per-message delay, in ticks.
+    pub max_delay_ticks: u64,
+    /// Sum of all sampled delays, in ticks (mean = `/ (sent - lost)`).
+    pub total_delay_ticks: u64,
+}
+
+/// One message in flight: its arrival tick, global send sequence number and
+/// envelope. The heap orders by `(arrival, seq, receiver)`; `seq` is unique,
+/// so the order is total and delivery is deterministic.
+struct Pending<M> {
+    arrival: u64,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the *earliest* event.
+        other.cmp_key().cmp(&self.cmp_key())
+    }
+}
+impl<M> Pending<M> {
+    fn cmp_key(&self) -> (u64, u64, NodeId) {
+        (self.arrival, self.seq, self.env.to)
+    }
+}
+
+/// A node in the event engine: protocol state plus its accumulated inbox and
+/// reusable outbox buffer.
+struct EvSlot<P: ProtocolStep> {
+    id: NodeId,
+    joined_at: Round,
+    process: P,
+    /// Messages delivered since the node's last activation, in
+    /// `(arrival, seq)` order.
+    inbox: Vec<Envelope<P::Msg>>,
+    /// Reusable outbox buffer, drained into the event queue each activation.
+    out: Vec<(NodeId, P::Msg)>,
+    /// This round's sponsorships: a range of the engine's `sponsored_ids`.
+    sponsored_start: usize,
+    sponsored_len: usize,
+}
+
+/// The virtual-time event simulator: the second scheduler policy over the
+/// same transport-agnostic [`ProtocolStep`] node logic as the round engine.
+pub struct EventSimulator<P: ProtocolStep, A: Adversary> {
+    config: EventConfig,
+    adversary: A,
+    factory: NodeFactory<P>,
+    /// Node slots, sorted by identifier.
+    slots: Vec<EvSlot<P>>,
+    members: BTreeMap<NodeId, MemberInfo>,
+    /// The event queue: pending deliveries, earliest `(arrival, seq)` first.
+    queue: BinaryHeap<Pending<P::Msg>>,
+    /// Global send sequence number: the identity of a message for the
+    /// network model's per-message streams.
+    seq: u64,
+    /// Scratch: the current boundary's deliverable batch, re-sorted into
+    /// global send order before it reaches the inboxes.
+    deliverable: Vec<Pending<P::Msg>>,
+    /// Scratch: `(bootstrap, joiner)` pairs of the current round.
+    sponsored_pairs: Vec<(NodeId, NodeId)>,
+    /// Scratch: joiner ids grouped contiguously per bootstrap node.
+    sponsored_ids: Vec<NodeId>,
+    /// Scratch for per-node distinct-receiver computation.
+    dedup_scratch: Vec<NodeId>,
+    /// Scratch for churn-plan validation.
+    plan_scratch: PlanScratch,
+    /// Buffers donated by departed nodes, reused by joining nodes.
+    spare_outboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    spare_inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// Round records trimmed out of the history window, recycled.
+    spare_records: Vec<RoundRecord>,
+    records: Vec<RoundRecord>,
+    metrics: MetricsHistory,
+    budget: ChurnBudget,
+    round: Round,
+    next_id: u64,
+    last_outcome: ChurnOutcome,
+    stats: NetStats,
+}
+
+impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
+    /// Creates an empty event simulator. Populate the initial node set `V_0`
+    /// with [`EventSimulator::seed_nodes`] before stepping.
+    pub fn new(config: EventConfig, adversary: A, factory: NodeFactory<P>) -> Self {
+        assert!(config.ticks_per_round > 0, "ticks_per_round must be > 0");
+        EventSimulator {
+            config,
+            adversary,
+            factory,
+            slots: Vec::new(),
+            members: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            deliverable: Vec::new(),
+            sponsored_pairs: Vec::new(),
+            sponsored_ids: Vec::new(),
+            dedup_scratch: Vec::new(),
+            plan_scratch: PlanScratch::default(),
+            spare_outboxes: Vec::new(),
+            spare_inboxes: Vec::new(),
+            spare_records: Vec::new(),
+            records: Vec::new(),
+            metrics: MetricsHistory::new(),
+            budget: ChurnBudget::new(),
+            round: 0,
+            next_id: 0,
+            last_outcome: ChurnOutcome::default(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Creates `count` initial nodes (the churn-free initial set `V_0`).
+    /// Returns their identifiers.
+    pub fn seed_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        let mut ids = Vec::with_capacity(count);
+        self.slots.reserve(count);
+        for _ in 0..count {
+            let id = NodeId(self.next_id);
+            self.next_id += 1;
+            self.members.insert(
+                id,
+                MemberInfo {
+                    joined_at: self.round,
+                },
+            );
+            self.spawn_slot(id, self.round);
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Materializes the engine-side slot for a node that is already a member.
+    fn spawn_slot(&mut self, id: NodeId, round: Round) {
+        let process = (self.factory)(id, round);
+        let out = self.spare_outboxes.pop().unwrap_or_default();
+        let inbox = self.spare_inboxes.pop().unwrap_or_default();
+        self.slots.push(EvSlot {
+            id,
+            joined_at: round,
+            process,
+            inbox,
+            out,
+            sponsored_start: 0,
+            sponsored_len: 0,
+        });
+    }
+
+    /// The current round (the next round boundary to be executed).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The current virtual time in ticks (the tick of the next boundary).
+    pub fn virtual_time(&self) -> u64 {
+        self.round * self.config.ticks_per_round
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EventConfig {
+        &self.config
+    }
+
+    /// Number of nodes currently in the network.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Identifiers of all current members, in ascending order.
+    pub fn member_ids(&self) -> Vec<NodeId> {
+        self.slots.iter().map(|s| s.id).collect()
+    }
+
+    /// The round a current member joined, if it exists.
+    pub fn joined_at(&self, id: NodeId) -> Option<Round> {
+        self.members.get(&id).map(|m| m.joined_at)
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.slot_index(id).map(|i| &self.slots[i].process)
+    }
+
+    /// Iterates over `(id, protocol state)` pairs of all current members.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.slots.iter().map(|s| (s.id, &s.process))
+    }
+
+    /// Metrics collected so far (one row per round boundary).
+    pub fn metrics(&self) -> &MetricsHistory {
+        &self.metrics
+    }
+
+    /// Archived round records (communication graphs and digests).
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// The churn outcome of the most recently executed round.
+    pub fn last_churn_outcome(&self) -> &ChurnOutcome {
+        &self.last_outcome
+    }
+
+    /// Number of messages currently in flight (queued, not yet delivered).
+    pub fn in_flight_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whole-run counters of the network model's effects.
+    pub fn net_stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The adversary, for post-run inspection.
+    pub fn adversary(&self) -> &A {
+        &self.adversary
+    }
+
+    fn slot_index(&self, id: NodeId) -> Option<usize> {
+        self.slots.binary_search_by_key(&id, |s| s.id).ok()
+    }
+
+    /// Executes `rounds` round boundaries.
+    pub fn run(&mut self, rounds: u64) {
+        self.metrics.reserve(rounds as usize);
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Executes a single round boundary: churn, deliver everything that has
+    /// arrived by now, activate every node, route the sent messages through
+    /// the network model.
+    pub fn step(&mut self) {
+        let t = self.round;
+        // This boundary's tick: messages that have arrived by `now` are
+        // delivered here; this round's own sends are stamped `now` plus their
+        // sampled delay and are examined from the next boundary on.
+        let now = t
+            .checked_mul(self.config.ticks_per_round)
+            .expect("virtual clock overflow");
+        let mut mb = RoundMetricsBuilder::new(t);
+
+        // Phase 1: adversarial churn at the boundary, through the shared
+        // arbiter (suppressed during the bootstrap phase).
+        let mut outcome = std::mem::take(&mut self.last_outcome);
+        outcome.departed.clear();
+        outcome.joined.clear();
+        outcome.rejected_departures.clear();
+        outcome.rejected_joins.clear();
+        if t >= self.config.sim.churn_rules.bootstrap_rounds {
+            let remaining = self.budget.remaining(t, &self.config.sim.churn_rules);
+            let plan = {
+                let view = KnowledgeView::new(
+                    t,
+                    self.config.sim.lateness,
+                    &self.records,
+                    &self.members,
+                    remaining,
+                    self.config.sim.churn_rules.min_bootstrap_age,
+                );
+                self.adversary.plan(t, &view)
+            };
+            let rules = self.config.sim.churn_rules;
+            apply_churn_plan(
+                t,
+                plan,
+                &rules,
+                &mut self.budget,
+                &mut self.members,
+                &mut self.next_id,
+                &mut self.plan_scratch,
+                &mut outcome,
+            );
+            for &id in outcome.departed.iter() {
+                let idx = self.slot_index(id).expect("departed node has a slot");
+                let slot = self.slots.remove(idx);
+                let mut out = slot.out;
+                out.clear();
+                self.spare_outboxes.push(out);
+                let mut inbox = slot.inbox;
+                inbox.clear();
+                self.spare_inboxes.push(inbox);
+            }
+            for &(id, _bootstrap) in outcome.joined.iter() {
+                self.spawn_slot(id, t);
+            }
+        }
+        mb.record_churn(outcome.departed.len(), outcome.joined.len());
+
+        // Phase 2: hand every message that has arrived by this boundary's
+        // tick to its receiver. A delay of `d ∈ [0, ticks_per_round]` for a
+        // message sent at boundary `t - 1` lands at `(t-1)·T + d ≤ t·T` and
+        // is therefore read here, which is the synchronous model's one-round
+        // delay; `d > ticks_per_round` straddles further boundaries.
+        //
+        // The batch is re-sorted into global *send* order before it reaches
+        // the inboxes: within one boundary the residual arrival jitter has
+        // no semantic meaning (every message of the batch is read by the
+        // same activation), and send order is exactly the lockstep engine's
+        // delivery order — this is what makes any sub-round network model,
+        // jitter included, bit-identical to the round engine instead of
+        // only the constant-delay ones.
+        let mut dropped = 0usize;
+        self.deliverable.clear();
+        while let Some(head) = self.queue.peek() {
+            if head.arrival > now {
+                break;
+            }
+            self.deliverable
+                .push(self.queue.pop().expect("peeked event exists"));
+        }
+        self.deliverable.sort_unstable_by_key(|p| p.seq);
+        for pending in self.deliverable.drain(..) {
+            match self.slots.binary_search_by_key(&pending.env.to, |s| s.id) {
+                Ok(idx) => self.slots[idx].inbox.push(pending.env),
+                Err(_) => {
+                    dropped += 1;
+                    self.stats.dropped_departed += 1;
+                }
+            }
+        }
+
+        // Sponsored joiners, grouped contiguously by bootstrap node exactly
+        // as in the lockstep engine.
+        self.sponsored_pairs.clear();
+        self.sponsored_pairs.extend(
+            outcome
+                .joined
+                .iter()
+                .map(|&(joiner, bootstrap)| (bootstrap, joiner)),
+        );
+        self.sponsored_pairs
+            .sort_by_key(|&(bootstrap, _)| bootstrap);
+        self.sponsored_ids.clear();
+        self.sponsored_ids
+            .extend(self.sponsored_pairs.iter().map(|&(_, joiner)| joiner));
+        for slot in self.slots.iter_mut() {
+            slot.sponsored_start = 0;
+            slot.sponsored_len = 0;
+        }
+        {
+            let mut s = 0usize;
+            let mut k = 0usize;
+            while k < self.sponsored_pairs.len() {
+                let bootstrap = self.sponsored_pairs[k].0;
+                let run_start = k;
+                while k < self.sponsored_pairs.len() && self.sponsored_pairs[k].0 == bootstrap {
+                    k += 1;
+                }
+                while s < self.slots.len() && self.slots[s].id < bootstrap {
+                    s += 1;
+                }
+                if s < self.slots.len() && self.slots[s].id == bootstrap {
+                    self.slots[s].sponsored_start = run_start;
+                    self.slots[s].sponsored_len = k - run_start;
+                }
+            }
+        }
+
+        mb.record_node_count(self.slots.len());
+
+        // Phase 3: activate every node at this boundary, in id order, through
+        // the shared protocol step, and route every emitted message through
+        // the network model. The engine is strictly sequential; determinism
+        // needs no further argument than the total event order.
+        let mut rec = self.spare_records.pop().unwrap_or_default();
+        rec.graph.round = t;
+        rec.graph.edges.clear();
+        rec.graph.members.clear();
+        rec.digests.clear();
+        let seed = self.config.sim.seed;
+        let hash_seed = self.config.sim.hash_seed;
+        let record_digests = self.config.sim.record_digests;
+        let net = self.config.net;
+        let mut lost = 0usize;
+        {
+            let sponsored_ids = &self.sponsored_ids;
+            let queue = &mut self.queue;
+            let seq = &mut self.seq;
+            let stats = &mut self.stats;
+            let scratch = &mut self.dedup_scratch;
+            for slot in self.slots.iter_mut() {
+                mb.record_received(slot.id, slot.inbox.len());
+                let sponsored =
+                    &sponsored_ids[slot.sponsored_start..slot.sponsored_start + slot.sponsored_len];
+                let (out, digest) = run_activation(
+                    &mut slot.process,
+                    slot.id,
+                    t,
+                    slot.joined_at,
+                    sponsored,
+                    seed,
+                    hash_seed,
+                    &slot.inbox,
+                    std::mem::take(&mut slot.out),
+                    record_digests,
+                );
+                slot.out = out;
+                slot.inbox.clear();
+                scratch.clear();
+                scratch.extend(slot.out.iter().map(|(to, _)| *to));
+                scratch.sort_unstable();
+                scratch.dedup();
+                mb.record_sent(slot.id, slot.out.len(), scratch.len());
+                for &to in scratch.iter() {
+                    rec.graph.edges.push((slot.id, to));
+                }
+                if record_digests {
+                    rec.digests.push((slot.id, digest));
+                }
+                for (to, payload) in slot.out.drain(..) {
+                    let msg_seq = *seq;
+                    *seq += 1;
+                    stats.sent += 1;
+                    match net.route(seed, msg_seq) {
+                        None => {
+                            lost += 1;
+                            stats.lost += 1;
+                        }
+                        Some(delay) => {
+                            stats.max_delay_ticks = stats.max_delay_ticks.max(delay);
+                            stats.total_delay_ticks += delay;
+                            queue.push(Pending {
+                                arrival: now + delay,
+                                seq: msg_seq,
+                                env: Envelope::new(slot.id, to, t, payload),
+                            });
+                        }
+                    }
+                }
+                rec.graph.members.push(slot.id);
+            }
+        }
+        // Receiver-departed drops are charged to the delivery round, loss
+        // drops to the sending round (the network never carried them).
+        mb.record_dropped(dropped + lost);
+        rec.graph.edges.sort_unstable();
+        rec.graph.edges.dedup();
+
+        self.records.push(rec);
+        if let Some(window) = self.config.sim.history_window {
+            while self.records.len() > window {
+                let mut old = self.records.remove(0);
+                old.graph.edges.clear();
+                old.graph.members.clear();
+                old.digests.clear();
+                self.spare_records.push(old);
+            }
+        }
+
+        self.metrics.push(mb.finish());
+        self.last_outcome = outcome;
+        self.round += 1;
+    }
+
+    /// The communication graph of `round`, if still archived.
+    pub fn comm_graph_at(&self, round: Round) -> Option<&CommGraph> {
+        self.records
+            .iter()
+            .find(|r| r.graph.round == round)
+            .map(|r| &r.graph)
+    }
+}

@@ -1,0 +1,409 @@
+//! Per-message latency, jitter and loss models, and the [`ExecutionModel`]
+//! selector that picks between the round engine and the event engine.
+//!
+//! # Determinism
+//!
+//! Every message is assigned its fate (dropped or not, and its delay in
+//! ticks) by a private ChaCha8 stream seeded from `(master seed, message
+//! sequence number)`. The stream depends on *what* the message is (its global
+//! send order), never on *when* the sampling happens or which queue state
+//! surrounds it — so a fixed seed produces byte-identical traces at any
+//! thread or host configuration. The only floating-point operations used are
+//! IEEE-754 basic operations plus `sqrt` (all correctly rounded and therefore
+//! bit-stable across conforming hosts); in particular the heavy-tail model
+//! restricts its tail index to powers of two so it can be computed by
+//! repeated square roots instead of `powf`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use tsa_sim::rng::mix;
+
+/// Domain-separation label of the per-message network streams.
+const NET_LABEL: u64 = 0x4E45_545F_4C41_5433; // "NET_LAT3"
+
+/// How long a message spends in the network, in virtual ticks
+/// ([`TICKS_PER_ROUND`](crate::TICKS_PER_ROUND) ticks make one protocol
+/// round).
+///
+/// A sampled delay of `d` ticks means the message becomes deliverable at
+/// `send_time + d`; nodes collect deliverable messages at each round boundary
+/// of the virtual clock, so any delay of at most one round reproduces the
+/// synchronous model's "sent in `t`, delivered in `t + 1`" exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly `ticks` ticks.
+    Constant {
+        /// The fixed delay in ticks.
+        ticks: u64,
+    },
+    /// Delays drawn uniformly from `[min, max]` ticks.
+    Uniform {
+        /// Smallest possible delay in ticks.
+        min: u64,
+        /// Largest possible delay in ticks (inclusive; must be ≥ `min`).
+        max: u64,
+    },
+    /// A bounded Pareto-ish heavy tail: `base` plus
+    /// `scale · (u^(−1/α) − 1)` ticks for uniform `u ∈ (0, 1]`, truncated at
+    /// `base + cap`. The tail index is `α = 2^alpha_log2`, restricted to
+    /// powers of two so the inverse power is a chain of square roots
+    /// (bit-stable everywhere, unlike `powf`): `alpha_log2 = 0` is the
+    /// classic very-heavy `α = 1` tail, `1` the `α = 2` finite-mean tail.
+    Pareto {
+        /// The minimum delay in ticks.
+        base: u64,
+        /// The tail scale in ticks.
+        scale: u64,
+        /// `log2` of the tail index `α`.
+        alpha_log2: u32,
+        /// Upper bound on the tail's extra delay, in ticks.
+        cap: u64,
+    },
+}
+
+impl LatencyModel {
+    /// A constant delay of `ticks` ticks.
+    pub fn constant(ticks: u64) -> Self {
+        LatencyModel::Constant { ticks }
+    }
+
+    /// A uniform delay in `[min, max]` ticks.
+    pub fn uniform(min: u64, max: u64) -> Self {
+        assert!(min <= max, "uniform latency needs min <= max");
+        LatencyModel::Uniform { min, max }
+    }
+
+    /// A bounded heavy tail with index `α = 2^alpha_log2`.
+    pub fn pareto(base: u64, scale: u64, alpha_log2: u32, cap: u64) -> Self {
+        LatencyModel::Pareto {
+            base,
+            scale,
+            alpha_log2,
+            cap,
+        }
+    }
+
+    /// Draws one delay in ticks from the model.
+    ///
+    /// A malformed `Uniform` with `max < min` (possible via deserialization,
+    /// which bypasses the [`LatencyModel::uniform`] assertion) degrades to
+    /// the constant `min` rather than panicking mid-run.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        match *self {
+            LatencyModel::Constant { ticks } => ticks,
+            LatencyModel::Uniform { min, max } => rng.gen_range(min..=max.max(min)),
+            LatencyModel::Pareto {
+                base,
+                scale,
+                alpha_log2,
+                cap,
+            } => {
+                // u ∈ (0, 1]: flip the [0, 1) draw so the heavy tail sits at
+                // small u without ever dividing by zero.
+                let u = 1.0 - rng.gen::<f64>();
+                // u^(−1/2^k) by repeated square roots (IEEE-correct, so the
+                // value is identical on every conforming host).
+                let mut v = u;
+                for _ in 0..alpha_log2 {
+                    v = v.sqrt();
+                }
+                let extra = scale as f64 * (1.0 / v - 1.0);
+                let extra = if extra.is_finite() {
+                    (extra as u64).min(cap)
+                } else {
+                    cap
+                };
+                base + extra
+            }
+        }
+    }
+
+    /// A compact label for tables, e.g. `c500`, `u200-1800`, `p500/1000a2`.
+    pub fn label(&self) -> String {
+        match *self {
+            LatencyModel::Constant { ticks } => format!("c{ticks}"),
+            LatencyModel::Uniform { min, max } => format!("u{min}-{max}"),
+            LatencyModel::Pareto {
+                base,
+                scale,
+                alpha_log2,
+                ..
+            } => format!("p{base}/{scale}a{}", 1u64 << alpha_log2),
+        }
+    }
+}
+
+/// The complete network model of an asynchronous execution: per-message
+/// latency, extra uniform jitter, and an i.i.d. drop probability.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetModel {
+    /// The base delay distribution.
+    pub latency: LatencyModel,
+    /// Extra per-message jitter: a uniform draw from `[0, jitter]` ticks
+    /// added on top of the latency (0 disables it).
+    pub jitter: u64,
+    /// Probability that a message is silently dropped in transit.
+    pub loss: f64,
+}
+
+impl NetModel {
+    /// A model with the given latency, no jitter and no loss.
+    pub fn new(latency: LatencyModel) -> Self {
+        NetModel {
+            latency,
+            jitter: 0,
+            loss: 0.0,
+        }
+    }
+
+    /// Decides the fate of message `seq` under master seed `seed`: `None`
+    /// if the message is lost, otherwise its total delay in ticks.
+    ///
+    /// The draw order inside the per-message stream is fixed (loss, latency,
+    /// jitter), so a model that disables a component still consumes the same
+    /// stream positions as one that enables it — adding jitter to a sweep
+    /// axis never perturbs the loss coin flips of its neighbours.
+    pub fn route(&self, seed: u64, seq: u64) -> Option<u64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(&[seed, seq, NET_LABEL]));
+        let lost = rng.gen::<f64>() < self.loss;
+        let mut delay = self.latency.sample(&mut rng);
+        if self.jitter > 0 {
+            delay += rng.gen_range(0..=self.jitter);
+        }
+        if lost {
+            None
+        } else {
+            Some(delay)
+        }
+    }
+
+    /// A compact label for tables, e.g. `u200-1800+j300-l0.01`.
+    pub fn label(&self) -> String {
+        let mut label = self.latency.label();
+        if self.jitter > 0 {
+            label.push_str(&format!("+j{}", self.jitter));
+        }
+        if self.loss > 0.0 {
+            label.push_str(&format!("-l{}", self.loss));
+        }
+        label
+    }
+}
+
+/// Which execution engine a scenario runs on — the round-synchronous
+/// lockstep engine, or the virtual-time event engine under a network model.
+///
+/// `Rounds` is the serde default and is *skipped* when a spec serializes, so
+/// every artifact written before this type existed round-trips unchanged and
+/// every artifact written after it stays byte-identical for synchronous runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum ExecutionModel {
+    /// The paper's synchronous round model (`tsa-sim`'s lockstep engine).
+    #[default]
+    Rounds,
+    /// The discrete-event engine of `tsa-event`: nodes still activate at
+    /// round boundaries of the virtual clock, but every message individually
+    /// samples a latency (plus jitter) and may be lost.
+    Async {
+        /// The base delay distribution, in ticks
+        /// ([`TICKS_PER_ROUND`](crate::TICKS_PER_ROUND) per round).
+        latency: LatencyModel,
+        /// Extra uniform per-message jitter in `[0, jitter]` ticks.
+        jitter: u64,
+        /// Per-message drop probability.
+        loss: f64,
+    },
+}
+
+impl ExecutionModel {
+    /// The synchronous round model.
+    pub fn rounds() -> Self {
+        ExecutionModel::Rounds
+    }
+
+    /// An asynchronous execution with the given latency model, no jitter and
+    /// no loss.
+    pub fn asynchronous(latency: LatencyModel) -> Self {
+        ExecutionModel::Async {
+            latency,
+            jitter: 0,
+            loss: 0.0,
+        }
+    }
+
+    /// `true` for [`ExecutionModel::Rounds`] — the `skip_serializing_if`
+    /// predicate that keeps synchronous specs byte-identical to the
+    /// pre-`ExecutionModel` serialization.
+    pub fn is_rounds(&self) -> bool {
+        matches!(self, ExecutionModel::Rounds)
+    }
+
+    /// Adds uniform `[0, jitter]`-tick jitter (asynchronous models only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ExecutionModel::Rounds`], which has no network model.
+    pub fn with_jitter(self, jitter: u64) -> Self {
+        match self {
+            ExecutionModel::Rounds => panic!("Rounds has no jitter to configure"),
+            ExecutionModel::Async { latency, loss, .. } => ExecutionModel::Async {
+                latency,
+                jitter,
+                loss,
+            },
+        }
+    }
+
+    /// Sets the per-message drop probability (asynchronous models only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`ExecutionModel::Rounds`], which has no network model.
+    pub fn with_loss(self, loss: f64) -> Self {
+        match self {
+            ExecutionModel::Rounds => panic!("Rounds has no loss to configure"),
+            ExecutionModel::Async {
+                latency, jitter, ..
+            } => ExecutionModel::Async {
+                latency,
+                jitter,
+                loss,
+            },
+        }
+    }
+
+    /// The network model of an asynchronous execution, `None` for `Rounds`.
+    pub fn net_model(&self) -> Option<NetModel> {
+        match *self {
+            ExecutionModel::Rounds => None,
+            ExecutionModel::Async {
+                latency,
+                jitter,
+                loss,
+            } => Some(NetModel {
+                latency,
+                jitter,
+                loss,
+            }),
+        }
+    }
+
+    /// A compact label for sweep tables: `sync`, or `async(<net label>)`.
+    pub fn label(&self) -> String {
+        match self.net_model() {
+            None => "sync".to_string(),
+            Some(net) => format!("async({})", net.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let m = LatencyModel::constant(7);
+        let mut r = rng(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_latency_stays_in_range_and_spreads() {
+        let m = LatencyModel::uniform(100, 300);
+        let mut r = rng(2);
+        let draws: Vec<u64> = (0..500).map(|_| m.sample(&mut r)).collect();
+        assert!(draws.iter().all(|&d| (100..=300).contains(&d)));
+        assert!(draws.iter().any(|&d| d < 150));
+        assert!(draws.iter().any(|&d| d > 250));
+    }
+
+    #[test]
+    fn pareto_latency_is_heavy_tailed_but_bounded() {
+        let m = LatencyModel::pareto(100, 200, 1, 10_000);
+        let mut r = rng(3);
+        let draws: Vec<u64> = (0..2000).map(|_| m.sample(&mut r)).collect();
+        assert!(draws.iter().all(|&d| (100..=10_100).contains(&d)));
+        // The α = 2 tail must actually produce multi-round outliers.
+        assert!(draws.iter().any(|&d| d > 2000), "no tail events");
+        let median = {
+            let mut s = draws.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(median < 500, "median {median} should sit near the base");
+    }
+
+    #[test]
+    fn routing_is_a_pure_function_of_seed_and_seq() {
+        let net = NetModel {
+            latency: LatencyModel::uniform(0, 1000),
+            jitter: 250,
+            loss: 0.1,
+        };
+        for seq in 0..200 {
+            assert_eq!(net.route(9, seq), net.route(9, seq));
+        }
+        let fates_a: Vec<_> = (0..200).map(|s| net.route(9, s)).collect();
+        let fates_b: Vec<_> = (0..200).map(|s| net.route(10, s)).collect();
+        assert_ne!(fates_a, fates_b, "different seeds give different fates");
+        assert!(fates_a.iter().any(|f| f.is_none()), "loss must occur");
+        assert!(fates_a.iter().filter(|f| f.is_none()).count() < 60);
+    }
+
+    #[test]
+    fn disabling_jitter_does_not_perturb_loss_or_latency() {
+        let with = NetModel {
+            latency: LatencyModel::constant(10),
+            jitter: 5,
+            loss: 0.5,
+        };
+        let without = NetModel { jitter: 0, ..with };
+        for seq in 0..100 {
+            let a = with.route(3, seq);
+            let b = without.route(3, seq);
+            assert_eq!(a.is_none(), b.is_none(), "loss coin flips must agree");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert!((b..=b + 5).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn execution_model_default_is_rounds_and_skipped() {
+        assert_eq!(ExecutionModel::default(), ExecutionModel::Rounds);
+        assert!(ExecutionModel::rounds().is_rounds());
+        let asynch = ExecutionModel::asynchronous(LatencyModel::constant(500))
+            .with_jitter(100)
+            .with_loss(0.01);
+        assert!(!asynch.is_rounds());
+        let net = asynch.net_model().unwrap();
+        assert_eq!(net.jitter, 100);
+        assert_eq!(net.loss, 0.01);
+        assert_eq!(asynch.label(), "async(c500+j100-l0.01)");
+        assert_eq!(ExecutionModel::rounds().label(), "sync");
+    }
+
+    #[test]
+    fn execution_model_round_trips_through_serde() {
+        let models = [
+            ExecutionModel::rounds(),
+            ExecutionModel::asynchronous(LatencyModel::uniform(200, 1800)),
+            ExecutionModel::asynchronous(LatencyModel::pareto(100, 500, 1, 20_000))
+                .with_jitter(50)
+                .with_loss(0.02),
+        ];
+        for model in models {
+            let json = serde_json::to_string(&model).unwrap();
+            let back: ExecutionModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, model, "{json}");
+        }
+    }
+}

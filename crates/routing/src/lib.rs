@@ -21,7 +21,7 @@
 //! assert_eq!(report.delivered, 64);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod congestion;

@@ -6,7 +6,8 @@ use rand_chacha::ChaCha8Rng;
 use tsa_adversary::{DegreeAttackAdversary, RandomChurnAdversary, TargetedSwarmAdversary};
 use tsa_analysis::uniformity;
 use tsa_baselines::{attack_trial, AttackMode, ChordSwarm, HdGraph, SpartanOverlay};
-use tsa_core::{MaintenanceHarness, MaintenanceParams, MaintenanceReport};
+use tsa_core::{AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams, MaintenanceReport};
+use tsa_event::{ExecutionModel, NetModel};
 use tsa_overlay::{Lds, OverlayGraph, Position};
 use tsa_routing::{sample_many, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
 use tsa_sim::{Adversary, Lateness, MetricsHistory, NodeId, NullAdversary};
@@ -117,6 +118,15 @@ impl Scenario {
         self
     }
 
+    /// Selects the execution engine for a maintained scenario: the
+    /// synchronous round model (the default), or the virtual-time event
+    /// engine of `tsa-event` under a per-message latency/jitter/loss model.
+    /// One-shot kinds ignore it.
+    pub fn execution(mut self, execution: ExecutionModel) -> Self {
+        self.spec.execution = execution;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
@@ -168,24 +178,19 @@ impl Scenario {
              for {:?}",
             self.spec.kind
         );
+        assert!(
+            self.spec.execution.is_rounds(),
+            "asynchronous scenarios run to completion on the event engine; use \
+             Scenario::run instead of build() for {:?}",
+            self.spec.execution
+        );
         let params = self.spec.maintenance_params();
         let rules = self.spec.churn.rules_for(&params);
         let lateness = self
             .spec
             .lateness
             .unwrap_or_else(|| params.paper_lateness());
-        let adversary: Box<dyn Adversary> = match self.spec.adversary {
-            AdversarySpec::Null => Box::new(NullAdversary),
-            AdversarySpec::Random { per_round, seed } => {
-                Box::new(RandomChurnAdversary::new(per_round, seed))
-            }
-            AdversarySpec::Targeted { per_round, seed } => {
-                Box::new(TargetedSwarmAdversary::new(per_round, seed))
-            }
-            AdversarySpec::Degree { per_round, seed } => {
-                Box::new(DegreeAttackAdversary::new(per_round, seed))
-            }
-        };
+        let adversary = build_adversary(self.spec.adversary);
         let harness =
             MaintenanceHarness::assemble(params, adversary, self.spec.seed, rules, lateness);
         ScenarioRun {
@@ -198,11 +203,13 @@ impl Scenario {
     /// Runs the scenario to completion and returns its outcome.
     ///
     /// For maintained scenarios, `rounds` are executed after the (optional)
-    /// bootstrap phase. Baseline, routing and sampling scenarios are one-shot
-    /// computations: `rounds` is ignored and reported as 0.
+    /// bootstrap phase — on the round engine or, for an asynchronous
+    /// [`ExecutionModel`], on the event engine. Baseline, routing and
+    /// sampling scenarios are one-shot computations: `rounds` is ignored and
+    /// reported as 0.
     pub fn run(self, rounds: u64) -> ScenarioOutcome {
-        match self.spec.kind {
-            ScenarioKind::MaintainedLds => {
+        match (self.spec.kind, self.spec.execution.net_model()) {
+            (ScenarioKind::MaintainedLds, None) => {
                 let mut run = self.build();
                 if run.spec.bootstrap {
                     run.run_bootstrap();
@@ -210,10 +217,71 @@ impl Scenario {
                 run.run(rounds);
                 run.into_outcome()
             }
-            ScenarioKind::Baseline(kind) => run_baseline(self.spec, kind),
-            ScenarioKind::Routing => run_routing(self.spec),
-            ScenarioKind::Sampling => run_sampling(self.spec),
+            (ScenarioKind::MaintainedLds, Some(net)) => {
+                run_async_maintained(self.spec, net, rounds)
+            }
+            (ScenarioKind::Baseline(kind), _) => run_baseline(self.spec, kind),
+            (ScenarioKind::Routing, _) => run_routing(self.spec),
+            (ScenarioKind::Sampling, _) => run_sampling(self.spec),
         }
+    }
+}
+
+/// Materializes the attack strategy an [`AdversarySpec`] describes.
+fn build_adversary(spec: AdversarySpec) -> Box<dyn Adversary> {
+    match spec {
+        AdversarySpec::Null => Box::new(NullAdversary),
+        AdversarySpec::Random { per_round, seed } => {
+            Box::new(RandomChurnAdversary::new(per_round, seed))
+        }
+        AdversarySpec::Targeted { per_round, seed } => {
+            Box::new(TargetedSwarmAdversary::new(per_round, seed))
+        }
+        AdversarySpec::Degree { per_round, seed } => {
+            Box::new(DegreeAttackAdversary::new(per_round, seed))
+        }
+    }
+}
+
+/// Runs a maintained scenario on the virtual-time event engine. The outcome
+/// has exactly the shape of a round-engine run (the spec's `execution` field
+/// is what records the difference), so a zero-delay network model reproduces
+/// the round engine's outcome byte for byte.
+fn run_async_maintained(spec: ScenarioSpec, net: NetModel, rounds: u64) -> ScenarioOutcome {
+    let params = spec.maintenance_params();
+    let rules = spec.churn.rules_for(&params);
+    let lateness = spec.lateness.unwrap_or_else(|| params.paper_lateness());
+    let adversary = build_adversary(spec.adversary);
+    let mut harness =
+        AsyncMaintenanceHarness::assemble(params, adversary, spec.seed, rules, lateness, net);
+    if spec.bootstrap {
+        harness.run_bootstrap();
+    }
+    harness.run(rounds);
+    let report = harness.report();
+    let max_connect_load = harness.connect_load().values().copied().max().unwrap_or(0);
+    let bootstrap_rounds = if spec.bootstrap {
+        params.bootstrap_rounds()
+    } else {
+        0
+    };
+    ScenarioOutcome {
+        label: format!(
+            "maintained LDS, n = {}, adversary = {}",
+            spec.n,
+            spec.adversary.label()
+        ),
+        spec,
+        rounds: harness.round().saturating_sub(bootstrap_rounds),
+        maintenance: Some(MaintenanceOutcome {
+            report,
+            metrics_summary: harness.metrics().summary(),
+            metrics: Some(harness.metrics().clone()),
+            max_connect_load,
+        }),
+        baseline: None,
+        routing: None,
+        sampling: None,
     }
 }
 
@@ -650,5 +718,81 @@ mod tests {
     fn build_panics_for_one_shot_kinds() {
         let result = std::panic::catch_unwind(|| Scenario::routing(64).build());
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn build_panics_for_async_execution() {
+        use tsa_event::LatencyModel;
+        let result = std::panic::catch_unwind(|| {
+            Scenario::maintained_lds(48)
+                .execution(ExecutionModel::asynchronous(LatencyModel::constant(500)))
+                .build()
+        });
+        assert!(
+            result.is_err(),
+            "async scenarios have no live round harness"
+        );
+    }
+
+    #[test]
+    fn zero_delay_async_outcome_matches_the_round_engine_byte_for_byte() {
+        use tsa_event::LatencyModel;
+        let base = || {
+            Scenario::maintained_lds(48)
+                .with_c(1.5)
+                .with_tau(4)
+                .with_replication(2)
+                .seed(21)
+        };
+        let sync = base().run(6);
+        let asynch = base()
+            .execution(ExecutionModel::asynchronous(LatencyModel::constant(0)))
+            .run(6);
+        // The spec's execution field is the *only* difference.
+        let mut normalized = asynch.clone();
+        normalized.spec.execution = ExecutionModel::Rounds;
+        assert_eq!(
+            serde_json::to_string(&normalized).unwrap(),
+            serde_json::to_string(&sync).unwrap(),
+            "zero-delay async must reproduce the round engine exactly"
+        );
+        assert!(!serde_json::to_string(&sync).unwrap().contains("execution"));
+        assert!(serde_json::to_string(&asynch)
+            .unwrap()
+            .contains("execution"));
+    }
+
+    #[test]
+    fn heavy_latency_async_runs_diverge_but_stay_well_formed() {
+        use tsa_event::LatencyModel;
+        let outcome = Scenario::maintained_lds(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+            .seed(21)
+            .execution(ExecutionModel::asynchronous(LatencyModel::uniform(0, 2500)).with_loss(0.05))
+            .run(6);
+        let m = outcome.maintenance.as_ref().expect("maintained outcome");
+        assert_eq!(m.report.node_count, 48);
+        assert!(m.metrics_summary.total_messages_sent > 0);
+        // Multi-round delays + loss must actually perturb the run.
+        let sync = Scenario::maintained_lds(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+            .seed(21)
+            .run(6);
+        assert_ne!(
+            m.metrics_summary,
+            sync.maintenance.unwrap().metrics_summary,
+            "2.5-round delays with loss cannot be trace-identical to sync"
+        );
+        // The outcome replays from its own spec.
+        let replay = Scenario::from_spec(outcome.spec).run(outcome.rounds);
+        assert_eq!(
+            serde_json::to_string(&replay).unwrap(),
+            serde_json::to_string(&outcome).unwrap(),
+            "async outcomes replay from their embedded spec"
+        );
     }
 }

@@ -23,11 +23,28 @@
 //! serde-serializable [`ScenarioOutcome`] (the experiment binaries dump these
 //! as `BENCH_*.json`); [`Scenario::build`] instead hands back a live
 //! [`ScenarioRun`] for experiments that need to observe the overlay while it
-//! runs. The old `MaintenanceHarness` constructors are deprecated thin
-//! wrappers over the same plumbing, so fixed seeds produce byte-identical
-//! reports through either path.
+//! runs. The builder sits directly on `MaintenanceHarness::assemble`, so
+//! fixed seeds produce byte-identical reports through either path.
+//!
+//! Maintained scenarios additionally choose their *execution engine* through
+//! [`ExecutionModel`]: the synchronous round model (default), or the
+//! virtual-time event engine of `tsa-event` under a per-message
+//! latency/jitter/loss model:
+//!
+//! ```no_run
+//! use tsa_scenario::{ExecutionModel, LatencyModel, Scenario};
+//!
+//! let outcome = Scenario::maintained_lds(48)
+//!     .with_c(1.5)
+//!     .with_tau(4)
+//!     .with_replication(2)
+//!     .execution(ExecutionModel::asynchronous(LatencyModel::uniform(200, 1800)))
+//!     .seed(7)
+//!     .run(8);
+//! assert!(outcome.maintenance.is_some());
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod outcome;
@@ -38,3 +55,6 @@ pub use outcome::{
     BaselineOutcome, MaintenanceOutcome, RoutingOutcome, SamplingOutcome, ScenarioOutcome,
 };
 pub use spec::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind, ScenarioSpec};
+// The execution-model vocabulary every spec embeds, re-exported so scenario
+// consumers need no direct tsa-event dependency.
+pub use tsa_event::{ExecutionModel, LatencyModel, NetModel};

@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 use tsa_core::MaintenanceParams;
+use tsa_event::ExecutionModel;
 use tsa_sim::{ChurnRules, Lateness};
 
 /// Which experiment a scenario executes.
@@ -276,6 +277,13 @@ pub struct ScenarioSpec {
     /// Override of the adversary lateness (defaults to the paper's
     /// `(2, 2λ+7)`).
     pub lateness: Option<Lateness>,
+    /// Which execution engine runs a maintained scenario: the synchronous
+    /// round model (default) or the virtual-time event engine under a
+    /// latency/jitter/loss model. One-shot kinds ignore it. Serialized only
+    /// when asynchronous, so every pre-existing artifact (and every
+    /// synchronous spec) keeps its exact serialized form.
+    #[serde(default, skip_serializing_if = "ExecutionModel::is_rounds")]
+    pub execution: ExecutionModel,
     /// Whether to run the churn-free bootstrap phase before the measured
     /// rounds (maintained scenarios only).
     pub bootstrap: bool,
@@ -305,6 +313,7 @@ impl ScenarioSpec {
             churn: ChurnSpec::Paper,
             adversary: AdversarySpec::Null,
             lateness: None,
+            execution: ExecutionModel::Rounds,
             bootstrap: true,
             messages_per_node: 1,
             holder_failure: 0.0,
@@ -388,6 +397,11 @@ impl ScenarioSpec {
                 parts.push(format!("adv={}", self.adversary.label()));
                 if let Some(l) = self.lateness {
                     parts.push(format!("late=({},{})", l.topology, l.state));
+                }
+                // Synchronous execution is the default and adds nothing, so
+                // pre-ExecutionModel labels are reproduced verbatim.
+                if !self.execution.is_rounds() {
+                    parts.push(format!("exec={}", self.execution.label()));
                 }
             }
             ScenarioKind::Routing => {
@@ -492,5 +506,43 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn synchronous_specs_never_serialize_the_execution_field() {
+        // The byte-compatibility contract: a Rounds spec serializes exactly
+        // as it did before ExecutionModel existed, and JSON without the
+        // field deserializes to Rounds — so every committed BENCH_*.json and
+        // every old sweep shard round-trips unchanged.
+        let spec = ScenarioSpec::new(ScenarioKind::MaintainedLds, 64);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(
+            !json.contains("execution"),
+            "Rounds must be skipped: {json}"
+        );
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.execution, ExecutionModel::Rounds);
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn async_specs_round_trip_with_their_network_model() {
+        use tsa_event::LatencyModel;
+        let mut spec = ScenarioSpec::new(ScenarioKind::MaintainedLds, 64);
+        spec.execution = ExecutionModel::asynchronous(LatencyModel::uniform(200, 1800))
+            .with_jitter(100)
+            .with_loss(0.01);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("execution"), "{json}");
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        let label = spec.axis_label();
+        assert!(
+            label.contains("exec=async(u200-1800+j100-l0.01)"),
+            "{label}"
+        );
+        // ... and the synchronous label is unchanged from before.
+        let sync_label = ScenarioSpec::new(ScenarioKind::MaintainedLds, 64).axis_label();
+        assert!(!sync_label.contains("exec="), "{sync_label}");
     }
 }

@@ -13,9 +13,10 @@
 //! The engine enforces all three and reports any part of a plan it had to
 //! reject, so adversary implementations cannot cheat even accidentally.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::ids::{NodeId, Round};
+use crate::knowledge::MemberInfo;
 
 /// A join proposed by the adversary: the engine assigns the new node identifier,
 /// the adversary only picks the bootstrap node that will learn about it.
@@ -150,6 +151,94 @@ impl ChurnBudget {
             Some(cap) => cap.saturating_sub(self.total_in_window),
         }
     }
+}
+
+/// Reusable scratch buffers for [`apply_churn_plan`] (departure deduplication
+/// and per-bootstrap join fan-in accounting), so validating a plan performs
+/// no steady-state heap allocation.
+#[derive(Clone, Debug, Default)]
+pub struct PlanScratch {
+    seen: Vec<NodeId>,
+    fanin: Vec<(NodeId, usize)>,
+}
+
+/// Validates and applies a churn plan against the shared membership state —
+/// the single churn arbiter used by every execution engine (the
+/// round-synchronous [`Simulator`](crate::Simulator) and the virtual-time
+/// event engine of `tsa-event`), so the budget, bootstrap-age and fan-in
+/// rules can never drift between scheduler policies.
+///
+/// Departures are processed first (the paper's `O_t`): deduplicated, checked
+/// against the remaining budget, and removed from `members`. Joins (`J_t`)
+/// are then checked against the bootstrap-age and per-bootstrap fan-in rules;
+/// each accepted joiner is assigned the next identifier from `next_id` and
+/// inserted into `members` with join round `t`. Everything applied or
+/// rejected is accumulated into `outcome` (a recycled buffer the caller has
+/// cleared), and the events actually spent are recorded against `budget`.
+///
+/// The caller remains responsible for materializing engine-side node state
+/// (slots, processes, pending messages) from `outcome.departed` /
+/// `outcome.joined` afterwards.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_churn_plan(
+    t: Round,
+    plan: ChurnPlan,
+    rules: &ChurnRules,
+    budget: &mut ChurnBudget,
+    members: &mut BTreeMap<NodeId, MemberInfo>,
+    next_id: &mut u64,
+    scratch: &mut PlanScratch,
+    outcome: &mut ChurnOutcome,
+) {
+    let mut remaining = budget.remaining(t, rules);
+
+    // Departures first (the paper's O_t).
+    scratch.seen.clear();
+    for id in plan.departures {
+        if scratch.seen.contains(&id) {
+            continue;
+        }
+        scratch.seen.push(id);
+        if remaining == 0 || members.remove(&id).is_none() {
+            outcome.rejected_departures.push(id);
+            continue;
+        }
+        outcome.departed.push(id);
+        remaining = remaining.saturating_sub(1);
+    }
+
+    // Joins (the paper's J_t), each via an eligible bootstrap node.
+    scratch.fanin.clear();
+    for join in plan.joins {
+        let eligible = members
+            .get(&join.bootstrap)
+            .map(|m| m.joined_at + rules.min_bootstrap_age <= t)
+            .unwrap_or(false);
+        let fanin_idx = match scratch
+            .fanin
+            .iter()
+            .position(|(id, _)| *id == join.bootstrap)
+        {
+            Some(i) => i,
+            None => {
+                scratch.fanin.push((join.bootstrap, 0));
+                scratch.fanin.len() - 1
+            }
+        };
+        let fanin = &mut scratch.fanin[fanin_idx].1;
+        if remaining == 0 || !eligible || *fanin >= rules.max_joins_per_bootstrap {
+            outcome.rejected_joins.push(join);
+            continue;
+        }
+        *fanin += 1;
+        let id = NodeId(*next_id);
+        *next_id += 1;
+        members.insert(id, MemberInfo { joined_at: t });
+        outcome.joined.push((id, join.bootstrap));
+        remaining = remaining.saturating_sub(1);
+    }
+
+    budget.record(t, outcome.events());
 }
 
 /// What the engine actually applied of a [`ChurnPlan`], plus anything rejected.

@@ -25,8 +25,8 @@
 //!   hands every node a contiguous *slice* of it — no per-node inbox vectors
 //!   and no sort scratch;
 //! * every node owns a reusable outbox buffer that is re-wrapped via
-//!   [`Outbox::from_vec`] each round; departing nodes donate their buffers to
-//!   a spare pool that joining nodes draw from;
+//!   [`Outbox::from_vec`](crate::Outbox::from_vec) each round; departing
+//!   nodes donate their buffers to a spare pool that joining nodes draw from;
 //! * the in-flight queue is double-buffered: next-round messages are drained
 //!   into the second buffer and the two are swapped;
 //! * round records (communication graphs, digests) trimmed out of a bounded
@@ -41,17 +41,17 @@
 use std::collections::BTreeMap;
 
 use crate::adversary::Adversary;
-use crate::churn::{ChurnBudget, ChurnOutcome, ChurnPlan};
+use crate::churn::{apply_churn_plan, ChurnBudget, ChurnOutcome, ChurnPlan, PlanScratch};
 use crate::config::SimConfig;
 use crate::ids::{NodeId, Round};
 use crate::knowledge::{CommGraph, KnowledgeView, MemberInfo, RoundRecord};
-use crate::message::{Envelope, Outbox};
+use crate::message::Envelope;
 use crate::metrics::{MetricsHistory, RoundMetricsBuilder};
-use crate::node::{Ctx, Process};
+use crate::node::{run_activation, ProtocolStep};
 
 /// A node in the engine: its protocol state plus per-round scratch that is
 /// reused across rounds (outbox buffer, inbox/sponsorship ranges, digest).
-struct NodeSlot<P: Process> {
+struct NodeSlot<P: ProtocolStep> {
     id: NodeId,
     joined_at: Round,
     process: P,
@@ -75,7 +75,13 @@ struct NodeSlot<P: Process> {
 pub type NodeFactory<P> = Box<dyn Fn(NodeId, Round) -> P + Send>;
 
 /// The round-synchronous simulator.
-pub struct Simulator<P: Process, A: Adversary> {
+///
+/// The simulator is one of two *scheduler policies* over the same
+/// transport-agnostic node logic (any [`ProtocolStep`]): it activates every
+/// node once per round with the messages sent to it one round earlier. The
+/// virtual-time event engine of `tsa-event` schedules the identical protocol
+/// step under per-message latency instead.
+pub struct Simulator<P: ProtocolStep, A: Adversary> {
     config: SimConfig,
     adversary: A,
     factory: NodeFactory<P>,
@@ -104,10 +110,8 @@ pub struct Simulator<P: Process, A: Adversary> {
     route_cursors: Vec<usize>,
     /// Scratch for per-node distinct-receiver computation.
     dedup_scratch: Vec<NodeId>,
-    /// Scratch for departure deduplication inside `apply_plan`.
-    plan_seen: Vec<NodeId>,
-    /// Scratch for per-bootstrap join fan-in accounting inside `apply_plan`.
-    plan_fanin: Vec<(NodeId, usize)>,
+    /// Scratch for churn-plan validation (departure dedup, join fan-in).
+    plan_scratch: PlanScratch,
     /// Round records trimmed out of the history window, recycled as scratch.
     spare_records: Vec<RoundRecord>,
     records: Vec<RoundRecord>,
@@ -118,7 +122,7 @@ pub struct Simulator<P: Process, A: Adversary> {
     last_outcome: ChurnOutcome,
 }
 
-impl<P: Process, A: Adversary> Simulator<P, A> {
+impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
     /// Creates an empty simulator. Populate the initial node set `V_0` with
     /// [`Simulator::seed_nodes`] before stepping.
     pub fn new(config: SimConfig, adversary: A, factory: NodeFactory<P>) -> Self {
@@ -136,8 +140,7 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
             route_slots: Vec::new(),
             route_cursors: Vec::new(),
             dedup_scratch: Vec::new(),
-            plan_seen: Vec::new(),
-            plan_fanin: Vec::new(),
+            plan_scratch: PlanScratch::default(),
             spare_records: Vec::new(),
             records: Vec::new(),
             metrics: MetricsHistory::new(),
@@ -162,6 +165,15 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
     fn spawn_node(&mut self, round: Round) -> NodeId {
         let id = NodeId(self.next_id);
         self.next_id += 1;
+        self.members.insert(id, MemberInfo { joined_at: round });
+        self.spawn_slot(id, round);
+        id
+    }
+
+    /// Materializes the engine-side slot (process + scratch) for a node that
+    /// is already a member — the engine half of a join applied by
+    /// [`apply_churn_plan`].
+    fn spawn_slot(&mut self, id: NodeId, round: Round) {
         let process = (self.factory)(id, round);
         let out = self.spare_outboxes.pop().unwrap_or_default();
         self.slots.push(NodeSlot {
@@ -175,8 +187,6 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
             sponsored_start: 0,
             sponsored_len: 0,
         });
-        self.members.insert(id, MemberInfo { joined_at: round });
-        id
     }
 
     /// The slot index of `id`, if it is a current member.
@@ -418,16 +428,20 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
                 let inbox = &in_flight[slot.inbox_start..slot.inbox_start + slot.inbox_len];
                 let sponsored =
                     &sponsored_ids[slot.sponsored_start..slot.sponsored_start + slot.sponsored_len];
-                let out = Outbox::from_vec(std::mem::take(&mut slot.out));
-                let mut ctx: Ctx<'_, P::Msg> =
-                    Ctx::with_outbox(slot.id, t, slot.joined_at, sponsored, seed, hash_seed, out);
-                slot.process.on_round(&mut ctx, inbox);
-                slot.digest = if record_digests {
-                    slot.process.state_digest()
-                } else {
-                    0
-                };
-                slot.out = ctx.into_outbox().into_inner();
+                let (out, digest) = run_activation(
+                    &mut slot.process,
+                    slot.id,
+                    t,
+                    slot.joined_at,
+                    sponsored,
+                    seed,
+                    hash_seed,
+                    inbox,
+                    std::mem::take(&mut slot.out),
+                    record_digests,
+                );
+                slot.out = out;
+                slot.digest = digest;
             });
         }
 
@@ -483,68 +497,37 @@ impl<P: Process, A: Adversary> Simulator<P, A> {
         self.round += 1;
     }
 
-    /// Validates and applies a churn plan, honouring budget and join rules.
-    /// Results are accumulated into `outcome` (a recycled buffer).
+    /// Applies a churn plan through the shared arbiter
+    /// ([`apply_churn_plan`] validates it against budget and join rules and
+    /// updates the membership), then materializes the engine half: departed
+    /// slots are removed (donating their outbox buffers to the spare pool)
+    /// and accepted joiners get fresh slots. Results are accumulated into
+    /// `outcome` (a recycled buffer).
     fn apply_plan(&mut self, t: Round, plan: ChurnPlan, outcome: &mut ChurnOutcome) {
         let rules = self.config.churn_rules;
-        let mut remaining = self.budget.remaining(t, &rules);
-
-        // Departures first (the paper's O_t).
-        self.plan_seen.clear();
-        for id in plan.departures {
-            if self.plan_seen.contains(&id) {
-                continue;
-            }
-            self.plan_seen.push(id);
-            let slot_idx = if remaining == 0 {
-                None
-            } else {
-                self.slot_index(id)
-            };
-            let Some(idx) = slot_idx else {
-                outcome.rejected_departures.push(id);
-                continue;
-            };
-            let slot = self.slots.remove(idx);
+        apply_churn_plan(
+            t,
+            plan,
+            &rules,
+            &mut self.budget,
+            &mut self.members,
+            &mut self.next_id,
+            &mut self.plan_scratch,
+            outcome,
+        );
+        for &id in outcome.departed.iter() {
+            let slot_idx = self
+                .slots
+                .binary_search_by_key(&id, |s| s.id)
+                .expect("departed node has a slot");
+            let slot = self.slots.remove(slot_idx);
             let mut out = slot.out;
             out.clear();
             self.spare_outboxes.push(out);
-            self.members.remove(&id);
-            outcome.departed.push(id);
-            remaining = remaining.saturating_sub(1);
         }
-
-        // Joins (the paper's J_t), each via an eligible bootstrap node.
-        self.plan_fanin.clear();
-        for join in plan.joins {
-            let eligible = self
-                .members
-                .get(&join.bootstrap)
-                .map(|m| m.joined_at + rules.min_bootstrap_age <= t)
-                .unwrap_or(false);
-            let fanin_idx = match self
-                .plan_fanin
-                .iter()
-                .position(|(id, _)| *id == join.bootstrap)
-            {
-                Some(i) => i,
-                None => {
-                    self.plan_fanin.push((join.bootstrap, 0));
-                    self.plan_fanin.len() - 1
-                }
-            };
-            let fanin = &mut self.plan_fanin[fanin_idx].1;
-            if remaining == 0 || !eligible || *fanin >= rules.max_joins_per_bootstrap {
-                outcome.rejected_joins.push(join);
-                continue;
-            }
-            *fanin += 1;
-            let id = self.spawn_node(t);
-            outcome.joined.push((id, join.bootstrap));
-            remaining = remaining.saturating_sub(1);
+        for &(id, _bootstrap) in outcome.joined.iter() {
+            self.spawn_slot(id, t);
         }
-
-        self.budget.record(t, outcome.events());
     }
 }
 
@@ -554,6 +537,7 @@ mod tests {
     use crate::adversary::NullAdversary;
     use crate::churn::{ChurnRules, JoinPlan};
     use crate::knowledge::Lateness;
+    use crate::node::{Ctx, Process};
 
     /// A protocol where every node floods a counter to the two numerically
     /// adjacent identifiers each round.

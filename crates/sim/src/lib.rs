@@ -55,14 +55,16 @@ pub mod node;
 pub mod rng;
 
 pub use adversary::{Adversary, NullAdversary};
-pub use churn::{ChurnBudget, ChurnOutcome, ChurnPlan, ChurnRules, JoinPlan};
+pub use churn::{
+    apply_churn_plan, ChurnBudget, ChurnOutcome, ChurnPlan, ChurnRules, JoinPlan, PlanScratch,
+};
 pub use config::SimConfig;
 pub use engine::{NodeFactory, Simulator};
 pub use ids::{parity, NodeId, Round, RoundParity};
 pub use knowledge::{CommGraph, KnowledgeView, Lateness, MemberInfo, RoundRecord};
 pub use message::{Envelope, Outbox};
 pub use metrics::{MetricsHistory, MetricsSummary, RoundMetrics, RoundMetricsBuilder};
-pub use node::{Ctx, Process};
+pub use node::{run_activation, Ctx, Process, ProtocolStep};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -73,5 +75,5 @@ pub mod prelude {
     pub use crate::ids::{NodeId, Round};
     pub use crate::knowledge::{KnowledgeView, Lateness};
     pub use crate::message::Envelope;
-    pub use crate::node::{Ctx, Process};
+    pub use crate::node::{Ctx, Process, ProtocolStep};
 }

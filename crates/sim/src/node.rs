@@ -171,6 +171,88 @@ pub trait Process: Send + 'static {
     }
 }
 
+/// The transport-agnostic node protocol step that every execution engine
+/// schedules.
+///
+/// One *activation* consumes the messages delivered to the node since it last
+/// ran and emits new messages through the [`Ctx`]. Which messages those are —
+/// and *when* the activation happens — is a scheduler policy, not protocol
+/// logic:
+///
+/// * the round-synchronous [`Simulator`](crate::Simulator) activates every
+///   node exactly once per round with the messages sent to it one round
+///   earlier;
+/// * `tsa-event`'s virtual-time engine activates nodes at the round boundaries
+///   of its virtual clock with whatever messages the latency/jitter/loss
+///   models delivered in between.
+///
+/// Every [`Process`] implements `ProtocolStep` automatically (an activation
+/// of a round-synchronous protocol *is* its round), so the same node logic
+/// runs unchanged under both engines. Protocols that only ever run under the
+/// event engine may implement `ProtocolStep` directly.
+pub trait ProtocolStep: Send + 'static {
+    /// The protocol message type.
+    type Msg: Clone + Send + Sync + 'static;
+
+    /// Executes one activation: receive, compute, send.
+    fn on_activation(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[Envelope<Self::Msg>]);
+
+    /// A compact digest of the node's internal state, made visible to the
+    /// adversary only with lateness `b` (Section 1.1). The default of `0`
+    /// reveals nothing.
+    fn state_digest(&self) -> u64 {
+        0
+    }
+}
+
+impl<P: Process> ProtocolStep for P {
+    type Msg = P::Msg;
+
+    fn on_activation(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[Envelope<Self::Msg>]) {
+        self.on_round(ctx, inbox);
+    }
+
+    fn state_digest(&self) -> u64 {
+        Process::state_digest(self)
+    }
+}
+
+/// Runs one node activation — the single protocol step shared by every
+/// execution engine. The round engine's parallel compute phase and the event
+/// engine's boundary activations both call exactly this, which is what makes
+/// the two engines scheduler policies over the *same* protocol rather than
+/// two protocol copies.
+///
+/// `out` is a recycled buffer (cleared on wrap) that becomes the activation's
+/// outbox; the emitted `(receiver, payload)` pairs are returned together with
+/// the node's state digest (`0` unless `record_digest`). The activation's RNG
+/// stream depends only on `(seed, id, round)`, so *where* and *in which
+/// order* activations of a round execute can never change an output bit.
+#[allow(clippy::too_many_arguments)]
+pub fn run_activation<P: ProtocolStep>(
+    process: &mut P,
+    id: NodeId,
+    round: Round,
+    joined_at: Round,
+    sponsored: &[NodeId],
+    seed: u64,
+    hash_seed: u64,
+    inbox: &[Envelope<P::Msg>],
+    out: Vec<(NodeId, P::Msg)>,
+    record_digest: bool,
+) -> (Vec<(NodeId, P::Msg)>, u64) {
+    let outbox = Outbox::from_vec(out);
+    let mut ctx: Ctx<'_, P::Msg> =
+        Ctx::with_outbox(id, round, joined_at, sponsored, seed, hash_seed, outbox);
+    process.on_activation(&mut ctx, inbox);
+    let digest = if record_digest {
+        process.state_digest()
+    } else {
+        0
+    };
+    (ctx.into_outbox().into_inner(), digest)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,7 +31,7 @@
 //! println!("{}", summary.to_table().to_markdown());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod executor;

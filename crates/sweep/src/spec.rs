@@ -11,7 +11,7 @@
 //! standalone run at the same seed.
 
 use serde::{Deserialize, Serialize};
-use tsa_scenario::{AdversarySpec, ChurnSpec, ScenarioKind, ScenarioSpec};
+use tsa_scenario::{AdversarySpec, ChurnSpec, ExecutionModel, ScenarioKind, ScenarioSpec};
 use tsa_sim::Lateness;
 
 /// A contiguous range of master seeds: the replicates of every grid cell.
@@ -85,8 +85,8 @@ pub struct SweepCell {
 /// Every `Vec` field is an axis: empty means "keep the base spec's value",
 /// non-empty means "take the cartesian product over these values". The
 /// enumeration order is fixed and documented (kind, n, c, δ, τ, r, churn,
-/// adversary, lateness, k, holder failure, attempts, then seed innermost), so
-/// cell indices are stable for shard checkpoints.
+/// adversary, lateness, execution model, k, holder failure, attempts, then
+/// seed innermost), so cell indices are stable for shard checkpoints.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SweepSpec {
     /// Name of the sweep (shard file stem, table title).
@@ -115,6 +115,17 @@ pub struct SweepSpec {
     pub adversary: Vec<AdversarySpec>,
     /// Axis over the adversary lateness.
     pub lateness: Vec<Lateness>,
+    /// Axis over the execution model (round engine vs event engine under
+    /// latency/jitter/loss). Absent in pre-`tsa-event` sweep specs, so it
+    /// defaults to empty ("keep the base spec's engine") and is skipped when
+    /// empty, keeping old spec JSON byte-identical.
+    ///
+    /// Like the churn/adversary/lateness axes, this axis is meaningful for
+    /// maintained cells only: one-shot kinds ignore the execution model, so
+    /// crossing it with them re-runs identical cells that fold into one
+    /// aggregate group (their axis labels omit `exec=`).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub execution: Vec<ExecutionModel>,
     /// Axis over messages per node in routing workloads.
     pub messages_per_node: Vec<usize>,
     /// Axis over the per-step holder failure probability.
@@ -146,6 +157,7 @@ impl SweepSpec {
             churn: Vec::new(),
             adversary: Vec::new(),
             lateness: Vec::new(),
+            execution: Vec::new(),
             messages_per_node: Vec::new(),
             holder_failure: Vec::new(),
             attempts: Vec::new(),
@@ -207,6 +219,14 @@ impl SweepSpec {
         self
     }
 
+    /// Sweeps the execution model (synchronous rounds vs asynchronous
+    /// latency regimes). Meaningful for maintained scenarios; one-shot kinds
+    /// ignore the execution model (see the field docs).
+    pub fn over_execution(mut self, models: impl IntoIterator<Item = ExecutionModel>) -> Self {
+        self.execution = models.into_iter().collect();
+        self
+    }
+
     /// Sweeps messages per node (routing workloads).
     pub fn over_messages_per_node(mut self, ks: impl IntoIterator<Item = usize>) -> Self {
         self.messages_per_node = ks.into_iter().collect();
@@ -237,6 +257,7 @@ impl SweepSpec {
             * axis(self.churn.len())
             * axis(self.adversary.len())
             * axis(self.lateness.len())
+            * axis(self.execution.len())
             * axis(self.messages_per_node.len())
             * axis(self.holder_failure.len())
             * axis(self.attempts.len())
@@ -266,54 +287,60 @@ impl SweepSpec {
                                 for &churn in &axis(&self.churn) {
                                     for &adversary in &axis(&self.adversary) {
                                         for &lateness in &axis(&self.lateness) {
-                                            for &k in &axis(&self.messages_per_node) {
-                                                for &fail in &axis(&self.holder_failure) {
-                                                    for &attempts in &axis(&self.attempts) {
-                                                        for seed in self.seeds.seeds() {
-                                                            let mut spec =
-                                                                self.base.with_seed(seed);
-                                                            if let Some(kind) = kind {
-                                                                spec.kind = kind;
+                                            for &execution in &axis(&self.execution) {
+                                                for &k in &axis(&self.messages_per_node) {
+                                                    for &fail in &axis(&self.holder_failure) {
+                                                        for &attempts in &axis(&self.attempts) {
+                                                            for seed in self.seeds.seeds() {
+                                                                let mut spec =
+                                                                    self.base.with_seed(seed);
+                                                                if let Some(kind) = kind {
+                                                                    spec.kind = kind;
+                                                                }
+                                                                if let Some(n) = n {
+                                                                    spec.n = n;
+                                                                }
+                                                                if let Some(c) = c {
+                                                                    spec.c = Some(c);
+                                                                }
+                                                                if let Some(delta) = delta {
+                                                                    spec.delta = Some(delta);
+                                                                }
+                                                                if let Some(tau) = tau {
+                                                                    spec.tau = Some(tau);
+                                                                }
+                                                                if let Some(r) = replication {
+                                                                    spec.replication = Some(r);
+                                                                }
+                                                                if let Some(churn) = churn {
+                                                                    spec.churn = churn;
+                                                                }
+                                                                if let Some(adv) = adversary {
+                                                                    spec.adversary = adv;
+                                                                }
+                                                                if let Some(l) = lateness {
+                                                                    spec.lateness = Some(l);
+                                                                }
+                                                                if let Some(x) = execution {
+                                                                    spec.execution = x;
+                                                                }
+                                                                if let Some(k) = k {
+                                                                    spec.messages_per_node = k;
+                                                                }
+                                                                if let Some(p) = fail {
+                                                                    spec.holder_failure = p;
+                                                                }
+                                                                if let Some(a) = attempts {
+                                                                    spec.attempts = a;
+                                                                }
+                                                                let rounds =
+                                                                    self.rounds.resolve(&spec);
+                                                                cells.push(SweepCell {
+                                                                    index: cells.len(),
+                                                                    spec,
+                                                                    rounds,
+                                                                });
                                                             }
-                                                            if let Some(n) = n {
-                                                                spec.n = n;
-                                                            }
-                                                            if let Some(c) = c {
-                                                                spec.c = Some(c);
-                                                            }
-                                                            if let Some(delta) = delta {
-                                                                spec.delta = Some(delta);
-                                                            }
-                                                            if let Some(tau) = tau {
-                                                                spec.tau = Some(tau);
-                                                            }
-                                                            if let Some(r) = replication {
-                                                                spec.replication = Some(r);
-                                                            }
-                                                            if let Some(churn) = churn {
-                                                                spec.churn = churn;
-                                                            }
-                                                            if let Some(adv) = adversary {
-                                                                spec.adversary = adv;
-                                                            }
-                                                            if let Some(l) = lateness {
-                                                                spec.lateness = Some(l);
-                                                            }
-                                                            if let Some(k) = k {
-                                                                spec.messages_per_node = k;
-                                                            }
-                                                            if let Some(p) = fail {
-                                                                spec.holder_failure = p;
-                                                            }
-                                                            if let Some(a) = attempts {
-                                                                spec.attempts = a;
-                                                            }
-                                                            let rounds = self.rounds.resolve(&spec);
-                                                            cells.push(SweepCell {
-                                                                index: cells.len(),
-                                                                spec,
-                                                                rounds,
-                                                            });
                                                         }
                                                     }
                                                 }
@@ -435,6 +462,34 @@ mod tests {
         assert_eq!(cells[0].rounds, expect(48));
         assert_eq!(cells[1].rounds, expect(96));
         assert!(cells[1].rounds > cells[0].rounds);
+    }
+
+    #[test]
+    fn execution_axis_sweeps_engines_per_cell() {
+        use tsa_scenario::LatencyModel;
+        let base = ScenarioSpec::new(ScenarioKind::MaintainedLds, 48);
+        let regimes = [
+            ExecutionModel::rounds(),
+            ExecutionModel::asynchronous(LatencyModel::constant(500)),
+            ExecutionModel::asynchronous(LatencyModel::uniform(500, 2500)),
+        ];
+        let sweep = SweepSpec::new("async", base)
+            .over_execution(regimes)
+            .seeds(1, 2);
+        let cells = sweep.enumerate();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(sweep.cell_count(), 6);
+        assert_eq!(cells[0].spec.execution, regimes[0]);
+        assert_eq!(cells[2].spec.execution, regimes[1]);
+        assert_eq!(cells[4].spec.execution, regimes[2]);
+        // An empty axis keeps the base's engine and serializes exactly as a
+        // pre-ExecutionModel sweep spec did.
+        let plain = SweepSpec::new("plain", base);
+        assert!(!serde_json::to_string(&plain).unwrap().contains("execution"));
+        let json = serde_json::to_string(&sweep).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sweep);
+        assert_eq!(back.enumerate(), sweep.enumerate());
     }
 
     #[test]

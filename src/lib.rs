@@ -7,6 +7,8 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`sim`] — round-synchronous simulator with an `(a,b)`-late adversary;
+//! * [`event`] — deterministic virtual-time event engine: the same node
+//!   logic under per-message latency, jitter and loss;
 //! * [`overlay`] — the Linearized DeBruijn Swarm and related topologies;
 //! * [`routing`] — `A_ROUTING` and `A_SAMPLING`;
 //! * [`maintenance`] — the `A_LDS` + `A_RANDOM` maintenance protocol
@@ -31,6 +33,7 @@ pub use tsa_adversary as adversary;
 pub use tsa_analysis as analysis;
 pub use tsa_baselines as baselines;
 pub use tsa_core as maintenance;
+pub use tsa_event as event;
 pub use tsa_overlay as overlay;
 pub use tsa_routing as routing;
 pub use tsa_scenario as scenario;
@@ -40,7 +43,10 @@ pub use tsa_sweep as sweep;
 /// The most frequently used items from across the workspace.
 pub mod prelude {
     pub use tsa_adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
-    pub use tsa_core::{MaintenanceHarness, MaintenanceParams, MaintenanceReport};
+    pub use tsa_core::{
+        AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams, MaintenanceReport,
+    };
+    pub use tsa_event::{ExecutionModel, LatencyModel, NetModel};
     pub use tsa_overlay::{Lds, OverlayParams, Position};
     pub use tsa_routing::{RoutableSeries, RoutingConfig, RoutingSim};
     pub use tsa_scenario::{

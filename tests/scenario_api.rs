@@ -1,8 +1,10 @@
 //! Guarantees for the `Scenario` migration:
 //!
-//! 1. the deprecated `MaintenanceHarness` constructors and the `Scenario`
-//!    builder produce **byte-identical** `MaintenanceReport` JSON for the
-//!    same fixed seed, so every pre-migration result stays reproducible;
+//! 1. the low-level `MaintenanceHarness::assemble` entry point and the
+//!    `Scenario` builder produce **byte-identical** `MaintenanceReport` JSON
+//!    for the same fixed seed, so every pre-migration result (including
+//!    those produced through the since-removed deprecated constructors,
+//!    which were thin wrappers over `assemble`) stays reproducible;
 //! 2. `ScenarioOutcome` round-trips through serde without loss.
 
 use two_steps_ahead::adversary::RandomChurnAdversary;
@@ -18,7 +20,7 @@ fn params() -> MaintenanceParams {
 }
 
 #[test]
-fn deprecated_with_rules_and_scenario_builder_agree_byte_for_byte() {
+fn assemble_with_explicit_rules_and_scenario_builder_agree_byte_for_byte() {
     let params = params();
     let rules = ChurnRules {
         max_events: Some(params.overlay.n / 4),
@@ -28,8 +30,7 @@ fn deprecated_with_rules_and_scenario_builder_agree_byte_for_byte() {
     };
     let rounds = 2 * params.maturity_age();
 
-    #[allow(deprecated)]
-    let mut old = MaintenanceHarness::with_rules(
+    let mut old = MaintenanceHarness::assemble(
         params,
         RandomChurnAdversary::new(2, 5),
         11,
@@ -59,11 +60,19 @@ fn deprecated_with_rules_and_scenario_builder_agree_byte_for_byte() {
 }
 
 #[test]
-fn deprecated_without_churn_and_churn_none_agree_byte_for_byte() {
+fn assemble_without_churn_budget_and_churn_none_agree_byte_for_byte() {
     let params = params();
 
-    #[allow(deprecated)]
-    let mut old = MaintenanceHarness::without_churn(params, 42);
+    // The old `without_churn(params, seed)` constructor, spelled explicitly:
+    // paper rules (the budget is irrelevant when nothing is ever churned)
+    // against the Null adversary.
+    let mut old = MaintenanceHarness::assemble(
+        params,
+        NullAdversary,
+        42,
+        params.paper_churn_rules(),
+        params.paper_lateness(),
+    );
     old.run_bootstrap();
     old.run(8);
 
@@ -84,11 +93,16 @@ fn deprecated_without_churn_and_churn_none_agree_byte_for_byte() {
 }
 
 #[test]
-fn deprecated_new_and_paper_churn_agree_byte_for_byte() {
+fn assemble_with_paper_rules_and_paper_churn_agree_byte_for_byte() {
     let params = params();
 
-    #[allow(deprecated)]
-    let mut old = MaintenanceHarness::new(params, RandomChurnAdversary::new(1, 3), 7);
+    let mut old = MaintenanceHarness::assemble(
+        params,
+        RandomChurnAdversary::new(1, 3),
+        7,
+        params.paper_churn_rules(),
+        params.paper_lateness(),
+    );
     old.run_bootstrap();
     old.run(10);
 

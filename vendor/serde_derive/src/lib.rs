@@ -10,9 +10,15 @@
 //!   or several fields (serialized as arrays);
 //! * enums with unit variants (serialized as the variant-name string),
 //!   single-field tuple variants (`{"Variant": value}`) and named-field
-//!   variants (`{"Variant": {..fields}}`), i.e. serde's external tagging.
+//!   variants (`{"Variant": {..fields}}`), i.e. serde's external tagging;
+//! * the field attributes `#[serde(default)]` (a missing key deserializes to
+//!   `Default::default()`) and `#[serde(skip_serializing_if = "path")]`
+//!   (the field is omitted when `path(&field)` is true) on named-struct
+//!   fields — the pair that lets a type grow a field without changing the
+//!   serialized form of old values.
 //!
-//! Generic types and serde attributes are not supported and fail loudly.
+//! Generic types and any other serde attributes are not supported and fail
+//! loudly.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -20,7 +26,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -32,11 +38,22 @@ enum Item {
     },
 }
 
+/// A named field together with its recognized serde attributes.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing key deserializes to `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the field when
+    /// `path(&self.field)` is true.
+    skip_if: Option<String>,
+}
+
 #[derive(Debug)]
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -82,12 +99,91 @@ fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
     }
 }
 
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+/// Parses the contents of one `#[serde(...)]` attribute group into `field`.
+/// Only `default` and `skip_serializing_if = "path"` are recognized; anything
+/// else fails loudly rather than being silently ignored.
+fn parse_serde_attr(group: &proc_macro::Group, field: &mut Field) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let key = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                pos += 1;
+                continue;
+            }
+            other => panic!("unsupported serde attribute token {other}"),
+        };
+        pos += 1;
+        match key.as_str() {
+            "default" => {
+                // Bare `default` only; `default = "path"` is not supported.
+                if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+                    if p.as_char() == '=' {
+                        panic!("the serde shim supports only bare `default`");
+                    }
+                }
+                field.default = true;
+            }
+            "skip_serializing_if" => {
+                match tokens.get(pos) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => pos += 1,
+                    other => panic!("expected `=` after skip_serializing_if, got {other:?}"),
+                }
+                let path = match tokens.get(pos) {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        s.trim_matches('"').to_string()
+                    }
+                    other => panic!("expected a string literal path, got {other:?}"),
+                };
+                pos += 1;
+                field.skip_if = Some(path);
+            }
+            other => panic!("unsupported serde attribute `{other}` (shim supports `default` and `skip_serializing_if`)"),
+        }
+    }
+}
+
+/// Consumes leading field attributes, interpreting `#[serde(...)]` ones.
+fn parse_field_attrs(tokens: &[TokenTree], pos: &mut usize, field: &mut Field) {
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                match &tokens[*pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                            (inner.first(), inner.get(1))
+                        {
+                            if id.to_string() == "serde"
+                                && args.delimiter() == Delimiter::Parenthesis
+                            {
+                                parse_serde_attr(args, field);
+                            }
+                        }
+                        *pos += 1;
+                    }
+                    other => panic!("expected [...] after '#', got {other}"),
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        skip_attributes(&tokens, &mut pos);
+        let mut field = Field {
+            name: String::new(),
+            default: false,
+            skip_if: None,
+        };
+        parse_field_attrs(&tokens, &mut pos, &mut field);
         skip_visibility(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
@@ -115,7 +211,8 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
             }
             pos += 1;
         }
-        fields.push(name);
+        field.name = name;
+        fields.push(field);
     }
     fields
 }
@@ -164,7 +261,17 @@ fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
         let kind = match tokens.get(pos) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 pos += 1;
-                VariantKind::Named(parse_named_fields(g))
+                let fields = parse_named_fields(g);
+                // The codegen for enum variants ignores field attributes;
+                // honour the fail-loudly contract instead of dropping them.
+                if let Some(f) = fields.iter().find(|f| f.default || f.skip_if.is_some()) {
+                    panic!(
+                        "serde field attributes are only supported on named structs, \
+                         not enum variant fields (variant `{name}`, field `{}`)",
+                        f.name
+                    );
+                }
+                VariantKind::Named(fields)
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 pos += 1;
@@ -231,16 +338,23 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Derives the value-tree `Serialize` trait.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
         Item::NamedStruct { name, fields } => {
             let mut pushes = String::new();
             for f in fields {
-                pushes.push_str(&format!(
-                    "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
-                ));
+                let fname = &f.name;
+                let push = format!(
+                    "entries.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})));\n"
+                );
+                match &f.skip_if {
+                    Some(path) => {
+                        pushes.push_str(&format!("if !{path}(&self.{fname}) {{ {push} }}\n"))
+                    }
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -298,8 +412,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantKind::Named(fields) => {
-                        let binders = fields.join(", ");
-                        let pushes: Vec<String> = fields
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let binders = names.join(", ");
+                        let pushes: Vec<String> = names
                             .iter()
                             .map(|f| {
                                 format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
@@ -328,18 +443,28 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the value-tree `Deserialize` trait.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
         Item::NamedStruct { name, fields } => {
             let mut reads = String::new();
             for f in fields {
-                reads.push_str(&format!(
-                    "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
-                         .ok_or_else(|| ::serde::Error::custom(\
-                             \"missing field `{f}` in {name}\"))?)?,\n"
-                ));
+                let fname = &f.name;
+                if f.default {
+                    reads.push_str(&format!(
+                        "{fname}: match value.get(\"{fname}\") {{\n\
+                             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                             None => ::core::default::Default::default(),\n\
+                         }},\n"
+                    ));
+                } else {
+                    reads.push_str(&format!(
+                        "{fname}: ::serde::Deserialize::from_value(value.get(\"{fname}\")\
+                             .ok_or_else(|| ::serde::Error::custom(\
+                                 \"missing field `{fname}` in {name}\"))?)?,\n"
+                    ));
+                }
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -409,6 +534,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         let reads: Vec<String> = fields
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "{f}: ::serde::Deserialize::from_value(payload.get(\"{f}\")\
                                          .ok_or_else(|| ::serde::Error::custom(\
