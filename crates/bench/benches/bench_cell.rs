@@ -17,7 +17,7 @@ fn bench_maintained_cell(c: &mut Criterion) {
         spec.adversary = AdversarySpec::random(1, 17);
         spec = spec.with_seed(23);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(Scenario::from_spec(spec).run(6).is_routable()))
+            b.iter(|| std::hint::black_box(Scenario::from_spec(spec.clone()).run(6).is_routable()))
         });
     }
     group.finish();
@@ -31,7 +31,7 @@ fn bench_one_shot_cells(c: &mut Criterion) {
     group.bench_function("sampling_n64", |b| {
         b.iter(|| {
             std::hint::black_box(
-                Scenario::from_spec(sampling)
+                Scenario::from_spec(sampling.clone())
                     .run(0)
                     .sampling
                     .unwrap()
@@ -43,7 +43,7 @@ fn bench_one_shot_cells(c: &mut Criterion) {
     group.bench_function("routing_n64", |b| {
         b.iter(|| {
             std::hint::black_box(
-                Scenario::from_spec(routing)
+                Scenario::from_spec(routing.clone())
                     .run(0)
                     .routing
                     .unwrap()

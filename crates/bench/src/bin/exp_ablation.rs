@@ -18,7 +18,7 @@ fn main() {
     let mut base = workload_spec(ScenarioKind::Routing, n);
     base.holder_failure = 0.25;
 
-    let mut c_base = base;
+    let mut c_base = base.clone();
     c_base.replication = Some(3);
     let c_sweep = SweepSpec::new("c", c_base)
         .over_c([0.5, 1.0, 1.5, 2.0, 3.0])

@@ -50,7 +50,7 @@ fn main() {
         ],
     );
     for record in &runs[1].records {
-        let spec = record.outcome.spec;
+        let spec = &record.outcome.spec;
         let params = spec.maintenance_params();
         let m = record
             .outcome

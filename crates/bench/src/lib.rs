@@ -19,6 +19,9 @@
 //! | `exp_sampling`     | Lemma 13 — sampling uniformity and discard probability |
 //! | `exp_maintenance`  | Theorem 14, Lemmas 16/17/20/22/24 — routability under churn, lateness ablation, connect load, congestion scaling |
 //! | `exp_ablation`     | Robustness parameter `c`, replication `r` sweeps |
+//! | `exp_async`        | Survival and congestion under bounded-delay asynchrony (latency/jitter/loss regimes vs the synchronous baseline) |
+//! | `exp_partition`    | Regional partitions: bridge latency × loss survival grid, scheduled healing, the reconnection probe |
+//! | `exp_perf`         | Round-loop throughput trajectory (rounds/s, msgs/s, peak RSS) |
 
 #![warn(missing_docs)]
 
@@ -59,7 +62,7 @@ pub fn experiment_scenario(n: usize) -> Scenario {
 /// The maintained-LDS spec all sweeps start from: [`experiment_scenario`] as
 /// plain data, ready for `SweepSpec` axes.
 pub fn experiment_spec(n: usize) -> ScenarioSpec {
-    *experiment_scenario(n).spec()
+    experiment_scenario(n).spec().clone()
 }
 
 /// A spec of the given one-shot kind over `n` nodes, at the paper's defaults.

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use tsa_event::{EventConfig, EventSimulator, NetModel, NetStats};
+use tsa_event::{EventConfig, EventSimulator, NetModel, NetStats, Topology};
 use tsa_sim::{Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, Round};
 
 use crate::harness::{build_report, harness_factory, harness_sim_config};
@@ -42,7 +42,30 @@ impl<A: Adversary> AsyncMaintenanceHarness<A> {
         lateness: Lateness,
         net: NetModel,
     ) -> Self {
-        let config = EventConfig::new(harness_sim_config(seed, churn_rules, lateness), net);
+        Self::assemble_with_topology(
+            params,
+            adversary,
+            seed,
+            churn_rules,
+            lateness,
+            Topology::Global(net),
+        )
+    }
+
+    /// [`AsyncMaintenanceHarness::assemble`] over an explicit link
+    /// [`Topology`] instead of a link-uniform model — regional partitions,
+    /// scheduled bridges, per-link overrides. A [`Topology::Global`]
+    /// topology is `assemble` bit for bit.
+    pub fn assemble_with_topology(
+        params: MaintenanceParams,
+        adversary: A,
+        seed: u64,
+        churn_rules: ChurnRules,
+        lateness: Lateness,
+        topology: Topology,
+    ) -> Self {
+        let config =
+            EventConfig::with_topology(harness_sim_config(seed, churn_rules, lateness), topology);
         let mut sim = EventSimulator::new(config, adversary, harness_factory(params));
         sim.seed_nodes(params.overlay.n);
         AsyncMaintenanceHarness { sim, params }
@@ -96,6 +119,13 @@ impl<A: Adversary> AsyncMaintenanceHarness<A> {
     /// Whole-run counters of the network model's effects (loss, delays).
     pub fn net_stats(&self) -> NetStats {
         self.sim.net_stats()
+    }
+
+    /// Distinct directed communication edges of the last round that crossed
+    /// a region boundary of the configured topology (0 for non-regional
+    /// topologies).
+    pub fn cross_region_edges(&self) -> usize {
+        self.sim.cross_region_edges()
     }
 
     /// Snapshots of every node's observable state.

@@ -45,32 +45,41 @@ use tsa_sim::{
     SimConfig,
 };
 
-use crate::model::NetModel;
+use crate::model::{NetModel, Topology};
 use crate::TICKS_PER_ROUND;
 
 /// Configuration of an event-driven run: the shared simulation knobs (seed,
 /// lateness, churn rules, history window — `parallel` is ignored, the event
-/// loop is strictly sequential) plus the network model and clock resolution.
+/// loop is strictly sequential) plus the network topology and clock
+/// resolution.
 #[derive(Clone, Debug)]
 pub struct EventConfig {
     /// The shared simulation configuration. Seeds and hash seeds are derived
     /// exactly as in the lockstep engine, so a zero-delay event run and a
     /// round run of the same seed are bit-identical.
     pub sim: SimConfig,
-    /// The per-message latency/jitter/loss model.
-    pub net: NetModel,
+    /// The link topology: which per-message latency/jitter/loss model each
+    /// directed `(sender, receiver)` link runs at each round. A scalar
+    /// [`NetModel`] is the [`Topology::Global`] special case.
+    pub topology: Topology,
     /// Virtual ticks per protocol round (defaults to
     /// [`TICKS_PER_ROUND`]).
     pub ticks_per_round: u64,
 }
 
 impl EventConfig {
-    /// An event configuration over `sim` with network model `net` at the
-    /// default clock resolution.
+    /// An event configuration over `sim` with the link-uniform network model
+    /// `net` at the default clock resolution.
     pub fn new(sim: SimConfig, net: NetModel) -> Self {
+        EventConfig::with_topology(sim, Topology::Global(net))
+    }
+
+    /// An event configuration over `sim` with an explicit link topology at
+    /// the default clock resolution.
+    pub fn with_topology(sim: SimConfig, topology: Topology) -> Self {
         EventConfig {
             sim,
-            net,
+            topology,
             ticks_per_round: TICKS_PER_ROUND,
         }
     }
@@ -89,6 +98,11 @@ pub struct NetStats {
     pub max_delay_ticks: u64,
     /// Sum of all sampled delays, in ticks (mean = `/ (sent - lost)`).
     pub total_delay_ticks: u64,
+    /// Messages handed to the network whose link crossed a region boundary
+    /// of a [`Topology::Regions`] (0 for other topologies).
+    pub bridge_sent: u64,
+    /// Cross-region messages dropped by the loss model.
+    pub bridge_lost: u64,
 }
 
 /// One message in flight: its arrival tick, global send sequence number and
@@ -471,9 +485,9 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
         let seed = self.config.sim.seed;
         let hash_seed = self.config.sim.hash_seed;
         let record_digests = self.config.sim.record_digests;
-        let net = self.config.net;
         let mut lost = 0usize;
         {
+            let topology = &self.config.topology;
             let sponsored_ids = &self.sponsored_ids;
             let queue = &mut self.queue;
             let seq = &mut self.seq;
@@ -512,10 +526,22 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
                     let msg_seq = *seq;
                     *seq += 1;
                     stats.sent += 1;
+                    // The effective model of this message is a pure function
+                    // of (round, sender, receiver); the fate stream it
+                    // consumes is seeded from (seed, seq) alone, so two
+                    // topologies resolving this link to equal models take
+                    // identical branches here.
+                    let (net, cross) = topology.resolve(t, slot.id, to);
+                    if cross {
+                        stats.bridge_sent += 1;
+                    }
                     match net.route(seed, msg_seq) {
                         None => {
                             lost += 1;
                             stats.lost += 1;
+                            if cross {
+                                stats.bridge_lost += 1;
+                            }
                         }
                         Some(delay) => {
                             stats.max_delay_ticks = stats.max_delay_ticks.max(delay);
@@ -559,5 +585,70 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             .iter()
             .find(|r| r.graph.round == round)
             .map(|r| &r.graph)
+    }
+
+    /// Number of distinct directed edges in the most recent archived
+    /// communication graph that cross a region boundary of the configured
+    /// topology — the quantity that shows whether the two halves of a
+    /// partition are still talking. 0 when the topology has no regions or
+    /// nothing is archived yet.
+    pub fn cross_region_edges(&self) -> usize {
+        self.records.last().map_or(0, |rec| {
+            rec.graph
+                .edges
+                .iter()
+                .filter(|&&(from, to)| self.config.topology.is_cross(from, to))
+                .count()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(arrival: u64, seq: u64, to: u64) -> Pending<u64> {
+        Pending {
+            arrival,
+            seq,
+            env: Envelope::new(NodeId(0), NodeId(to), 0, 0),
+        }
+    }
+
+    #[test]
+    fn heap_pops_by_arrival_then_seq_then_receiver() {
+        // The queue's total order is (arrival, seq, receiver): earlier
+        // arrivals first, ties broken by global send index, and — though a
+        // live engine never produces two events with one seq — the receiver
+        // keeps even hand-crafted duplicates deterministic.
+        let mut heap = BinaryHeap::new();
+        for (a, s, r) in [(5, 9, 1), (5, 2, 9), (3, 7, 0), (5, 2, 3), (1, 50, 4)] {
+            heap.push(pending(a, s, r));
+        }
+        let order: Vec<(u64, u64, NodeId)> = std::iter::from_fn(|| heap.pop())
+            .map(|p| p.cmp_key())
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, 50, NodeId(4)),
+                (3, 7, NodeId(0)),
+                (5, 2, NodeId(3)),
+                (5, 2, NodeId(9)),
+                (5, 9, NodeId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_keys_compare_equal_across_payloads() {
+        let a = pending(4, 4, 4);
+        let b = Pending {
+            arrival: 4,
+            seq: 4,
+            env: Envelope::new(NodeId(7), NodeId(4), 3, 999),
+        };
+        assert!(a == b, "ordering ignores everything but the key");
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
     }
 }

@@ -13,6 +13,10 @@
 //!   latency/jitter/loss models — every message's fate is a pure function of
 //!   `(master seed, send sequence number)`, so identical seeds give
 //!   byte-identical traces at any thread/host configuration;
+//! * [`Topology`] makes the network addressable by link: one global model,
+//!   regional partitions ([`RegionAssign`] is a pure function of the node
+//!   id) joined by a possibly slow/lossy — and [`PartitionSchedule`]d —
+//!   bridge, or explicit per-link overrides;
 //! * [`ExecutionModel`] is the serde-round-trippable selector the
 //!   `tsa-scenario` / `tsa-sweep` stack uses to pick an engine per scenario
 //!   (default: the synchronous round model).
@@ -53,7 +57,10 @@ pub mod engine;
 pub mod model;
 
 pub use engine::{EventConfig, EventSimulator, NetStats};
-pub use model::{ExecutionModel, LatencyModel, NetModel};
+pub use model::{
+    ExecutionModel, LatencyModel, LinkOverride, NetModel, PartitionSchedule, RegionAssign,
+    RegionEntry, Topology,
+};
 
 /// Virtual ticks per protocol round: the resolution at which latencies,
 /// jitter and the round cadence are expressed. A latency of
@@ -188,6 +195,117 @@ mod tests {
             let capped = rayon::with_thread_cap(cap, || event_engine_fingerprint(net, 9, 16, 8));
             assert_eq!(capped, baseline, "divergence under thread cap {cap}");
         }
+    }
+
+    fn event_sim_topo(topology: Topology, seed: u64) -> EventSimulator<Ping, NullAdversary> {
+        let config = EventConfig::with_topology(SimConfig::default().with_seed(seed), topology);
+        EventSimulator::new(config, NullAdversary, Box::new(|_, _| Ping::default()))
+    }
+
+    fn topo_fingerprint(topology: Topology, seed: u64, n: usize, rounds: u64) -> String {
+        let mut sim = event_sim_topo(topology, seed);
+        sim.seed_nodes(n);
+        sim.run(rounds);
+        let heard = sim
+            .member_ids()
+            .iter()
+            .map(|&id| (id, sim.node(id).unwrap().heard.clone()))
+            .collect();
+        let edges = sim.records().last().unwrap().graph.edges.clone();
+        fingerprint(heard, edges, sim.metrics())
+    }
+
+    #[test]
+    fn equal_model_topologies_reproduce_the_global_trace() {
+        // The trace-level half of the topology equivalence bridge: a
+        // regional split whose intra and inter models agree, and a per-link
+        // topology with no overrides, are the global network bit for bit —
+        // loss coins, delays and delivery order included.
+        let net = NetModel {
+            latency: LatencyModel::uniform(100, 2800),
+            jitter: 300,
+            loss: 0.05,
+        };
+        let global = topo_fingerprint(Topology::global(net), 13, 16, 8);
+        for assign in [
+            RegionAssign::halves(8),
+            RegionAssign::bands(4, 3),
+            RegionAssign::explicit(1, [(0, 0), (7, 2)]),
+        ] {
+            assert_eq!(
+                topo_fingerprint(Topology::regions(assign.clone(), net, net), 13, 16, 8),
+                global,
+                "intra == inter must be the global network ({})",
+                assign.label()
+            );
+        }
+        assert_eq!(
+            topo_fingerprint(Topology::per_link(net, Vec::new()), 13, 16, 8),
+            global,
+            "no overrides must be the global network"
+        );
+    }
+
+    #[test]
+    fn a_severed_bridge_cuts_cross_region_traffic_only() {
+        // 4 nodes in two halves {0,1} | {2,3}; the Ping protocol talks to
+        // id ± 1, so the only cross links are 1 → 2 and 2 → 1. A bridge
+        // with loss 1.0 must kill exactly those messages.
+        let intra = NetModel::new(LatencyModel::constant(0));
+        let cut = NetModel {
+            latency: LatencyModel::constant(0),
+            jitter: 0,
+            loss: 1.0,
+        };
+        let mut sim = event_sim_topo(Topology::regions(RegionAssign::halves(2), intra, cut), 5);
+        sim.seed_nodes(4);
+        sim.run(6);
+        let stats = sim.net_stats();
+        assert!(stats.bridge_sent > 0, "cross sends are attempted");
+        assert_eq!(stats.bridge_lost, stats.bridge_sent, "and all are lost");
+        assert_eq!(stats.lost, stats.bridge_lost, "intra traffic is untouched");
+        // Node 2 can only ever hear node 3 (tag high bits = sender id).
+        let heard = &sim.node(NodeId(2)).unwrap().heard;
+        assert!(!heard.is_empty());
+        assert!(heard.iter().all(|tag| tag >> 32 == 3));
+        // The comm graph still records the *attempted* cross edges — the
+        // halves still try to talk, which is what cross_region_edges
+        // measures (2 directed edges: 1→2 and 2→1).
+        assert_eq!(sim.cross_region_edges(), 2);
+    }
+
+    #[test]
+    fn a_scheduled_partition_heals_on_time() {
+        // Bridge severed for sends of rounds [1, 3): node 2 must hear node
+        // 1's round-0, round-3 and round-4 tags, and nothing in between.
+        let intra = NetModel::new(LatencyModel::constant(0));
+        let cut = NetModel {
+            latency: LatencyModel::constant(0),
+            jitter: 0,
+            loss: 1.0,
+        };
+        let mut sim = event_sim_topo(
+            Topology::regions_with_schedule(
+                RegionAssign::halves(2),
+                intra,
+                cut,
+                PartitionSchedule::window(1, 3),
+            ),
+            5,
+        );
+        sim.seed_nodes(4);
+        sim.run(6);
+        let from_one: Vec<u64> = sim
+            .node(NodeId(2))
+            .unwrap()
+            .heard
+            .iter()
+            .filter(|tag| *tag >> 32 == 1)
+            .map(|tag| tag & 0xFFFF_FFFF)
+            .collect();
+        assert_eq!(from_one, vec![0, 3, 4], "severed exactly during [1, 3)");
+        let stats = sim.net_stats();
+        assert!(stats.bridge_lost > 0 && stats.bridge_lost < stats.bridge_sent);
     }
 
     #[test]

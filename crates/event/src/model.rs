@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use tsa_sim::rng::mix;
+use tsa_sim::{NodeId, Round};
 
 /// Domain-separation label of the per-message network streams.
 const NET_LABEL: u64 = 0x4E45_545F_4C41_5433; // "NET_LAT3"
@@ -191,13 +192,341 @@ impl NetModel {
     }
 }
 
+/// Assigns every node to a *region* — a pure function of the node id, so the
+/// assignment is identical on every host, at every thread configuration, and
+/// across resumed runs. This is what keeps topology-aware traces
+/// byte-identical everywhere: which side of a partition a node sits on can
+/// never depend on hashing order, insertion order, or wall-clock state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RegionAssign {
+    /// Two halves of the id space: ids below `split` are region 0, the rest
+    /// region 1. With the engines' sequential id assignment (`V_0 = 0..n`),
+    /// `split = n / 2` puts the two halves of the initial network in
+    /// different regions; every later joiner (id ≥ n > split) lands in
+    /// region 1.
+    Halves {
+        /// First id that belongs to region 1.
+        split: u64,
+    },
+    /// `k`-way banding: region = `(id / width) mod k` — contiguous bands of
+    /// `width` ids striped round-robin over `k` regions, so later joiners
+    /// keep spreading across all regions instead of piling into the last
+    /// one.
+    Bands {
+        /// Ids per contiguous band (0 is treated as 1).
+        width: u64,
+        /// Number of regions (0 is treated as 1).
+        k: u32,
+    },
+    /// An explicit id → region map; ids the map does not mention fall into
+    /// `default`.
+    Explicit {
+        /// Region of every id absent from the map.
+        default: u32,
+        /// The explicit assignments.
+        map: Vec<RegionEntry>,
+    },
+}
+
+/// One entry of an explicit region map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionEntry {
+    /// The raw node id.
+    pub id: u64,
+    /// The region that id belongs to.
+    pub region: u32,
+}
+
+impl RegionAssign {
+    /// Two halves split at `split`.
+    pub fn halves(split: u64) -> Self {
+        RegionAssign::Halves { split }
+    }
+
+    /// `k`-way bands of `width` ids.
+    pub fn bands(width: u64, k: u32) -> Self {
+        RegionAssign::Bands { width, k }
+    }
+
+    /// An explicit map over `(id, region)` pairs with a default region.
+    pub fn explicit(default: u32, pairs: impl IntoIterator<Item = (u64, u32)>) -> Self {
+        RegionAssign::Explicit {
+            default,
+            map: pairs
+                .into_iter()
+                .map(|(id, region)| RegionEntry { id, region })
+                .collect(),
+        }
+    }
+
+    /// The region of `id` — a total, pure function.
+    pub fn region_of(&self, id: NodeId) -> u32 {
+        match self {
+            RegionAssign::Halves { split } => u32::from(id.0 >= *split),
+            RegionAssign::Bands { width, k } => {
+                ((id.0 / (*width).max(1)) % u64::from((*k).max(1))) as u32
+            }
+            RegionAssign::Explicit { default, map } => map
+                .iter()
+                .find(|e| e.id == id.0)
+                .map(|e| e.region)
+                .unwrap_or(*default),
+        }
+    }
+
+    /// A compact label for tables, e.g. `halves@64`, `bands16x4`, `map(5)`.
+    pub fn label(&self) -> String {
+        match self {
+            RegionAssign::Halves { split } => format!("halves@{split}"),
+            RegionAssign::Bands { width, k } => format!("bands{width}x{k}"),
+            RegionAssign::Explicit { map, .. } => format!("map({})", map.len()),
+        }
+    }
+}
+
+/// The rounds during which a [`Topology::Regions`] bridge is *degraded*
+/// (runs the `inter` model). Outside the window cross-region links run the
+/// healthy `intra` model — this is the time-varying bridge that lets one
+/// spec describe "healthy bootstrap, partition for D rounds, heal at round
+/// R" without any out-of-band scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionSchedule {
+    /// First round boundary whose sends cross a degraded bridge.
+    pub from: Round,
+    /// First round boundary whose sends cross a healed bridge again
+    /// (`u64::MAX` = the partition never heals).
+    pub heal_at: Round,
+}
+
+impl PartitionSchedule {
+    /// Degraded from `from` onwards, forever.
+    pub fn starting_at(from: Round) -> Self {
+        PartitionSchedule {
+            from,
+            heal_at: u64::MAX,
+        }
+    }
+
+    /// Degraded during `[from, heal_at)`.
+    pub fn window(from: Round, heal_at: Round) -> Self {
+        PartitionSchedule { from, heal_at }
+    }
+
+    /// Whether the bridge is degraded for messages sent at `round`.
+    pub fn degraded_at(&self, round: Round) -> bool {
+        round >= self.from && round < self.heal_at
+    }
+
+    /// A compact label: `@3..11`, or `@3..` for a permanent partition.
+    pub fn label(&self) -> String {
+        if self.heal_at == u64::MAX {
+            format!("@{}..", self.from)
+        } else {
+            format!("@{}..{}", self.from, self.heal_at)
+        }
+    }
+}
+
+/// One per-link override of a [`Topology::PerLink`] network: the directed
+/// link `from → to` uses `net` instead of the base model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkOverride {
+    /// The sending node.
+    pub from: NodeId,
+    /// The receiving node.
+    pub to: NodeId,
+    /// The model this directed link uses.
+    pub net: NetModel,
+}
+
+/// The network *topology*: which [`NetModel`] governs each directed
+/// `(sender, receiver)` link at each round.
+///
+/// Every variant resolves links through pure functions of
+/// `(round, sender id, receiver id)` — never through runtime state — so a
+/// topology-aware trace is exactly as deterministic as a global one. The
+/// per-message randomness stream is seeded from `(seed, seq)` alone
+/// ([`NetModel::route`]), independent of *which* model consumes it; two
+/// topologies that resolve every link to equal models therefore produce
+/// byte-identical traces — the equivalence the `topology_equivalence` test
+/// bridge pins.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// One model for every link (what a scalar [`NetModel`] always was).
+    Global(NetModel),
+    /// A two-level regional structure: links inside a region run `intra`,
+    /// links crossing regions run `inter` — optionally only during a
+    /// [`PartitionSchedule`] window (and `intra` outside it).
+    Regions {
+        /// The pure id → region assignment.
+        assign: RegionAssign,
+        /// The model of links within one region.
+        intra: NetModel,
+        /// The model of links crossing regions (the "bridge").
+        inter: NetModel,
+        /// When the bridge is degraded; `None` = always.
+        schedule: Option<PartitionSchedule>,
+    },
+    /// Explicit per-link overrides over a base model (first matching
+    /// override wins; everything else runs `base`).
+    PerLink {
+        /// The model of every link without an override.
+        base: NetModel,
+        /// The directed-link overrides.
+        overrides: Vec<LinkOverride>,
+    },
+}
+
+impl Topology {
+    /// One model everywhere.
+    pub fn global(net: NetModel) -> Self {
+        Topology::Global(net)
+    }
+
+    /// A regional topology with a permanently active bridge model.
+    pub fn regions(assign: RegionAssign, intra: NetModel, inter: NetModel) -> Self {
+        Topology::Regions {
+            assign,
+            intra,
+            inter,
+            schedule: None,
+        }
+    }
+
+    /// A regional topology whose bridge is degraded only during `schedule`.
+    pub fn regions_with_schedule(
+        assign: RegionAssign,
+        intra: NetModel,
+        inter: NetModel,
+        schedule: PartitionSchedule,
+    ) -> Self {
+        Topology::Regions {
+            assign,
+            intra,
+            inter,
+            schedule: Some(schedule),
+        }
+    }
+
+    /// Per-link overrides over `base`.
+    pub fn per_link(base: NetModel, overrides: Vec<LinkOverride>) -> Self {
+        Topology::PerLink { base, overrides }
+    }
+
+    /// The *base* model: what most links run (`Global`'s model, `Regions`'
+    /// intra model, `PerLink`'s base).
+    pub fn base(&self) -> NetModel {
+        match self {
+            Topology::Global(net) => *net,
+            Topology::Regions { intra, .. } => *intra,
+            Topology::PerLink { base, .. } => *base,
+        }
+    }
+
+    /// The region of `id`, for regional topologies.
+    pub fn region_of(&self, id: NodeId) -> Option<u32> {
+        match self {
+            Topology::Regions { assign, .. } => Some(assign.region_of(id)),
+            _ => None,
+        }
+    }
+
+    /// Whether the directed link `from → to` crosses a region boundary
+    /// (always `false` for non-regional topologies). This is the structural
+    /// notion — it ignores the schedule — used for cross-region edge
+    /// accounting.
+    pub fn is_cross(&self, from: NodeId, to: NodeId) -> bool {
+        match self {
+            Topology::Regions { assign, .. } => assign.region_of(from) != assign.region_of(to),
+            _ => false,
+        }
+    }
+
+    /// Whether cross-region links run the degraded `inter` model for
+    /// messages sent at `round`.
+    pub fn bridge_degraded_at(&self, round: Round) -> bool {
+        match self {
+            Topology::Regions { schedule, .. } => schedule.is_none_or(|s| s.degraded_at(round)),
+            _ => false,
+        }
+    }
+
+    /// Resolves the effective model of one message: sent at round boundary
+    /// `round` over the directed link `from → to`.
+    pub fn net_for(&self, round: Round, from: NodeId, to: NodeId) -> NetModel {
+        self.resolve(round, from, to).0
+    }
+
+    /// [`Topology::net_for`] and [`Topology::is_cross`] in one pass — the
+    /// engine's per-message entry point, so each endpoint's region (or the
+    /// override list) is looked up exactly once per send.
+    pub fn resolve(&self, round: Round, from: NodeId, to: NodeId) -> (NetModel, bool) {
+        match self {
+            Topology::Global(net) => (*net, false),
+            Topology::Regions {
+                assign,
+                intra,
+                inter,
+                schedule,
+            } => {
+                let cross = assign.region_of(from) != assign.region_of(to);
+                let net = if cross && schedule.is_none_or(|s| s.degraded_at(round)) {
+                    *inter
+                } else {
+                    *intra
+                };
+                (net, cross)
+            }
+            Topology::PerLink { base, overrides } => (
+                overrides
+                    .iter()
+                    .find(|o| o.from == from && o.to == to)
+                    .map(|o| o.net)
+                    .unwrap_or(*base),
+                false,
+            ),
+        }
+    }
+
+    /// `true` for [`Topology::Global`].
+    pub fn is_global(&self) -> bool {
+        matches!(self, Topology::Global(_))
+    }
+
+    /// A compact label for tables, e.g.
+    /// `regions(halves@24,intra=c500,inter=c3000-l0.5@6..14)`.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Global(net) => net.label(),
+            Topology::Regions {
+                assign,
+                intra,
+                inter,
+                schedule,
+            } => format!(
+                "regions({},intra={},inter={}{})",
+                assign.label(),
+                intra.label(),
+                inter.label(),
+                schedule.map(|s| s.label()).unwrap_or_default()
+            ),
+            Topology::PerLink { base, overrides } => {
+                format!("perlink({}+{})", base.label(), overrides.len())
+            }
+        }
+    }
+}
+
 /// Which execution engine a scenario runs on — the round-synchronous
 /// lockstep engine, or the virtual-time event engine under a network model.
 ///
 /// `Rounds` is the serde default and is *skipped* when a spec serializes, so
 /// every artifact written before this type existed round-trips unchanged and
 /// every artifact written after it stays byte-identical for synchronous runs.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+/// The `topology` field plays the same game one level down: it is skipped
+/// when `None`, so every `Async` spec serialized before topologies existed
+/// (and every global-network spec after) keeps its exact serialized form.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub enum ExecutionModel {
     /// The paper's synchronous round model (`tsa-sim`'s lockstep engine).
     #[default]
@@ -213,6 +542,14 @@ pub enum ExecutionModel {
         jitter: u64,
         /// Per-message drop probability.
         loss: f64,
+        /// Link-level structure of the network. `None` (the serde default)
+        /// means the flat `latency`/`jitter`/`loss` above apply to every
+        /// link; `Some` makes the topology authoritative for link
+        /// resolution, with the flat fields mirroring its
+        /// [`base`](Topology::base) model (the constructors keep them in
+        /// sync).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        topology: Option<Topology>,
     },
 }
 
@@ -223,13 +560,34 @@ impl ExecutionModel {
     }
 
     /// An asynchronous execution with the given latency model, no jitter and
-    /// no loss.
+    /// no loss, on a global (link-uniform) network.
     pub fn asynchronous(latency: LatencyModel) -> Self {
         ExecutionModel::Async {
             latency,
             jitter: 0,
             loss: 0.0,
+            topology: None,
         }
+    }
+
+    /// An asynchronous execution over an explicit link [`Topology`]. The
+    /// flat latency/jitter/loss fields mirror the topology's
+    /// [`base`](Topology::base) model.
+    pub fn topo(topology: Topology) -> Self {
+        let base = topology.base();
+        ExecutionModel::Async {
+            latency: base.latency,
+            jitter: base.jitter,
+            loss: base.loss,
+            topology: Some(topology),
+        }
+    }
+
+    /// Replaces the network with an explicit link [`Topology`], switching to
+    /// the event engine if necessary — the hook the sweep topology axis
+    /// applies to each cell.
+    pub fn with_topology(self, topology: Topology) -> Self {
+        ExecutionModel::topo(topology)
     }
 
     /// `true` for [`ExecutionModel::Rounds`] — the `skip_serializing_if`
@@ -239,61 +597,100 @@ impl ExecutionModel {
         matches!(self, ExecutionModel::Rounds)
     }
 
-    /// Adds uniform `[0, jitter]`-tick jitter (asynchronous models only).
+    /// Adds uniform `[0, jitter]`-tick jitter (asynchronous global models
+    /// only).
     ///
     /// # Panics
     ///
-    /// Panics on [`ExecutionModel::Rounds`], which has no network model.
+    /// Panics on [`ExecutionModel::Rounds`] (no network model) and on a
+    /// topology-bearing model, where "the" jitter is ambiguous — configure
+    /// the topology's per-link [`NetModel`]s instead.
     pub fn with_jitter(self, jitter: u64) -> Self {
         match self {
             ExecutionModel::Rounds => panic!("Rounds has no jitter to configure"),
+            ExecutionModel::Async {
+                topology: Some(_), ..
+            } => panic!("a link topology carries its own per-link jitter"),
             ExecutionModel::Async { latency, loss, .. } => ExecutionModel::Async {
                 latency,
                 jitter,
                 loss,
+                topology: None,
             },
         }
     }
 
-    /// Sets the per-message drop probability (asynchronous models only).
+    /// Sets the per-message drop probability (asynchronous global models
+    /// only).
     ///
     /// # Panics
     ///
-    /// Panics on [`ExecutionModel::Rounds`], which has no network model.
+    /// Panics on [`ExecutionModel::Rounds`] (no network model) and on a
+    /// topology-bearing model, where "the" loss is ambiguous — configure
+    /// the topology's per-link [`NetModel`]s instead.
     pub fn with_loss(self, loss: f64) -> Self {
         match self {
             ExecutionModel::Rounds => panic!("Rounds has no loss to configure"),
+            ExecutionModel::Async {
+                topology: Some(_), ..
+            } => panic!("a link topology carries its own per-link loss"),
             ExecutionModel::Async {
                 latency, jitter, ..
             } => ExecutionModel::Async {
                 latency,
                 jitter,
                 loss,
+                topology: None,
             },
         }
     }
 
-    /// The network model of an asynchronous execution, `None` for `Rounds`.
+    /// The *base* network model of an asynchronous execution (`None` for
+    /// `Rounds`): the flat model for global executions, the topology's
+    /// [`base`](Topology::base) otherwise.
     pub fn net_model(&self) -> Option<NetModel> {
-        match *self {
+        match self {
             ExecutionModel::Rounds => None,
+            ExecutionModel::Async {
+                topology: Some(t), ..
+            } => Some(t.base()),
             ExecutionModel::Async {
                 latency,
                 jitter,
                 loss,
+                topology: None,
             } => Some(NetModel {
-                latency,
-                jitter,
-                loss,
+                latency: *latency,
+                jitter: *jitter,
+                loss: *loss,
             }),
         }
     }
 
-    /// A compact label for sweep tables: `sync`, or `async(<net label>)`.
+    /// The complete link topology the event engine should run (`None` for
+    /// `Rounds`): the explicit topology when one is set, otherwise the flat
+    /// model wrapped as [`Topology::Global`].
+    pub fn effective_topology(&self) -> Option<Topology> {
+        match self {
+            ExecutionModel::Rounds => None,
+            ExecutionModel::Async {
+                topology: Some(t), ..
+            } => Some(t.clone()),
+            ExecutionModel::Async { .. } => self.net_model().map(Topology::Global),
+        }
+    }
+
+    /// A compact label for sweep tables: `sync`, `async(<net label>)`, or
+    /// `async(<topology label>)`.
     pub fn label(&self) -> String {
-        match self.net_model() {
-            None => "sync".to_string(),
-            Some(net) => format!("async({})", net.label()),
+        match self {
+            ExecutionModel::Rounds => "sync".to_string(),
+            ExecutionModel::Async {
+                topology: Some(t), ..
+            } => format!("async({})", t.label()),
+            ExecutionModel::Async { .. } => {
+                format!("async({})", self.net_model().expect("async model").label())
+            }
         }
     }
 }
@@ -389,6 +786,246 @@ mod tests {
         assert_eq!(net.loss, 0.01);
         assert_eq!(asynch.label(), "async(c500+j100-l0.01)");
         assert_eq!(ExecutionModel::rounds().label(), "sync");
+    }
+
+    #[test]
+    fn loss_zero_never_drops_and_loss_one_always_drops() {
+        let never = NetModel {
+            latency: LatencyModel::uniform(0, 100),
+            jitter: 10,
+            loss: 0.0,
+        };
+        let always = NetModel { loss: 1.0, ..never };
+        for seq in 0..500 {
+            assert!(never.route(11, seq).is_some(), "loss 0.0 must deliver");
+            assert!(always.route(11, seq).is_none(), "loss 1.0 must drop");
+        }
+        // The two consume identical stream positions: delivered delays of the
+        // loss-free model are what the lossy model *would* have delayed by.
+        let half = NetModel { loss: 0.5, ..never };
+        for seq in 0..100 {
+            if let Some(d) = half.route(11, seq) {
+                assert_eq!(Some(d), never.route(11, seq));
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_alpha_one_is_the_heaviest_supported_tail() {
+        // alpha_log2 = 0 is α = 2^0 = 1: the repeated-sqrt chain is empty,
+        // v = u, and the tail is the classic infinite-mean 1/u law — only
+        // the cap keeps draws finite.
+        let m = LatencyModel::pareto(100, 100, 0, 50_000);
+        let mut r = rng(7);
+        let draws: Vec<u64> = (0..4000).map(|_| m.sample(&mut r)).collect();
+        assert!(draws.iter().all(|&d| (100..=50_100).contains(&d)));
+        assert!(
+            draws.contains(&50_100),
+            "α = 1 must actually hit the cap over 4000 draws"
+        );
+        let median = {
+            let mut s = draws.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(median < 400, "median {median} should hug the base");
+        // And α = 1 is strictly heavier than α = 2 at the same scale.
+        let lighter = LatencyModel::pareto(100, 100, 1, 50_000);
+        let mut r2 = rng(7);
+        let capped_lighter = (0..4000)
+            .map(|_| lighter.sample(&mut r2))
+            .filter(|&d| d == 50_100)
+            .count();
+        let capped_heavy = draws.iter().filter(|&&d| d == 50_100).count();
+        assert!(capped_heavy > capped_lighter);
+    }
+
+    #[test]
+    fn jitter_zero_and_positive_share_fates_but_not_delays() {
+        let flat = NetModel {
+            latency: LatencyModel::constant(100),
+            jitter: 0,
+            loss: 0.2,
+        };
+        let jittered = NetModel {
+            jitter: 400,
+            ..flat
+        };
+        let mut spread = false;
+        for seq in 0..200 {
+            let (a, b) = (flat.route(5, seq), jittered.route(5, seq));
+            assert_eq!(a.is_none(), b.is_none(), "fates agree at seq {seq}");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a, 100, "jitter 0 is exactly the base latency");
+                assert!((100..=500).contains(&b));
+                spread |= b != a;
+            }
+        }
+        assert!(spread, "positive jitter must actually move some delays");
+    }
+
+    #[test]
+    fn region_assignment_is_a_pure_total_function_of_the_id() {
+        let halves = RegionAssign::halves(24);
+        assert_eq!(halves.region_of(NodeId(0)), 0);
+        assert_eq!(halves.region_of(NodeId(23)), 0);
+        assert_eq!(halves.region_of(NodeId(24)), 1);
+        assert_eq!(halves.region_of(NodeId(u64::MAX)), 1, "joiners go right");
+
+        let bands = RegionAssign::bands(4, 3);
+        assert_eq!(bands.region_of(NodeId(0)), 0);
+        assert_eq!(bands.region_of(NodeId(3)), 0);
+        assert_eq!(bands.region_of(NodeId(4)), 1);
+        assert_eq!(bands.region_of(NodeId(8)), 2);
+        assert_eq!(bands.region_of(NodeId(12)), 0, "bands stripe round-robin");
+
+        let map = RegionAssign::explicit(7, [(1, 0), (2, 5)]);
+        assert_eq!(map.region_of(NodeId(1)), 0);
+        assert_eq!(map.region_of(NodeId(2)), 5);
+        assert_eq!(map.region_of(NodeId(3)), 7, "unlisted ids take the default");
+
+        // Degenerate parameters degrade to one region, never panic.
+        assert_eq!(RegionAssign::bands(0, 0).region_of(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn topology_resolves_links_by_region_schedule_and_override() {
+        let fast = NetModel::new(LatencyModel::constant(100));
+        let slow = NetModel {
+            latency: LatencyModel::constant(3000),
+            jitter: 0,
+            loss: 0.5,
+        };
+
+        let global = Topology::global(fast);
+        assert_eq!(global.net_for(9, NodeId(0), NodeId(99)), fast);
+        assert!(!global.is_cross(NodeId(0), NodeId(99)));
+        assert_eq!(global.base(), fast);
+
+        let regions = Topology::regions(RegionAssign::halves(8), fast, slow);
+        assert_eq!(regions.net_for(0, NodeId(1), NodeId(2)), fast, "intra");
+        assert_eq!(regions.net_for(0, NodeId(1), NodeId(9)), slow, "bridge");
+        assert_eq!(regions.net_for(0, NodeId(9), NodeId(1)), slow, "both ways");
+        assert!(regions.is_cross(NodeId(1), NodeId(9)));
+        assert_eq!(regions.region_of(NodeId(9)), Some(1));
+        assert_eq!(regions.base(), fast);
+
+        let windowed = Topology::regions_with_schedule(
+            RegionAssign::halves(8),
+            fast,
+            slow,
+            PartitionSchedule::window(3, 7),
+        );
+        assert_eq!(windowed.net_for(2, NodeId(1), NodeId(9)), fast, "pre");
+        assert_eq!(windowed.net_for(3, NodeId(1), NodeId(9)), slow, "during");
+        assert_eq!(windowed.net_for(6, NodeId(1), NodeId(9)), slow);
+        assert_eq!(windowed.net_for(7, NodeId(1), NodeId(9)), fast, "healed");
+        assert!(windowed.bridge_degraded_at(4) && !windowed.bridge_degraded_at(7));
+        // The schedule never touches intra links.
+        assert_eq!(windowed.net_for(4, NodeId(1), NodeId(2)), fast);
+
+        let link = Topology::per_link(
+            fast,
+            vec![LinkOverride {
+                from: NodeId(3),
+                to: NodeId(5),
+                net: slow,
+            }],
+        );
+        assert_eq!(link.net_for(0, NodeId(3), NodeId(5)), slow);
+        assert_eq!(link.net_for(0, NodeId(5), NodeId(3)), fast, "directed");
+        assert_eq!(link.net_for(0, NodeId(0), NodeId(1)), fast);
+    }
+
+    #[test]
+    fn equal_models_make_every_topology_the_global_one() {
+        // The per-message stream is seeded from (seed, seq) alone, so two
+        // topologies resolving every link to equal models give equal fates —
+        // the model-level half of the equivalence bridge.
+        let m = NetModel {
+            latency: LatencyModel::uniform(100, 2500),
+            jitter: 300,
+            loss: 0.1,
+        };
+        let global = Topology::global(m);
+        let regions = Topology::regions(RegionAssign::halves(8), m, m);
+        let link = Topology::per_link(m, Vec::new());
+        for seq in 0..100 {
+            let (from, to) = (NodeId(seq % 16), NodeId((seq * 7) % 16));
+            let expect = global.net_for(0, from, to).route(13, seq);
+            assert_eq!(regions.net_for(0, from, to).route(13, seq), expect);
+            assert_eq!(link.net_for(0, from, to).route(13, seq), expect);
+        }
+    }
+
+    #[test]
+    fn topology_models_round_trip_through_serde() {
+        let fast = NetModel::new(LatencyModel::constant(500));
+        let slow = NetModel {
+            latency: LatencyModel::pareto(200, 800, 1, 8000),
+            jitter: 100,
+            loss: 0.25,
+        };
+        let topologies = [
+            Topology::global(fast),
+            Topology::regions(RegionAssign::halves(24), fast, slow),
+            Topology::regions_with_schedule(
+                RegionAssign::bands(8, 4),
+                fast,
+                slow,
+                PartitionSchedule::window(6, 14),
+            ),
+            Topology::regions(RegionAssign::explicit(0, [(0, 1), (5, 1)]), fast, slow),
+            Topology::per_link(
+                fast,
+                vec![LinkOverride {
+                    from: NodeId(1),
+                    to: NodeId(2),
+                    net: slow,
+                }],
+            ),
+        ];
+        for topo in topologies {
+            let json = serde_json::to_string(&topo).unwrap();
+            let back: Topology = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, topo, "{json}");
+            let model = ExecutionModel::topo(topo.clone());
+            let json = serde_json::to_string(&model).unwrap();
+            assert!(json.contains("topology"), "{json}");
+            let back: ExecutionModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, model, "{json}");
+            assert_eq!(back.effective_topology(), Some(topo.clone()));
+            assert_eq!(back.net_model(), Some(topo.base()));
+        }
+    }
+
+    #[test]
+    fn global_async_specs_never_serialize_the_topology_field() {
+        // The byte-compatibility contract one level down from `Rounds`: an
+        // Async model without a topology serializes exactly as it did before
+        // the field existed, and old JSON deserializes to topology = None.
+        let model = ExecutionModel::asynchronous(LatencyModel::uniform(200, 1800))
+            .with_jitter(100)
+            .with_loss(0.01);
+        let json = serde_json::to_string(&model).unwrap();
+        assert!(!json.contains("topology"), "{json}");
+        let pre_topology =
+            r#"{"Async":{"latency":{"Constant":{"ticks":500}},"jitter":0,"loss":0.0}}"#;
+        let back: ExecutionModel = serde_json::from_str(pre_topology).unwrap();
+        assert_eq!(
+            back,
+            ExecutionModel::asynchronous(LatencyModel::constant(500))
+        );
+        assert_eq!(
+            back.effective_topology(),
+            back.net_model().map(Topology::Global)
+        );
+        assert_eq!(
+            ExecutionModel::topo(Topology::global(NetModel::new(LatencyModel::constant(500))))
+                .label(),
+            "async(c500)",
+            "a Global topology labels like its scalar model"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use tsa_adversary::{DegreeAttackAdversary, RandomChurnAdversary, TargetedSwarmAd
 use tsa_analysis::uniformity;
 use tsa_baselines::{attack_trial, AttackMode, ChordSwarm, HdGraph, SpartanOverlay};
 use tsa_core::{AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams, MaintenanceReport};
-use tsa_event::{ExecutionModel, NetModel};
+use tsa_event::{ExecutionModel, Topology};
 use tsa_overlay::{Lds, OverlayGraph, Position};
 use tsa_routing::{sample_many, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
 use tsa_sim::{Adversary, Lateness, MetricsHistory, NodeId, NullAdversary};
@@ -23,7 +23,7 @@ use crate::spec::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind, Scenario
 /// [`Scenario::baseline`], [`Scenario::routing`], [`Scenario::sampling`]),
 /// chain configuration, then call [`Scenario::run`] for a one-shot
 /// [`ScenarioOutcome`] or [`Scenario::build`] for a live [`ScenarioRun`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     spec: ScenarioSpec,
 }
@@ -127,6 +127,15 @@ impl Scenario {
         self
     }
 
+    /// Runs a maintained scenario on the event engine under an explicit link
+    /// [`Topology`] — regional partitions, scheduled bridges, per-link
+    /// overrides. Shorthand for
+    /// `execution(self.spec.execution.with_topology(topology))`.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.spec.execution = self.spec.execution.with_topology(topology);
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
@@ -208,7 +217,7 @@ impl Scenario {
     /// sampling scenarios are one-shot computations: `rounds` is ignored and
     /// reported as 0.
     pub fn run(self, rounds: u64) -> ScenarioOutcome {
-        match (self.spec.kind, self.spec.execution.net_model()) {
+        match (self.spec.kind, self.spec.execution.effective_topology()) {
             (ScenarioKind::MaintainedLds, None) => {
                 let mut run = self.build();
                 if run.spec.bootstrap {
@@ -217,8 +226,8 @@ impl Scenario {
                 run.run(rounds);
                 run.into_outcome()
             }
-            (ScenarioKind::MaintainedLds, Some(net)) => {
-                run_async_maintained(self.spec, net, rounds)
+            (ScenarioKind::MaintainedLds, Some(topology)) => {
+                run_async_maintained(self.spec, topology, rounds)
             }
             (ScenarioKind::Baseline(kind), _) => run_baseline(self.spec, kind),
             (ScenarioKind::Routing, _) => run_routing(self.spec),
@@ -247,13 +256,14 @@ fn build_adversary(spec: AdversarySpec) -> Box<dyn Adversary> {
 /// has exactly the shape of a round-engine run (the spec's `execution` field
 /// is what records the difference), so a zero-delay network model reproduces
 /// the round engine's outcome byte for byte.
-fn run_async_maintained(spec: ScenarioSpec, net: NetModel, rounds: u64) -> ScenarioOutcome {
+fn run_async_maintained(spec: ScenarioSpec, topology: Topology, rounds: u64) -> ScenarioOutcome {
     let params = spec.maintenance_params();
     let rules = spec.churn.rules_for(&params);
     let lateness = spec.lateness.unwrap_or_else(|| params.paper_lateness());
     let adversary = build_adversary(spec.adversary);
-    let mut harness =
-        AsyncMaintenanceHarness::assemble(params, adversary, spec.seed, rules, lateness, net);
+    let mut harness = AsyncMaintenanceHarness::assemble_with_topology(
+        params, adversary, spec.seed, rules, lateness, topology,
+    );
     if spec.bootstrap {
         harness.run_bootstrap();
     }
@@ -650,7 +660,7 @@ mod tests {
             .with_n(96)
             .churn(ChurnSpec::budget(24))
             .seed(8);
-        let a = base.adversary(AdversarySpec::random(1, 1)).run(0);
+        let a = base.clone().adversary(AdversarySpec::random(1, 1)).run(0);
         let b = base.adversary(AdversarySpec::random(1, 2)).run(0);
         let (ab, bb) = (a.baseline.unwrap(), b.baseline.unwrap());
         // Same master seed → identical structure (eclipse budget is a pure
@@ -680,7 +690,7 @@ mod tests {
             3,
             (0..128u64).map(NodeId),
         );
-        let spec = *Scenario::routing(128).seed(3).spec();
+        let spec = Scenario::routing(128).seed(3).spec().clone();
         let config =
             RoutingConfig::default().with_seed(spec.workload_seed_or_default() ^ 0x524F_5554);
         let direct = RoutingSim::new(&series, config).route_all(
@@ -788,7 +798,7 @@ mod tests {
             "2.5-round delays with loss cannot be trace-identical to sync"
         );
         // The outcome replays from its own spec.
-        let replay = Scenario::from_spec(outcome.spec).run(outcome.rounds);
+        let replay = Scenario::from_spec(outcome.spec.clone()).run(outcome.rounds);
         assert_eq!(
             serde_json::to_string(&replay).unwrap(),
             serde_json::to_string(&outcome).unwrap(),

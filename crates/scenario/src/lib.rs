@@ -57,4 +57,7 @@ pub use outcome::{
 pub use spec::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind, ScenarioSpec};
 // The execution-model vocabulary every spec embeds, re-exported so scenario
 // consumers need no direct tsa-event dependency.
-pub use tsa_event::{ExecutionModel, LatencyModel, NetModel};
+pub use tsa_event::{
+    ExecutionModel, LatencyModel, LinkOverride, NetModel, PartitionSchedule, RegionAssign,
+    RegionEntry, Topology,
+};

@@ -150,7 +150,7 @@ impl ScenarioOutcome {
     pub fn to_compact(&self) -> Self {
         ScenarioOutcome {
             label: self.label.clone(),
-            spec: self.spec,
+            spec: self.spec.clone(),
             rounds: self.rounds,
             maintenance: self.maintenance.as_ref().map(|m| MaintenanceOutcome {
                 report: m.report.clone(),

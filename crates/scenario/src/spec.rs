@@ -254,7 +254,11 @@ impl AdversarySpec {
 }
 
 /// The complete declarative description of one scenario.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Clone` but deliberately not `Copy`: the execution model may carry a link
+/// topology with explicit region maps or per-link overrides, which are
+/// heap-backed. Every other field is plain data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// What kind of experiment runs.
     pub kind: ScenarioKind,
@@ -486,7 +490,7 @@ mod tests {
         let spec = ScenarioSpec::new(ScenarioKind::MaintainedLds, 96);
         let mut replicate = spec;
         replicate.c = Some(1.5);
-        let a = replicate.with_seed(1).axis_label();
+        let a = replicate.clone().with_seed(1).axis_label();
         let b = replicate.with_seed(2).axis_label();
         assert_eq!(a, b, "seed replicates share the axis label");
         assert!(a.contains("maintained n=96"), "{a}");

@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn zero_delay_async_reproduces_rounds_byte_identically((spec, seed) in spec_strategy()) {
         let rounds = 6;
-        let sync = Scenario::from_spec(spec.with_seed(seed)).run(rounds);
+        let sync = Scenario::from_spec(spec.clone().with_seed(seed)).run(rounds);
 
         let mut async_spec = spec.with_seed(seed);
         async_spec.execution = zero_delay_async();
@@ -128,7 +128,7 @@ fn any_sub_round_latency_is_also_the_round_model() {
                 .seed(3)
         };
         let sync = base().run(8);
-        let asynch = base().execution(model).run(8);
+        let asynch = base().execution(model.clone()).run(8);
         let mut normalized = asynch;
         normalized.spec.execution = ExecutionModel::Rounds;
         assert_eq!(

@@ -128,7 +128,7 @@ impl SweepRunner {
         rayon::for_each_index(pending.len(), threads, |slot| {
             let cell = &cells[pending[slot]];
             let outcome = rayon::with_thread_cap(inner_cap, || {
-                Scenario::from_spec(cell.spec).run(cell.rounds)
+                Scenario::from_spec(cell.spec.clone()).run(cell.rounds)
             });
             let record = CellRecord {
                 cell: cell.index,

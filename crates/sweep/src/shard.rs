@@ -36,7 +36,7 @@ impl CellRecord {
     /// is meaningless there); maintained cells compare it strictly, because
     /// it changes the result.
     pub fn matches(&self, cell: &SweepCell) -> bool {
-        let mut spec = self.outcome.spec;
+        let mut spec = self.outcome.spec.clone();
         if !matches!(cell.spec.kind, tsa_scenario::ScenarioKind::MaintainedLds) {
             spec.bootstrap = cell.spec.bootstrap;
         }
@@ -144,12 +144,12 @@ mod tests {
         let spec = ScenarioSpec::new(ScenarioKind::Sampling, 32).with_seed(9 + index as u64);
         let mut spec = spec;
         spec.attempts = 500;
+        let outcome = Scenario::from_spec(spec.clone()).run(0);
         let cell = SweepCell {
             index,
             spec,
             rounds: 0,
         };
-        let outcome = Scenario::from_spec(spec).run(0);
         (
             cell,
             CellRecord {
@@ -212,7 +212,7 @@ mod tests {
         let base = ScenarioSpec::new(ScenarioKind::Routing, 32);
         let sweep = SweepSpec::new("b", base);
         let cells = sweep.enumerate();
-        let outcome = Scenario::from_spec(cells[0].spec).run(cells[0].rounds);
+        let outcome = Scenario::from_spec(cells[0].spec.clone()).run(cells[0].rounds);
         let record = CellRecord {
             cell: 0,
             rounds: cells[0].rounds,

@@ -11,7 +11,9 @@
 //! standalone run at the same seed.
 
 use serde::{Deserialize, Serialize};
-use tsa_scenario::{AdversarySpec, ChurnSpec, ExecutionModel, ScenarioKind, ScenarioSpec};
+use tsa_scenario::{
+    AdversarySpec, ChurnSpec, ExecutionModel, ScenarioKind, ScenarioSpec, Topology,
+};
 use tsa_sim::Lateness;
 
 /// A contiguous range of master seeds: the replicates of every grid cell.
@@ -68,7 +70,7 @@ impl RoundsSpec {
 }
 
 /// One concrete cell of an enumerated sweep.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SweepCell {
     /// Position in the enumeration order (stable across runs; the shard
     /// checkpoint key).
@@ -85,8 +87,9 @@ pub struct SweepCell {
 /// Every `Vec` field is an axis: empty means "keep the base spec's value",
 /// non-empty means "take the cartesian product over these values". The
 /// enumeration order is fixed and documented (kind, n, c, δ, τ, r, churn,
-/// adversary, lateness, execution model, k, holder failure, attempts, then
-/// seed innermost), so cell indices are stable for shard checkpoints.
+/// adversary, lateness, execution model, topology, k, holder failure,
+/// attempts, then seed innermost), so cell indices are stable for shard
+/// checkpoints.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SweepSpec {
     /// Name of the sweep (shard file stem, table title).
@@ -126,6 +129,17 @@ pub struct SweepSpec {
     /// aggregate group (their axis labels omit `exec=`).
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub execution: Vec<ExecutionModel>,
+    /// Axis over the link topology (regional partitions, scheduled bridges,
+    /// per-link overrides). Each value is applied *on top of* the cell's
+    /// execution model via
+    /// [`ExecutionModel::with_topology`] — a synchronous base
+    /// switches to the event engine under that topology. Absent in
+    /// pre-topology sweep specs, so it defaults to empty ("keep the cell's
+    /// network as is") and is skipped when empty, keeping old spec JSON
+    /// byte-identical. Meaningful for maintained cells only, exactly like
+    /// the execution axis.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub topology: Vec<Topology>,
     /// Axis over messages per node in routing workloads.
     pub messages_per_node: Vec<usize>,
     /// Axis over the per-step holder failure probability.
@@ -158,6 +172,7 @@ impl SweepSpec {
             adversary: Vec::new(),
             lateness: Vec::new(),
             execution: Vec::new(),
+            topology: Vec::new(),
             messages_per_node: Vec::new(),
             holder_failure: Vec::new(),
             attempts: Vec::new(),
@@ -227,6 +242,15 @@ impl SweepSpec {
         self
     }
 
+    /// Sweeps the link topology (regional partitions with slow/lossy/
+    /// scheduled bridges, per-link overrides), applied on top of each cell's
+    /// execution model. Meaningful for maintained scenarios only (see the
+    /// field docs).
+    pub fn over_topology(mut self, topologies: impl IntoIterator<Item = Topology>) -> Self {
+        self.topology = topologies.into_iter().collect();
+        self
+    }
+
     /// Sweeps messages per node (routing workloads).
     pub fn over_messages_per_node(mut self, ks: impl IntoIterator<Item = usize>) -> Self {
         self.messages_per_node = ks.into_iter().collect();
@@ -258,6 +282,7 @@ impl SweepSpec {
             * axis(self.adversary.len())
             * axis(self.lateness.len())
             * axis(self.execution.len())
+            * axis(self.topology.len())
             * axis(self.messages_per_node.len())
             * axis(self.holder_failure.len())
             * axis(self.attempts.len())
@@ -267,79 +292,106 @@ impl SweepSpec {
     /// Expands the cartesian grid × seed range into concrete cells, in the
     /// fixed enumeration order (seed varies fastest).
     pub fn enumerate(&self) -> Vec<SweepCell> {
-        // Each axis contributes either its values or the single "keep the
-        // base" marker (None).
-        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+        // Each axis contributes either its values (by reference — axis
+        // values such as topologies need not be `Copy`) or the single "keep
+        // the base" marker (None).
+        fn axis<T>(values: &[T]) -> Vec<Option<&T>> {
             if values.is_empty() {
                 vec![None]
             } else {
-                values.iter().copied().map(Some).collect()
+                values.iter().map(Some).collect()
             }
         }
 
+        let kinds = axis(&self.kind);
+        let ns = axis(&self.n);
+        let cs = axis(&self.c);
+        let deltas = axis(&self.delta);
+        let taus = axis(&self.tau);
+        let replications = axis(&self.replication);
+        let churns = axis(&self.churn);
+        let adversaries = axis(&self.adversary);
+        let latenesses = axis(&self.lateness);
+        let executions = axis(&self.execution);
+        let topologies = axis(&self.topology);
+        let ks = axis(&self.messages_per_node);
+        let fails = axis(&self.holder_failure);
+        let attempts_axis = axis(&self.attempts);
+
         let mut cells = Vec::with_capacity(self.cell_count());
-        for &kind in &axis(&self.kind) {
-            for &n in &axis(&self.n) {
-                for &c in &axis(&self.c) {
-                    for &delta in &axis(&self.delta) {
-                        for &tau in &axis(&self.tau) {
-                            for &replication in &axis(&self.replication) {
-                                for &churn in &axis(&self.churn) {
-                                    for &adversary in &axis(&self.adversary) {
-                                        for &lateness in &axis(&self.lateness) {
-                                            for &execution in &axis(&self.execution) {
-                                                for &k in &axis(&self.messages_per_node) {
-                                                    for &fail in &axis(&self.holder_failure) {
-                                                        for &attempts in &axis(&self.attempts) {
-                                                            for seed in self.seeds.seeds() {
-                                                                let mut spec =
-                                                                    self.base.with_seed(seed);
-                                                                if let Some(kind) = kind {
-                                                                    spec.kind = kind;
+        for &kind in &kinds {
+            for &n in &ns {
+                for &c in &cs {
+                    for &delta in &deltas {
+                        for &tau in &taus {
+                            for &replication in &replications {
+                                for &churn in &churns {
+                                    for &adversary in &adversaries {
+                                        for &lateness in &latenesses {
+                                            for &execution in &executions {
+                                                for &topology in &topologies {
+                                                    for &k in &ks {
+                                                        for &fail in &fails {
+                                                            for &attempts in &attempts_axis {
+                                                                for seed in self.seeds.seeds() {
+                                                                    let mut spec = self
+                                                                        .base
+                                                                        .clone()
+                                                                        .with_seed(seed);
+                                                                    if let Some(kind) = kind {
+                                                                        spec.kind = *kind;
+                                                                    }
+                                                                    if let Some(n) = n {
+                                                                        spec.n = *n;
+                                                                    }
+                                                                    if let Some(c) = c {
+                                                                        spec.c = Some(*c);
+                                                                    }
+                                                                    if let Some(delta) = delta {
+                                                                        spec.delta = Some(*delta);
+                                                                    }
+                                                                    if let Some(tau) = tau {
+                                                                        spec.tau = Some(*tau);
+                                                                    }
+                                                                    if let Some(r) = replication {
+                                                                        spec.replication = Some(*r);
+                                                                    }
+                                                                    if let Some(churn) = churn {
+                                                                        spec.churn = *churn;
+                                                                    }
+                                                                    if let Some(adv) = adversary {
+                                                                        spec.adversary = *adv;
+                                                                    }
+                                                                    if let Some(l) = lateness {
+                                                                        spec.lateness = Some(*l);
+                                                                    }
+                                                                    if let Some(x) = execution {
+                                                                        spec.execution = x.clone();
+                                                                    }
+                                                                    if let Some(t) = topology {
+                                                                        spec.execution = spec
+                                                                            .execution
+                                                                            .with_topology(
+                                                                                t.clone(),
+                                                                            );
+                                                                    }
+                                                                    if let Some(k) = k {
+                                                                        spec.messages_per_node = *k;
+                                                                    }
+                                                                    if let Some(p) = fail {
+                                                                        spec.holder_failure = *p;
+                                                                    }
+                                                                    if let Some(a) = attempts {
+                                                                        spec.attempts = *a;
+                                                                    }
+                                                                    let rounds =
+                                                                        self.rounds.resolve(&spec);
+                                                                    cells.push(SweepCell {
+                                                                        index: cells.len(),
+                                                                        spec,
+                                                                        rounds,
+                                                                    });
                                                                 }
-                                                                if let Some(n) = n {
-                                                                    spec.n = n;
-                                                                }
-                                                                if let Some(c) = c {
-                                                                    spec.c = Some(c);
-                                                                }
-                                                                if let Some(delta) = delta {
-                                                                    spec.delta = Some(delta);
-                                                                }
-                                                                if let Some(tau) = tau {
-                                                                    spec.tau = Some(tau);
-                                                                }
-                                                                if let Some(r) = replication {
-                                                                    spec.replication = Some(r);
-                                                                }
-                                                                if let Some(churn) = churn {
-                                                                    spec.churn = churn;
-                                                                }
-                                                                if let Some(adv) = adversary {
-                                                                    spec.adversary = adv;
-                                                                }
-                                                                if let Some(l) = lateness {
-                                                                    spec.lateness = Some(l);
-                                                                }
-                                                                if let Some(x) = execution {
-                                                                    spec.execution = x;
-                                                                }
-                                                                if let Some(k) = k {
-                                                                    spec.messages_per_node = k;
-                                                                }
-                                                                if let Some(p) = fail {
-                                                                    spec.holder_failure = p;
-                                                                }
-                                                                if let Some(a) = attempts {
-                                                                    spec.attempts = a;
-                                                                }
-                                                                let rounds =
-                                                                    self.rounds.resolve(&spec);
-                                                                cells.push(SweepCell {
-                                                                    index: cells.len(),
-                                                                    spec,
-                                                                    rounds,
-                                                                });
                                                             }
                                                         }
                                                     }
@@ -473,8 +525,8 @@ mod tests {
             ExecutionModel::asynchronous(LatencyModel::constant(500)),
             ExecutionModel::asynchronous(LatencyModel::uniform(500, 2500)),
         ];
-        let sweep = SweepSpec::new("async", base)
-            .over_execution(regimes)
+        let sweep = SweepSpec::new("async", base.clone())
+            .over_execution(regimes.clone())
             .seeds(1, 2);
         let cells = sweep.enumerate();
         assert_eq!(cells.len(), 6);
@@ -486,6 +538,58 @@ mod tests {
         // pre-ExecutionModel sweep spec did.
         let plain = SweepSpec::new("plain", base);
         assert!(!serde_json::to_string(&plain).unwrap().contains("execution"));
+        let json = serde_json::to_string(&sweep).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sweep);
+        assert_eq!(back.enumerate(), sweep.enumerate());
+    }
+
+    #[test]
+    fn topology_axis_applies_on_top_of_the_execution_model() {
+        use tsa_scenario::{LatencyModel, NetModel, RegionAssign, Topology};
+        let net = |t: u64| NetModel::new(LatencyModel::constant(t));
+        let base = ScenarioSpec::new(ScenarioKind::MaintainedLds, 48);
+        let topologies = [
+            Topology::global(net(100)),
+            Topology::regions(RegionAssign::halves(24), net(100), net(2500)),
+        ];
+        // Applied to a synchronous base, the axis switches each cell to the
+        // event engine under its topology.
+        let sweep = SweepSpec::new("topo", base.clone())
+            .over_topology(topologies.clone())
+            .seeds(1, 2);
+        let cells = sweep.enumerate();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(sweep.cell_count(), 4);
+        assert_eq!(
+            cells[0].spec.execution,
+            ExecutionModel::topo(topologies[0].clone())
+        );
+        assert_eq!(
+            cells[2].spec.execution,
+            ExecutionModel::topo(topologies[1].clone())
+        );
+        // Crossed with an execution axis, the topology wins the network
+        // (enumeration order: execution outside, topology inside).
+        let crossed = SweepSpec::new("x", base.clone())
+            .over_execution([
+                ExecutionModel::rounds(),
+                ExecutionModel::asynchronous(LatencyModel::constant(700)),
+            ])
+            .over_topology(topologies.clone());
+        let cells = crossed.enumerate();
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            assert!(!cell.spec.execution.is_rounds());
+        }
+        assert_eq!(
+            cells[1].spec.execution.effective_topology(),
+            Some(topologies[1].clone())
+        );
+        // An empty axis keeps the base's network and serializes exactly as
+        // a pre-topology sweep spec did.
+        let plain = SweepSpec::new("plain", base);
+        assert!(!serde_json::to_string(&plain).unwrap().contains("topology"));
         let json = serde_json::to_string(&sweep).unwrap();
         let back: SweepSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sweep);

@@ -68,7 +68,7 @@ proptest! {
         // Every cell equals the standalone run at the same seed, byte for
         // byte.
         for (cell, record) in sweep.enumerate().iter().zip(&parallel.records) {
-            let standalone = Scenario::from_spec(cell.spec).run(cell.rounds);
+            let standalone = Scenario::from_spec(cell.spec.clone()).run(cell.rounds);
             prop_assert_eq!(
                 serde_json::to_string(&record.outcome).unwrap(),
                 serde_json::to_string(&standalone).unwrap()
@@ -95,7 +95,7 @@ fn maintained_runs_are_byte_identical_across_compute_thread_budgets() {
     base.adversary = tsa_scenario::AdversarySpec::random(1, 5);
     let run_with_cap = |cap: usize| {
         rayon::with_thread_cap(cap, || {
-            serde_json::to_string(&Scenario::from_spec(base.with_seed(31)).run(8)).unwrap()
+            serde_json::to_string(&Scenario::from_spec(base.clone().with_seed(31)).run(8)).unwrap()
         })
     };
     let single = run_with_cap(1);
@@ -125,7 +125,7 @@ fn maintained_cells_match_standalone_runs_byte_for_byte() {
     let run = SweepRunner::new(sweep.clone()).threads(2).run();
     assert_eq!(run.records.len(), 2);
     for (cell, record) in sweep.enumerate().iter().zip(&run.records) {
-        let standalone = Scenario::from_spec(cell.spec).run(cell.rounds);
+        let standalone = Scenario::from_spec(cell.spec.clone()).run(cell.rounds);
         assert_eq!(
             serde_json::to_string(&record.outcome).unwrap(),
             serde_json::to_string(&standalone).unwrap(),

@@ -51,7 +51,7 @@ fn main() {
 
     run(
         "oblivious random churn",
-        base.adversary(AdversarySpec::random(per_round, 1)),
+        base.clone().adversary(AdversarySpec::random(per_round, 1)),
     );
     run(
         "2-late targeted-swarm churn",

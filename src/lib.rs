@@ -46,7 +46,9 @@ pub mod prelude {
     pub use tsa_core::{
         AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams, MaintenanceReport,
     };
-    pub use tsa_event::{ExecutionModel, LatencyModel, NetModel};
+    pub use tsa_event::{
+        ExecutionModel, LatencyModel, NetModel, PartitionSchedule, RegionAssign, Topology,
+    };
     pub use tsa_overlay::{Lds, OverlayParams, Position};
     pub use tsa_routing::{RoutableSeries, RoutingConfig, RoutingSim};
     pub use tsa_scenario::{

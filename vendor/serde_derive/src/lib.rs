@@ -14,8 +14,8 @@
 //! * the field attributes `#[serde(default)]` (a missing key deserializes to
 //!   `Default::default()`) and `#[serde(skip_serializing_if = "path")]`
 //!   (the field is omitted when `path(&field)` is true) on named-struct
-//!   fields — the pair that lets a type grow a field without changing the
-//!   serialized form of old values.
+//!   fields *and* on the named fields of enum variants — the pair that lets
+//!   a type grow a field without changing the serialized form of old values.
 //!
 //! Generic types and any other serde attributes are not supported and fail
 //! loudly.
@@ -261,17 +261,7 @@ fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
         let kind = match tokens.get(pos) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 pos += 1;
-                let fields = parse_named_fields(g);
-                // The codegen for enum variants ignores field attributes;
-                // honour the fail-loudly contract instead of dropping them.
-                if let Some(f) = fields.iter().find(|f| f.default || f.skip_if.is_some()) {
-                    panic!(
-                        "serde field attributes are only supported on named structs, \
-                         not enum variant fields (variant `{name}`, field `{}`)",
-                        f.name
-                    );
-                }
-                VariantKind::Named(fields)
+                VariantKind::Named(parse_named_fields(g))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 pos += 1;
@@ -414,17 +404,33 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     VariantKind::Named(fields) => {
                         let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let binders = names.join(", ");
-                        let pushes: Vec<String> = names
-                            .iter()
-                            .map(|f| {
-                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
-                            })
-                            .collect();
+                        // The binders of a `match &self` arm are references,
+                        // so a `skip_serializing_if` path receives the same
+                        // `&field` shape as in the named-struct codegen. The
+                        // collector is double-underscored so it can never
+                        // shadow a variant field binder.
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            let push = format!(
+                                "__entries.push((\"{fname}\".to_string(), \
+                                 ::serde::Serialize::to_value({fname})));\n"
+                            );
+                            match &f.skip_if {
+                                Some(path) => {
+                                    pushes.push_str(&format!("if !{path}({fname}) {{ {push} }}\n"))
+                                }
+                                None => pushes.push_str(&push),
+                            }
+                        }
                         arms.push_str(&format!(
-                            "{name}::{vn} {{ {binders} }} => ::serde::value::Value::Object(vec![(\
-                                 \"{vn}\".to_string(), \
-                                 ::serde::value::Value::Object(vec![{}]))]),\n",
-                            pushes.join(", ")
+                            "{name}::{vn} {{ {binders} }} => {{\n\
+                                 let mut __entries: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::value::Value::Object(vec![(\
+                                     \"{vn}\".to_string(), \
+                                     ::serde::value::Value::Object(__entries))])\n\
+                             }}\n"
                         ));
                     }
                 }
@@ -442,6 +448,29 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde shim generated invalid Serialize impl")
 }
 
+/// Codegen for reading one named field out of `source` (an expression of
+/// type `&Value`), honouring `#[serde(default)]`: a missing key either
+/// falls back to `Default::default()` or raises a "missing field in
+/// `context`" error. Shared by the named-struct and named-variant
+/// Deserialize paths so the two can never drift apart.
+fn field_read_codegen(source: &str, f: &Field, context: &str) -> String {
+    let fname = &f.name;
+    if f.default {
+        format!(
+            "{fname}: match {source}.get(\"{fname}\") {{\n\
+                 Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 None => ::core::default::Default::default(),\n\
+             }}"
+        )
+    } else {
+        format!(
+            "{fname}: ::serde::Deserialize::from_value({source}.get(\"{fname}\")\
+                 .ok_or_else(|| ::serde::Error::custom(\
+                     \"missing field `{fname}` in {context}\"))?)?"
+        )
+    }
+}
+
 /// Derives the value-tree `Deserialize` trait.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
@@ -450,21 +479,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::NamedStruct { name, fields } => {
             let mut reads = String::new();
             for f in fields {
-                let fname = &f.name;
-                if f.default {
-                    reads.push_str(&format!(
-                        "{fname}: match value.get(\"{fname}\") {{\n\
-                             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
-                             None => ::core::default::Default::default(),\n\
-                         }},\n"
-                    ));
-                } else {
-                    reads.push_str(&format!(
-                        "{fname}: ::serde::Deserialize::from_value(value.get(\"{fname}\")\
-                             .ok_or_else(|| ::serde::Error::custom(\
-                                 \"missing field `{fname}` in {name}\"))?)?,\n"
-                    ));
-                }
+                reads.push_str(&field_read_codegen("value", f, name));
+                reads.push_str(",\n");
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -531,16 +547,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     VariantKind::Named(fields) => {
+                        let context = format!("{name}::{vn}");
                         let reads: Vec<String> = fields
                             .iter()
-                            .map(|f| {
-                                let f = &f.name;
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_value(payload.get(\"{f}\")\
-                                         .ok_or_else(|| ::serde::Error::custom(\
-                                             \"missing field `{f}` in {name}::{vn}\"))?)?"
-                                )
-                            })
+                            .map(|f| field_read_codegen("payload", f, &context))
                             .collect();
                         data_arms.push_str(&format!(
                             "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),\n",
