@@ -1,10 +1,12 @@
 //! Minimal flag parsing shared by every `exp_*` binary.
 //!
-//! All experiment binaries accept the same three flags plus `--help`:
+//! All experiment binaries accept the same four flags plus `--help`:
 //!
 //! * `--full` — keep full-fidelity results (per-round metrics histories and
 //!   the raw per-cell records) in `BENCH_<exp>.json` instead of the compact
 //!   aggregate;
+//! * `--list` — print every enumerated sweep cell (index, axis label, seed,
+//!   rounds) and exit without running anything;
 //! * `--out <dir>` — directory for `BENCH_<exp>.json` and the sweep shard
 //!   files (default: `BENCH_<exp>.json` in the current directory, shards
 //!   under `target/sweeps/`);
@@ -18,6 +20,8 @@ use std::path::PathBuf;
 pub struct ExpArgs {
     /// Keep full-fidelity results in the BENCH artifact.
     pub full: bool,
+    /// Print the enumerated sweep cells and exit without running anything.
+    pub list: bool,
     /// Output directory override for the BENCH artifact and shards.
     pub out: Option<PathBuf>,
     /// Worker-thread override for sweep execution.
@@ -35,6 +39,7 @@ impl ExpArgs {
             match arg.as_str() {
                 "--help" | "-h" => return Ok(None),
                 "--full" => parsed.full = true,
+                "--list" => parsed.list = true,
                 "--out" => {
                     let dir = args.next().ok_or("--out requires a directory argument")?;
                     parsed.out = Some(PathBuf::from(dir));
@@ -77,11 +82,13 @@ pub fn usage(exp: &str, about: &str) -> String {
     format!(
         "{exp} — {about}\n\
          \n\
-         USAGE: {exp} [--full] [--out <dir>] [--threads <k>]\n\
+         USAGE: {exp} [--full] [--list] [--out <dir>] [--threads <k>]\n\
          \n\
          OPTIONS:\n\
          \x20 --full         keep full-fidelity records (raw per-round metrics)\n\
          \x20                in BENCH_{exp}.json instead of the compact aggregate\n\
+         \x20 --list         print the enumerated sweep cells and exit without\n\
+         \x20                running anything\n\
          \x20 --out <dir>    write BENCH_{exp}.json and sweep shards under <dir>\n\
          \x20 --threads <k>  worker threads for sweep cells (default: TSA_THREADS\n\
          \x20                or the machine's available parallelism)\n\
@@ -99,10 +106,18 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let args = ExpArgs::parse_from(strings(&["--full", "--out", "results", "--threads", "4"]))
-            .unwrap()
-            .unwrap();
+        let args = ExpArgs::parse_from(strings(&[
+            "--full",
+            "--list",
+            "--out",
+            "results",
+            "--threads",
+            "4",
+        ]))
+        .unwrap()
+        .unwrap();
         assert!(args.full);
+        assert!(args.list);
         assert_eq!(args.out, Some(PathBuf::from("results")));
         assert_eq!(args.threads, Some(4));
         assert_eq!(
@@ -132,7 +147,7 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let text = usage("exp_x", "test experiment");
-        for flag in ["--full", "--out", "--threads", "--help"] {
+        for flag in ["--full", "--list", "--out", "--threads", "--help"] {
             assert!(text.contains(flag), "usage must document {flag}");
         }
     }

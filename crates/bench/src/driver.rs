@@ -42,9 +42,46 @@ pub fn shard_path(exp: &str, sweep: &str, args: &ExpArgs) -> PathBuf {
     dir.join(format!("{exp}.{sweep}.jsonl"))
 }
 
+/// Renders the sweeps' enumerated cells — one line per cell with its stable
+/// index, axis label, seed and measured rounds — without running anything.
+/// This is what `--list` prints: the exact grid (and enumeration order, which
+/// is the shard checkpoint key) a run would execute.
+pub fn list_cells(exp: &str, sweeps: &[SweepSpec]) -> String {
+    let mut out = String::new();
+    let total: usize = sweeps.iter().map(|s| s.enumerate().len()).sum();
+    out.push_str(&format!(
+        "{exp}: {} sweep(s), {total} cell(s)\n",
+        sweeps.len()
+    ));
+    for sweep in sweeps {
+        let cells = sweep.enumerate();
+        out.push_str(&format!(
+            "\n{}.{} — {} cell(s)\n",
+            exp,
+            sweep.name,
+            cells.len()
+        ));
+        for cell in cells {
+            out.push_str(&format!(
+                "  [{:>3}] {} seed={} rounds={}\n",
+                cell.index,
+                cell.spec.axis_label(),
+                cell.spec.seed,
+                cell.rounds,
+            ));
+        }
+    }
+    out
+}
+
 /// Runs each sweep (resuming from existing shards), prints its aggregate
-/// table, and returns the runs in order.
+/// table, and returns the runs in order. Under `--list` the cells are
+/// printed instead and the process exits without executing any.
 pub fn run_sweeps(exp: &str, args: &ExpArgs, sweeps: Vec<SweepSpec>) -> Vec<SweepRun> {
+    if args.list {
+        print!("{}", list_cells(exp, &sweeps));
+        std::process::exit(0);
+    }
     sweeps
         .into_iter()
         .map(|sweep| {
@@ -141,6 +178,29 @@ mod tests {
             shard_path("exp_x", "grid", &out),
             PathBuf::from("results/exp_x.grid.jsonl")
         );
+    }
+
+    #[test]
+    fn listing_names_every_cell_without_running_any() {
+        let mut base = ScenarioSpec::new(ScenarioKind::MaintainedLds, 32);
+        base.c = Some(1.5);
+        let sweep = SweepSpec::new("grid", base)
+            .over_n([32usize, 64])
+            .rounds(tsa_sweep::RoundsSpec::Fixed(3))
+            .seeds(7, 2);
+        let cells = sweep.enumerate();
+        let text = list_cells("exp_x", std::slice::from_ref(&sweep));
+        assert!(text.starts_with(&format!("exp_x: 1 sweep(s), {} cell(s)", cells.len())));
+        assert!(text.contains("exp_x.grid"));
+        for cell in &cells {
+            assert!(
+                text.contains(&format!("[{:>3}] {}", cell.index, cell.spec.axis_label())),
+                "cell {} missing from listing:\n{text}",
+                cell.index
+            );
+            assert!(text.contains(&format!("seed={}", cell.spec.seed)));
+        }
+        assert_eq!(text.lines().count(), cells.len() + 3);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | `exp_async`        | Survival and congestion under bounded-delay asynchrony (latency/jitter/loss regimes vs the synchronous baseline) |
 //! | `exp_partition`    | Regional partitions: bridge latency × loss survival grid, scheduled healing, the reconnection probe |
 //! | `exp_perf`         | Round-loop throughput trajectory (rounds/s, msgs/s, peak RSS) |
+//! | `exp_net`          | The overlay over loopback TCP: wall-clock throughput, bytes on the wire, and the deterministic-twin replay check |
 
 #![warn(missing_docs)]
 
@@ -29,7 +30,7 @@ pub mod cli;
 pub mod driver;
 
 pub use cli::{usage, ExpArgs};
-pub use driver::{bench_doc, finish, run_sweeps, shard_path, BenchDoc};
+pub use driver::{bench_doc, finish, list_cells, run_sweeps, shard_path, BenchDoc};
 
 use serde::Serialize;
 use tsa_core::MaintenanceParams;

@@ -12,7 +12,9 @@
 
 use std::collections::HashMap;
 
-use tsa_event::{EventConfig, EventSimulator, NetModel, NetStats, Topology};
+use tsa_event::{
+    EventConfig, EventSimulator, LatencyModel, MessageTrace, NetModel, NetStats, Topology,
+};
 use tsa_sim::{Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, Round};
 
 use crate::harness::{build_report, harness_factory, harness_sim_config};
@@ -69,6 +71,34 @@ impl<A: Adversary> AsyncMaintenanceHarness<A> {
         let mut sim = EventSimulator::new(config, adversary, harness_factory(params));
         sim.seed_nodes(params.overlay.n);
         AsyncMaintenanceHarness { sim, params }
+    }
+
+    /// Assembles the deterministic twin of a recorded transport run: the
+    /// same genesis as [`assemble`](AsyncMaintenanceHarness::assemble), but
+    /// every message's fate — lost, or delivered at which round boundary —
+    /// comes verbatim from `trace` instead of a sampled network model. Used
+    /// to replay a `tsa-net` loopback run inside the event engine and prove
+    /// the two executions coincide.
+    pub fn assemble_replay(
+        params: MaintenanceParams,
+        adversary: A,
+        seed: u64,
+        churn_rules: ChurnRules,
+        lateness: Lateness,
+        trace: MessageTrace,
+    ) -> Self {
+        // The model itself is never consulted under replay; zero latency is
+        // just the canonical placeholder.
+        let mut harness = Self::assemble(
+            params,
+            adversary,
+            seed,
+            churn_rules,
+            lateness,
+            NetModel::new(LatencyModel::constant(0)),
+        );
+        harness.sim.set_replay(trace);
+        harness
     }
 
     /// The protocol parameters.

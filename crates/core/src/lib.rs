@@ -39,6 +39,7 @@
 pub mod event_harness;
 pub mod harness;
 pub mod messages;
+pub mod net_harness;
 pub mod node;
 pub mod params;
 pub mod snapshot;
@@ -46,6 +47,7 @@ pub mod snapshot;
 pub use event_harness::AsyncMaintenanceHarness;
 pub use harness::{MaintenanceHarness, MaintenanceReport};
 pub use messages::{MsgKind, ProtocolMsg};
+pub use net_harness::NetMaintenanceHarness;
 pub use node::ProtocolNode;
 pub use params::MaintenanceParams;
 pub use snapshot::{NodeSnapshot, NodeStats};

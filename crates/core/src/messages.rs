@@ -6,8 +6,9 @@ use tsa_sim::NodeId;
 ///
 /// Positions are carried as raw `f64` values (they are always in `[0,1)`);
 /// every message is `Copy` and a few dozen bytes, matching the model's
-/// `O(polylog n)`-bit budget per edge and round.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// `O(polylog n)`-bit budget per edge and round. The serde derives are what
+/// let the `tsa-net` wire codec frame the protocol onto real sockets.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ProtocolMsg {
     /// Introduction: "`node` sits at `position` in overlay epoch `epoch` and is
     /// one of your neighbours there" (the `CREATE` message of Listing 3).

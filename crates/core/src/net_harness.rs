@@ -1,0 +1,189 @@
+//! The maintenance protocol on the loopback transport.
+//!
+//! [`NetMaintenanceHarness`] is the third sibling of
+//! [`MaintenanceHarness`](crate::MaintenanceHarness) and
+//! [`AsyncMaintenanceHarness`](crate::AsyncMaintenanceHarness): the same
+//! [`ProtocolNode`] state machine, genesis configuration, churn arbiter and
+//! health reporting — but the messages are real length-prefixed frames over
+//! loopback TCP, scheduled by the wall clock instead of a virtual one. The
+//! harness records every message's fate; replaying the recorded
+//! [`MessageTrace`] through
+//! [`AsyncMaintenanceHarness::assemble_replay`](crate::AsyncMaintenanceHarness::assemble_replay)
+//! re-executes the run deterministically, which is how the twin tests pin
+//! the transport to the model.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use tsa_event::{MessageTrace, NetStats};
+use tsa_net::{NetConfig, NetRunner, WireStats};
+use tsa_sim::{Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, Round};
+
+use crate::harness::{build_report, harness_factory, harness_sim_config};
+use crate::node::ProtocolNode;
+use crate::params::MaintenanceParams;
+use crate::snapshot::NodeSnapshot;
+use crate::MaintenanceReport;
+
+/// The maintenance protocol running over loopback TCP against an adversary.
+pub struct NetMaintenanceHarness<A: Adversary> {
+    net: NetRunner<ProtocolNode, A>,
+    params: MaintenanceParams,
+}
+
+impl<A: Adversary> NetMaintenanceHarness<A> {
+    /// Wires the protocol, an adversary and the loopback transport together
+    /// — the transport counterpart of
+    /// [`MaintenanceHarness::assemble`](crate::MaintenanceHarness::assemble),
+    /// sharing its genesis configuration bit for bit. `round_duration` is
+    /// the wall-clock length of one protocol round; on loopback a few
+    /// milliseconds comfortably deliver each round's sends by the next
+    /// boundary.
+    pub fn assemble(
+        params: MaintenanceParams,
+        adversary: A,
+        seed: u64,
+        churn_rules: ChurnRules,
+        lateness: Lateness,
+        round_duration: Duration,
+    ) -> Self {
+        let config = NetConfig::new(harness_sim_config(seed, churn_rules, lateness))
+            .with_round_duration(round_duration);
+        let mut net = NetRunner::new(config, adversary, harness_factory(params));
+        net.seed_nodes(params.overlay.n);
+        NetMaintenanceHarness { net, params }
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &MaintenanceParams {
+        &self.params
+    }
+
+    /// The current round.
+    pub fn round(&self) -> Round {
+        self.net.round()
+    }
+
+    /// The current overlay epoch.
+    pub fn epoch(&self) -> u64 {
+        self.net.round() / 2
+    }
+
+    /// Number of nodes currently in the network.
+    pub fn node_count(&self) -> usize {
+        self.net.node_count()
+    }
+
+    /// Runs `rounds` wall-clock rounds.
+    pub fn run(&mut self, rounds: u64) {
+        self.net.run(rounds);
+    }
+
+    /// Runs the full churn-free bootstrap phase.
+    pub fn run_bootstrap(&mut self) {
+        self.run(self.params.bootstrap_rounds());
+    }
+
+    /// Executes a single round.
+    pub fn step(&mut self) {
+        self.net.step();
+    }
+
+    /// Direct access to the underlying transport runtime.
+    pub fn runner(&self) -> &NetRunner<ProtocolNode, A> {
+        &self.net
+    }
+
+    /// The per-round message metrics (congestion, Lemma 24).
+    pub fn metrics(&self) -> &MetricsHistory {
+        self.net.metrics()
+    }
+
+    /// Network-effect counters, comparable with the event engine's.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.net_stats()
+    }
+
+    /// Actual wire traffic counters (frames and bytes on the loopback).
+    pub fn wire_stats(&self) -> WireStats {
+        self.net.wire_stats()
+    }
+
+    /// The per-message fate trace recorded so far — feed it to
+    /// [`AsyncMaintenanceHarness::assemble_replay`](crate::AsyncMaintenanceHarness::assemble_replay)
+    /// to re-execute this run deterministically.
+    pub fn trace(&self) -> MessageTrace {
+        self.net.trace()
+    }
+
+    /// Snapshots of every node's observable state.
+    pub fn snapshots(&self) -> Vec<(NodeId, NodeSnapshot)> {
+        let now = self.net.round().saturating_sub(1);
+        self.net
+            .nodes()
+            .map(|(id, node)| (id, node.snapshot(now)))
+            .collect()
+    }
+
+    /// The health report for the most recently completed round — the same
+    /// routability criterion as the other two harnesses, computed by the
+    /// shared report builder.
+    pub fn report(&self) -> MaintenanceReport {
+        let round = self.net.round().saturating_sub(1);
+        let snapshots = self.snapshots();
+        build_report(
+            &self.params,
+            self.net.config().sim.hash_seed,
+            round,
+            &snapshots,
+            self.metrics()
+                .last()
+                .map(|m| m.max_received_per_node)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Per-node connect counts of the last round, keyed by node.
+    pub fn connect_load(&self) -> HashMap<NodeId, usize> {
+        self.snapshots()
+            .into_iter()
+            .map(|(id, s)| (id, s.stats.connects_received_last_round))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsa_sim::NullAdversary;
+
+    #[test]
+    fn the_overlay_survives_a_real_transport() {
+        // A small overlay, bootstrap plus a few maintained rounds, entirely
+        // over loopback sockets: the protocol must come out routable, and
+        // real frames must have moved.
+        let params = MaintenanceParams::new(16)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2);
+        let mut h = NetMaintenanceHarness::assemble(
+            params,
+            NullAdversary,
+            17,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+            Duration::from_millis(15),
+        );
+        h.run_bootstrap();
+        h.run(4);
+        let report = h.report();
+        assert_eq!(report.node_count, 16);
+        assert!(
+            report.is_routable(),
+            "the loopback transport must sustain the overlay: {report:?}"
+        );
+        let wire = h.wire_stats();
+        assert!(wire.frames_sent > 0 && wire.frames_received > 0);
+        assert_eq!(h.trace().len() as u64, h.net_stats().sent);
+    }
+}

@@ -46,6 +46,7 @@ use tsa_sim::{
 };
 
 use crate::model::{NetModel, Topology};
+use crate::trace::{MessageFate, MessageTrace};
 use crate::TICKS_PER_ROUND;
 
 /// Configuration of an event-driven run: the shared simulation knobs (seed,
@@ -86,7 +87,7 @@ impl EventConfig {
 }
 
 /// Whole-run counters of the network model's effects.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct NetStats {
     /// Messages handed to the network.
     pub sent: u64,
@@ -190,6 +191,13 @@ pub struct EventSimulator<P: ProtocolStep, A: Adversary> {
     next_id: u64,
     last_outcome: ChurnOutcome,
     stats: NetStats,
+    /// When `Some`, every routed message's fate is recorded here (this
+    /// engine acting as the recording twin).
+    trace: Option<MessageTrace>,
+    /// When `Some`, message fates are read from this schedule instead of
+    /// being sampled from the network model (this engine acting as the
+    /// replaying twin of a recorded run).
+    replay: Option<MessageTrace>,
 }
 
 impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
@@ -220,6 +228,8 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             next_id: 0,
             last_outcome: ChurnOutcome::default(),
             stats: NetStats::default(),
+            trace: None,
+            replay: None,
         }
     }
 
@@ -327,6 +337,28 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
     /// The adversary, for post-run inspection.
     pub fn adversary(&self) -> &A {
         &self.adversary
+    }
+
+    /// Starts recording a per-message fate trace. Call before the first
+    /// [`step`](EventSimulator::step); retrieve the result with
+    /// [`take_trace`](EventSimulator::take_trace).
+    pub fn record_trace(&mut self) {
+        self.trace = Some(MessageTrace::new());
+    }
+
+    /// Takes the recorded fate trace, ending recording.
+    pub fn take_trace(&mut self) -> Option<MessageTrace> {
+        self.trace.take()
+    }
+
+    /// Replays `trace` as a fixed fate schedule: from now on, message fates
+    /// come from the trace (by send sequence number) instead of the network
+    /// model. Panics during [`step`](EventSimulator::step) if a message is
+    /// sent beyond the end of the trace — under a faithful twin the replayed
+    /// run sends exactly the recorded messages, so running out of trace
+    /// means the executions diverged.
+    pub fn set_replay(&mut self, trace: MessageTrace) {
+        self.replay = Some(trace);
     }
 
     fn slot_index(&self, id: NodeId) -> Option<usize> {
@@ -488,11 +520,14 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
         let mut lost = 0usize;
         {
             let topology = &self.config.topology;
+            let ticks_per_round = self.config.ticks_per_round;
             let sponsored_ids = &self.sponsored_ids;
             let queue = &mut self.queue;
             let seq = &mut self.seq;
             let stats = &mut self.stats;
             let scratch = &mut self.dedup_scratch;
+            let replay = self.replay.as_ref();
+            let trace = &mut self.trace;
             for slot in self.slots.iter_mut() {
                 mb.record_received(slot.id, slot.inbox.len());
                 let sponsored =
@@ -535,17 +570,54 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
                     if cross {
                         stats.bridge_sent += 1;
                     }
-                    match net.route(seed, msg_seq) {
+                    // The fate: sampled from the network model, or — when
+                    // replaying a recorded twin run — read from the fixed
+                    // schedule by sequence number.
+                    let delay = match replay {
+                        None => net.route(seed, msg_seq),
+                        Some(tr) => match tr.fate(msg_seq) {
+                            Some(MessageFate::Lost) => None,
+                            Some(MessageFate::Delivered { at_round }) => {
+                                // Delivered at boundary `at_round` means an
+                                // arrival tick at exactly that boundary.
+                                let arrival = at_round
+                                    .checked_mul(ticks_per_round)
+                                    .expect("virtual clock overflow");
+                                assert!(
+                                    at_round > t,
+                                    "replay trace delivers seq {msg_seq} at round \
+                                     {at_round}, not after its send round {t}"
+                                );
+                                Some(arrival - now)
+                            }
+                            None => panic!(
+                                "replay trace exhausted at seq {msg_seq}: the \
+                                 replayed execution diverged from the recording"
+                            ),
+                        },
+                    };
+                    match delay {
                         None => {
                             lost += 1;
                             stats.lost += 1;
                             if cross {
                                 stats.bridge_lost += 1;
                             }
+                            if let Some(tr) = trace.as_mut() {
+                                tr.record(msg_seq, MessageFate::Lost);
+                            }
                         }
                         Some(delay) => {
                             stats.max_delay_ticks = stats.max_delay_ticks.max(delay);
                             stats.total_delay_ticks += delay;
+                            if let Some(tr) = trace.as_mut() {
+                                // The boundary that will read this message:
+                                // the first one at or past the arrival tick,
+                                // and never the sending round's own.
+                                let arrival = now + delay;
+                                let at_round = (arrival.div_ceil(ticks_per_round)).max(t + 1);
+                                tr.record(msg_seq, MessageFate::Delivered { at_round });
+                            }
                             queue.push(Pending {
                                 arrival: now + delay,
                                 seq: msg_seq,

@@ -17,6 +17,10 @@
 //!   regional partitions ([`RegionAssign`] is a pure function of the node
 //!   id) joined by a possibly slow/lossy — and [`PartitionSchedule`]d —
 //!   bridge, or explicit per-link overrides;
+//! * [`MessageTrace`] records the fate of every message (lost, or delivered
+//!   at which round) on one engine and replays it as a fixed schedule on
+//!   another — the bridge the `tsa-net` loopback transport uses to twin a
+//!   wall-clock run with a deterministic replay;
 //! * [`ExecutionModel`] is the serde-round-trippable selector the
 //!   `tsa-scenario` / `tsa-sweep` stack uses to pick an engine per scenario
 //!   (default: the synchronous round model).
@@ -55,12 +59,14 @@
 
 pub mod engine;
 pub mod model;
+pub mod trace;
 
 pub use engine::{EventConfig, EventSimulator, NetStats};
 pub use model::{
     ExecutionModel, LatencyModel, LinkOverride, NetModel, PartitionSchedule, RegionAssign,
     RegionEntry, Topology,
 };
+pub use trace::{MessageFate, MessageTrace};
 
 /// Virtual ticks per protocol round: the resolution at which latencies,
 /// jitter and the round cadence are expressed. A latency of
@@ -179,6 +185,43 @@ mod tests {
         assert_eq!(a, b, "same seed, same trace");
         let c = event_engine_fingerprint(net, 6, 16, 8);
         assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn a_recorded_lossy_run_replays_bit_for_bit() {
+        // Record the fates of a jittery, lossy run, then replay them in an
+        // engine whose own network model would deliver instantly: the fixed
+        // fate schedule alone must reproduce the recorded trace.
+        let net = NetModel {
+            latency: LatencyModel::uniform(100, 3500),
+            jitter: 400,
+            loss: 0.05,
+        };
+        let mut rec = event_sim(net, 5);
+        rec.record_trace();
+        rec.seed_nodes(16);
+        rec.run(8);
+        let trace = rec.take_trace().unwrap();
+        assert_eq!(trace.len() as u64, rec.net_stats().sent);
+        assert_eq!(trace.lost_count() as u64, rec.net_stats().lost);
+
+        let mut rep = event_sim(NetModel::new(LatencyModel::constant(0)), 5);
+        rep.set_replay(trace);
+        rep.seed_nodes(16);
+        rep.run(8);
+
+        let fp = |sim: &EventSimulator<Ping, NullAdversary>| {
+            let heard = sim
+                .member_ids()
+                .iter()
+                .map(|&id| (id, sim.node(id).unwrap().heard.clone()))
+                .collect();
+            let edges = sim.records().last().unwrap().graph.edges.clone();
+            fingerprint(heard, edges, sim.metrics())
+        };
+        assert_eq!(fp(&rep), fp(&rec), "replay must reproduce the recording");
+        assert_eq!(rep.net_stats().sent, rec.net_stats().sent);
+        assert_eq!(rep.net_stats().lost, rec.net_stats().lost);
     }
 
     #[test]

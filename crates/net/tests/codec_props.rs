@@ -1,0 +1,150 @@
+//! Property tests for the wire codec: random value trees must round-trip
+//! bit-exactly through the frame encoding — whole, split at every byte
+//! boundary, and interleaved in one stream — and no mutilation of a valid
+//! frame (truncation, corruption) may ever panic the decoder.
+//!
+//! Equality is asserted on the *re-encoded bytes*, not the decoded trees:
+//! the encoding is deterministic, so byte equality is exactly tree equality
+//! — while also covering NaN floats, whose trees compare unequal to
+//! themselves under IEEE semantics but must still travel bit-exactly.
+
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+use serde::Value;
+use tsa_net::{decode_value, encode_frame, encode_value, FrameDecoder, FRAME_HEADER_LEN};
+
+/// Random [`Value`] trees with at most `depth` levels of nesting below the
+/// root. Floats are raw bit patterns, so infinities, subnormals and NaNs all
+/// occur; strings mix ASCII with multi-byte UTF-8.
+struct ValueTree {
+    depth: usize,
+}
+
+impl Strategy for ValueTree {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        gen_value(rng, self.depth)
+    }
+}
+
+fn gen_value(rng: &mut TestRng, depth: usize) -> Value {
+    // Containers only while below the depth budget.
+    match rng.next_u64() % if depth == 0 { 6 } else { 8 } {
+        0 => Value::Null,
+        1 => Value::Bool(rng.next_u64() & 1 == 0),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => Value::UInt(rng.next_u64()),
+        4 => Value::Float(f64::from_bits(rng.next_u64())),
+        5 => Value::Str(gen_string(rng)),
+        6 => Value::Array(
+            (0..rng.next_u64() % 4)
+                .map(|_| gen_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..rng.next_u64() % 4)
+                .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+fn gen_string(rng: &mut TestRng) -> String {
+    const ALPHABET: [char; 8] = ['a', 'z', '0', ' ', 'λ', 'é', '✓', '🦀'];
+    (0..rng.next_u64() % 8)
+        .map(|_| ALPHABET[(rng.next_u64() % ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+/// The canonical encoding of `value`, no frame header.
+fn encoding(value: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value(value, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_tree_round_trips_bit_exactly(value in ValueTree { depth: 3 }) {
+        let bytes = encoding(&value);
+        let decoded = decode_value(&bytes).expect("valid encoding decodes");
+        prop_assert_eq!(encoding(&decoded), bytes);
+    }
+
+    #[test]
+    fn frames_survive_any_stream_split(
+        values in proptest::collection::vec(ValueTree { depth: 2 }, 1..5),
+        chunk in 1usize..17,
+    ) {
+        // All frames in one contiguous stream, delivered `chunk` bytes at a
+        // time — every frame must come back out, in order, bit-exact.
+        let mut stream = Vec::new();
+        for value in &values {
+            encode_frame(value, &mut stream);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut recovered = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.push(piece);
+            while let Some(frame) = decoder.next_frame().expect("valid frames decode") {
+                recovered.push(frame);
+            }
+        }
+        prop_assert_eq!(recovered.len(), values.len());
+        for (out, sent) in recovered.iter().zip(&values) {
+            prop_assert_eq!(encoding(out), encoding(sent));
+        }
+        prop_assert_eq!(decoder.pending_len(), 0);
+    }
+
+    #[test]
+    fn no_strict_prefix_of_an_encoding_decodes(value in ValueTree { depth: 2 }) {
+        // The tag-length grammar consumes a determined number of bytes per
+        // production, so cutting an encoding anywhere must yield an error —
+        // never a silently shortened tree.
+        let bytes = encoding(&value);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_value(&bytes[..cut]).is_err(),
+                "strict prefix of length {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_never_panic(
+        value in ValueTree { depth: 2 },
+        flip in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        // A single flipped bit may still decode (e.g. a scalar's raw bytes),
+        // but it must always return *something* — the decoder has no panic
+        // or overflow path on arbitrary input.
+        let mut bytes = encoding(&value);
+        let at = flip % bytes.len();
+        bytes[at] ^= 1 << bit;
+        let _ = decode_value(&bytes);
+
+        // The same bytes as a framed stream: header included in the flips.
+        let mut framed = Vec::new();
+        encode_frame(&value, &mut framed);
+        let at = flip % framed.len();
+        framed[at] ^= 1 << bit;
+        let mut decoder = FrameDecoder::with_max_frame(framed.len());
+        decoder.push(&framed);
+        while let Ok(Some(_)) = decoder.next_frame() {}
+    }
+}
+
+#[test]
+fn oversized_frames_are_rejected_from_the_header_alone() {
+    // A lying length prefix is refused before any payload is buffered.
+    let mut decoder = FrameDecoder::with_max_frame(8);
+    let mut bytes = (9u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[0; 2]);
+    decoder.push(&bytes);
+    assert!(decoder.next_frame().is_err());
+    assert!(bytes.len() < 8 + FRAME_HEADER_LEN);
+}

@@ -288,6 +288,7 @@ fn run_async_maintained(spec: ScenarioSpec, topology: Topology, rounds: u64) -> 
             metrics_summary: harness.metrics().summary(),
             metrics: Some(harness.metrics().clone()),
             max_connect_load,
+            net_stats: Some(harness.net_stats()),
         }),
         baseline: None,
         routing: None,
@@ -409,6 +410,9 @@ impl ScenarioRun {
                 metrics_summary: self.harness.metrics().summary(),
                 metrics: Some(self.harness.metrics().clone()),
                 max_connect_load,
+                // The round engine has no network model, so there are no
+                // loss/delay/bridge counters to report.
+                net_stats: None,
             }),
             baseline: None,
             routing: None,
@@ -758,18 +762,73 @@ mod tests {
         let asynch = base()
             .execution(ExecutionModel::asynchronous(LatencyModel::constant(0)))
             .run(6);
-        // The spec's execution field is the *only* difference.
+        // The spec's execution field and the network-effect counters (only
+        // asynchronous runs have a network model to count) are the *only*
+        // differences.
         let mut normalized = asynch.clone();
         normalized.spec.execution = ExecutionModel::Rounds;
+        let net_stats = normalized
+            .maintenance
+            .as_mut()
+            .and_then(|m| m.net_stats.take())
+            .expect("async outcomes carry network counters");
         assert_eq!(
             serde_json::to_string(&normalized).unwrap(),
             serde_json::to_string(&sync).unwrap(),
             "zero-delay async must reproduce the round engine exactly"
         );
+        assert!(net_stats.sent > 0);
+        assert_eq!(net_stats.lost, 0, "a lossless model loses nothing");
         assert!(!serde_json::to_string(&sync).unwrap().contains("execution"));
         assert!(serde_json::to_string(&asynch)
             .unwrap()
             .contains("execution"));
+    }
+
+    #[test]
+    fn only_async_outcomes_expose_network_counters() {
+        use tsa_event::{LatencyModel, NetModel, RegionAssign, Topology};
+        let base = || {
+            Scenario::maintained_lds(48)
+                .with_c(1.5)
+                .with_tau(4)
+                .with_replication(2)
+                .seed(9)
+        };
+        let sync = base().run(4);
+        assert!(
+            !serde_json::to_string(&sync).unwrap().contains("net_stats"),
+            "round-engine outcomes must stay byte-stable: no net_stats key"
+        );
+        assert!(sync.maintenance.unwrap().net_stats.is_none());
+
+        // A two-region topology with a lossy bridge: the cross-region
+        // counters must surface in the outcome, and survive compaction into
+        // BENCH artifacts.
+        let intra = NetModel::new(LatencyModel::uniform(0, 800));
+        let inter = NetModel {
+            latency: LatencyModel::uniform(400, 1600),
+            jitter: 0,
+            loss: 0.05,
+        };
+        let asynch = base()
+            .topology(Topology::regions(RegionAssign::halves(24), intra, inter))
+            .run(4);
+        let stats = asynch
+            .to_compact()
+            .maintenance
+            .expect("maintained outcome")
+            .net_stats
+            .expect("async outcomes carry network counters");
+        assert!(stats.sent > 0);
+        assert!(
+            stats.bridge_sent > 0,
+            "a partitioned topology must route cross-region traffic"
+        );
+        assert!(stats.bridge_lost <= stats.bridge_sent);
+        assert!(serde_json::to_string(&asynch)
+            .unwrap()
+            .contains("bridge_sent"));
     }
 
     #[test]

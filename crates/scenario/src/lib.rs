@@ -58,6 +58,6 @@ pub use spec::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind, ScenarioSpe
 // The execution-model vocabulary every spec embeds, re-exported so scenario
 // consumers need no direct tsa-event dependency.
 pub use tsa_event::{
-    ExecutionModel, LatencyModel, LinkOverride, NetModel, PartitionSchedule, RegionAssign,
-    RegionEntry, Topology,
+    ExecutionModel, LatencyModel, LinkOverride, NetModel, NetStats, PartitionSchedule,
+    RegionAssign, RegionEntry, Topology,
 };

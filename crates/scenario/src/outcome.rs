@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use tsa_baselines::ResilienceOutcome;
 use tsa_core::MaintenanceReport;
+use tsa_event::NetStats;
 use tsa_sim::{MetricsHistory, MetricsSummary};
 
 use crate::spec::ScenarioSpec;
@@ -29,6 +30,14 @@ pub struct MaintenanceOutcome {
     /// The largest number of fresh-node connects any mature node received in
     /// the final round (the Lemma 22 quantity).
     pub max_connect_load: usize,
+    /// Whole-run network-effect counters — loss, delays, and the
+    /// cross-region bridge traffic of partition topologies
+    /// (`bridge_sent` / `bridge_lost`). Only asynchronous executions have a
+    /// network model, so this is `None` for round-engine runs and absent
+    /// from their serialized form (which keeps pre-existing artifacts
+    /// byte-stable).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub net_stats: Option<NetStats>,
 }
 
 /// Result of a static-baseline attack trial.
@@ -163,6 +172,7 @@ impl ScenarioOutcome {
                     .unwrap_or(m.metrics_summary),
                 metrics: None,
                 max_connect_load: m.max_connect_load,
+                net_stats: m.net_stats,
             }),
             baseline: self.baseline,
             routing: self.routing,

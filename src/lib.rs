@@ -9,6 +9,9 @@
 //! * [`sim`] — round-synchronous simulator with an `(a,b)`-late adversary;
 //! * [`event`] — deterministic virtual-time event engine: the same node
 //!   logic under per-message latency, jitter and loss;
+//! * [`net`] — loopback-TCP transport runtime: the same node logic over
+//!   real sockets and wall-clock rounds, with a recorded message-fate trace
+//!   that replays deterministically through [`event`];
 //! * [`overlay`] — the Linearized DeBruijn Swarm and related topologies;
 //! * [`routing`] — `A_ROUTING` and `A_SAMPLING`;
 //! * [`maintenance`] — the `A_LDS` + `A_RANDOM` maintenance protocol
@@ -34,6 +37,7 @@ pub use tsa_analysis as analysis;
 pub use tsa_baselines as baselines;
 pub use tsa_core as maintenance;
 pub use tsa_event as event;
+pub use tsa_net as net;
 pub use tsa_overlay as overlay;
 pub use tsa_routing as routing;
 pub use tsa_scenario as scenario;
@@ -45,10 +49,13 @@ pub mod prelude {
     pub use tsa_adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
     pub use tsa_core::{
         AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams, MaintenanceReport,
+        NetMaintenanceHarness,
     };
     pub use tsa_event::{
-        ExecutionModel, LatencyModel, NetModel, PartitionSchedule, RegionAssign, Topology,
+        ExecutionModel, LatencyModel, MessageTrace, NetModel, PartitionSchedule, RegionAssign,
+        Topology,
     };
+    pub use tsa_net::{NetConfig, NetRunner};
     pub use tsa_overlay::{Lds, OverlayParams, Position};
     pub use tsa_routing::{RoutableSeries, RoutingConfig, RoutingSim};
     pub use tsa_scenario::{

@@ -127,10 +127,20 @@ proptest! {
         prop_assert!(m.metrics_summary.peak_congestion > 0);
 
         // ... and the asynchronous run is the synchronous engine, byte for
-        // byte (the sub-round equivalence the invariants inherit from).
+        // byte (the sub-round equivalence the invariants inherit from). The
+        // network counters are the async engine's own observables — the
+        // round engine has none — so they come out before the comparison
+        // (after checking they describe a loss-free network).
         let sync = base().run(4);
         let mut normalized = asynch.clone();
         normalized.spec.execution = ExecutionModel::Rounds;
+        let stats = normalized
+            .maintenance
+            .as_mut()
+            .and_then(|m| m.net_stats.take())
+            .expect("async runs expose network counters");
+        prop_assert!(stats.sent > 0);
+        prop_assert_eq!(stats.lost, 0);
         prop_assert_eq!(
             serde_json::to_string(&normalized).unwrap(),
             serde_json::to_string(&sync).unwrap()
