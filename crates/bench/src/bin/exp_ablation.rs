@@ -6,6 +6,9 @@
 //! * `c`: the swarm-radius parameter at `r = 3`;
 //! * `replication`: the replication factor at `c = 2`.
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use tsa_bench::{finish, run_sweeps, workload_spec, ExpArgs};
 use tsa_scenario::ScenarioKind;
 use tsa_sweep::SweepSpec;

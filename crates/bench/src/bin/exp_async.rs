@@ -26,6 +26,9 @@
 //! one `n`, one seed) whose `BENCH_exp_async.json` is byte-reproducible —
 //! CI runs it twice and diffs.
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use serde::Serialize;
 use tsa_analysis::{fmt_bool, fmt_f, Table};
 use tsa_bench::{experiment_spec, finish, run_sweeps, usage, ExpArgs};

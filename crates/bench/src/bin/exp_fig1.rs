@@ -2,6 +2,9 @@
 //! measured structure: per-node edge counts towards `S(v)`, `S(v/2)` and
 //! `S((v+1)/2)`, swarm-size statistics and an exhaustive swarm-property check.
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;

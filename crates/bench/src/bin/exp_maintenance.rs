@@ -6,6 +6,9 @@
 //! * `congestion`: per-node message load versus `log³ n` in churn-free steady
 //!   state (Lemma 24).
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use tsa_analysis::{fmt_f, Summary, Table};
 use tsa_bench::{experiment_spec, finish, run_sweeps, ExpArgs};
 use tsa_scenario::{AdversarySpec, ChurnSpec};

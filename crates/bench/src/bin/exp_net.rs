@@ -21,6 +21,9 @@
 //! `--smoke` shrinks the grid to the CI-sized run whose deterministic
 //! section is the committed `BENCH_exp_net.json`.
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::time::{Duration, Instant};
 
 use serde::Serialize;

@@ -29,10 +29,16 @@
 //! `BENCH_exp_partition.json` is byte-reproducible — CI runs it twice and
 //! diffs.
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::sync::Arc;
+
 use serde::Serialize;
 use tsa_analysis::{fmt_bool, Table};
 use tsa_bench::{experiment_params, experiment_spec, finish, run_sweeps, usage, ExpArgs};
 use tsa_core::AsyncMaintenanceHarness;
+use tsa_obs::{ObsHandle, ObsRecorder};
 use tsa_scenario::{
     AdversarySpec, ChurnSpec, LatencyModel, NetModel, PartitionSchedule, RegionAssign, Topology,
 };
@@ -88,6 +94,25 @@ struct ProbeRow {
     rounds_to_reconnect: Option<u64>,
     /// The two-round-cadence prediction the observation is compared to.
     predicted_max: u64,
+    /// Age distribution (in maturity ages) of the nodes surfaced by
+    /// neighbour repair over the whole run, keyed by the sampled node's
+    /// region — the `tsa-obs` per-region probe. A starved bridge shows up
+    /// here before it shows up in routability: repair keeps resurfacing the
+    /// same old cohort on the far side.
+    repair_sample_ages: Vec<RegionAges>,
+}
+
+/// Per-region rollup of the `proto.repair_sample_age` histogram.
+#[derive(Serialize)]
+struct RegionAges {
+    /// The region of the sampled (surfaced) node.
+    region: u32,
+    /// Samples surfaced from this region.
+    samples: u64,
+    /// Mean age of those samples, in maturity ages.
+    mean_age: f64,
+    /// Oldest sample, in maturity ages.
+    max_age: u64,
 }
 
 /// The `extra` payload of `BENCH_exp_partition.json`.
@@ -117,6 +142,10 @@ fn probe(n: usize, seed: u64, label: &str, net: NetModel, duration: u64) -> Prob
         params.paper_lateness(),
         topology,
     );
+    // The per-region sampling-age probe: deterministic (the event engine is
+    // sequential), so its rows are part of the byte-reproducible artifact.
+    let recorder = Arc::new(ObsRecorder::new());
+    harness.set_obs(ObsHandle::new(recorder.clone()));
     harness.run_bootstrap();
 
     // The cadence prediction: the epoch current two epochs after the heal is
@@ -156,6 +185,22 @@ fn probe(n: usize, seed: u64, label: &str, net: NetModel, duration: u64) -> Prob
         routable_during = report.is_routable();
         cross_edges_during = harness.cross_region_edges();
     }
+    let repair_sample_ages = recorder
+        .det_snapshot()
+        .region_histograms
+        .iter()
+        .filter(|r| r.histogram.name == "proto.repair_sample_age")
+        .map(|r| RegionAges {
+            region: r.region,
+            samples: r.histogram.count,
+            mean_age: if r.histogram.count == 0 {
+                0.0
+            } else {
+                r.histogram.sum as f64 / r.histogram.count as f64
+            },
+            max_age: r.histogram.max,
+        })
+        .collect();
     ProbeRow {
         n,
         bridge: label.to_string(),
@@ -168,6 +213,7 @@ fn probe(n: usize, seed: u64, label: &str, net: NetModel, duration: u64) -> Prob
         cross_edges_end: harness.cross_region_edges(),
         rounds_to_reconnect,
         predicted_max,
+        repair_sample_ages,
     }
 }
 
@@ -300,6 +346,7 @@ fn main() {
             "predicted ≤",
             "x-edges end",
             "routable end",
+            "repair age μ (per region)",
         ],
     );
     for &(label, net) in severities {
@@ -325,6 +372,11 @@ fn main() {
                 row.predicted_max.to_string(),
                 row.cross_edges_end.to_string(),
                 fmt_bool(row.routable_end),
+                row.repair_sample_ages
+                    .iter()
+                    .map(|r| format!("r{}:{:.2}", r.region, r.mean_age))
+                    .collect::<Vec<_>>()
+                    .join(" "),
             ]);
             probes.push(row);
         }

@@ -23,6 +23,9 @@
 //! everything to a seconds-long CI-sized grid whose only job is to keep the
 //! perf suite from bit-rotting.
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::time::Instant;
 
 use serde::Serialize;

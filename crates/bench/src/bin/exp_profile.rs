@@ -1,0 +1,498 @@
+//! Experiment PROFILE — the `tsa-obs` observability layer, exercised and
+//! pinned across all three schedulers.
+//!
+//! One maintained run per scheduler — the synchronous round engine, the
+//! virtual-time event engine under a sub-round constant latency, and the
+//! loopback-TCP transport — each under seeded random churn with an
+//! [`ObsRecorder`] attached. Two families of results come out, mirroring
+//! `exp_net`:
+//!
+//! * **deterministic** — the protocol-derived counters and power-of-two
+//!   histograms (`proto.*`, plus each simulator's own counters) of the round
+//!   and event engines. These are pure functions of `(seed, protocol)`:
+//!   byte-identical across machines, thread caps and `TSA_THREADS` settings,
+//!   so CI runs this binary twice at different thread counts and
+//!   byte-compares the section. The section also carries the cross-checks:
+//!   thread-cap invariance of the round engine, `proto.*` identity between
+//!   the round engine and a sub-round-latency event run, the transport's
+//!   twin-counter pin, and the streaming-vs-full metrics digest pin.
+//! * **timing** — the wall-clock phase spans (`sim.*`, `event.*`, `net.*`):
+//!   where each scheduler actually spends its time. The *transport's*
+//!   counter snapshot also lives here: wall-clock scheduling makes its
+//!   protocol trace run-dependent (a frame that lands just before a round
+//!   boundary in one run lands just after it in the next), so its raw
+//!   counters can never be byte-compared. Its deterministic claim is the
+//!   twin pin instead — replaying the recorded message fates through the
+//!   event engine must reproduce the transport's `proto.*` counters and
+//!   histograms, whatever those fates were (`proto.dropped` excluded: the
+//!   replay attributes every undelivered fate as a drop, the transport only
+//!   the frames it actively lost).
+//!
+//! `--smoke` shrinks the grid to a seconds-long CI-sized run.
+
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use tsa_adversary::RandomChurnAdversary;
+use tsa_analysis::{fmt_bool, Table};
+use tsa_bench::{
+    experiment_params, experiment_scenario, usage, write_bench_json, write_bench_json_at, ExpArgs,
+};
+use tsa_core::{AsyncMaintenanceHarness, MaintenanceHarness, NetMaintenanceHarness};
+use tsa_obs::{DetSnapshot, ObsHandle, ObsRecorder, TimingSnapshot};
+use tsa_scenario::{AdversarySpec, LatencyModel, MetricsMode, NetModel};
+
+/// The milliseconds of wall clock one transport round occupies. Generous for
+/// loopback, so the runs stay meaningful (mostly-delivered) without the
+/// checks depending on it — the twin pin holds whatever the deadlines did.
+const ROUND_MS: u64 = 25;
+
+/// Departures per round the seeded churn adversary injects — enough to keep
+/// neighbor repair (and its sampling-age probe) busy every round.
+const CHURN_PER_ROUND: usize = 2;
+
+/// The grid: one (n, seed, measured-rounds) point per scheduler.
+struct Grid {
+    /// Round + event engines run at this size.
+    n: usize,
+    /// The transport runs smaller (wall-clock bound).
+    net_n: usize,
+    seed: u64,
+    rounds: u64,
+    net_rounds: u64,
+}
+
+fn grid(smoke: bool) -> Grid {
+    if smoke {
+        Grid {
+            n: 48,
+            net_n: 16,
+            seed: 29,
+            rounds: 4,
+            net_rounds: 4,
+        }
+    } else {
+        Grid {
+            n: 64,
+            net_n: 16,
+            seed: 29,
+            rounds: 8,
+            net_rounds: 6,
+        }
+    }
+}
+
+/// One scheduler's deterministic observability state.
+#[derive(Serialize)]
+struct EngineDet {
+    engine: String,
+    n: usize,
+    seed: u64,
+    /// Total rounds executed (bootstrap included).
+    rounds: u64,
+    snapshot: DetSnapshot,
+}
+
+/// The cross-checks pinned by this experiment (all must hold).
+#[derive(Serialize)]
+struct Checks {
+    /// The round engine's deterministic state is byte-identical under
+    /// thread caps 1 and 2 (counter/histogram updates are commutative).
+    thread_caps_identical: bool,
+    /// `proto.*` state of a sub-round-latency event run is byte-identical
+    /// to the round engine's.
+    event_matches_round: bool,
+    /// Replaying the transport's recorded message fates through the event
+    /// engine reproduces the transport's `proto.*` state exactly
+    /// (`proto.dropped` excluded — drop *attribution* differs by design).
+    net_twin_counters_match: bool,
+    /// `MetricsMode::Streaming` folds to the exact `MetricsSummary` of
+    /// `MetricsMode::Full`.
+    streaming_digest_matches_full: bool,
+}
+
+/// The machine-invariant half of `BENCH_exp_profile.json`.
+#[derive(Serialize)]
+struct DeterministicDoc {
+    all_checks_pass: bool,
+    checks: Checks,
+    round: EngineDet,
+    event: EngineDet,
+}
+
+/// One scheduler's wall-clock phase spans (machine-dependent).
+#[derive(Serialize)]
+struct EngineTiming {
+    engine: String,
+    elapsed_ms: u64,
+    spans: TimingSnapshot,
+}
+
+/// The wall-clock half of `BENCH_exp_profile.json`.
+#[derive(Serialize)]
+struct TimingDoc {
+    engines: Vec<EngineTiming>,
+    /// The transport's counters/histograms: run-dependent (see the module
+    /// docs), so they live here, outside the byte-compared section. The
+    /// twin pin in `deterministic.checks` is their correctness contract.
+    net: EngineDet,
+}
+
+/// The `BENCH_exp_profile.json` document.
+#[derive(Serialize)]
+struct ProfileDoc {
+    exp: String,
+    smoke: bool,
+    deterministic: DeterministicDoc,
+    timing: TimingDoc,
+}
+
+/// Runs the round engine with an [`ObsRecorder`] under a rayon thread cap.
+fn round_run(n: usize, seed: u64, rounds: u64, cap: usize) -> (DetSnapshot, TimingSnapshot, u64) {
+    rayon::with_thread_cap(cap, || {
+        let params = experiment_params(n);
+        let mut h = MaintenanceHarness::assemble(
+            params,
+            RandomChurnAdversary::new(CHURN_PER_ROUND, seed),
+            seed,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+        );
+        let rec = Arc::new(ObsRecorder::new());
+        h.set_obs(ObsHandle::new(rec.clone()));
+        let start = Instant::now();
+        h.run_bootstrap();
+        h.run(rounds);
+        (
+            rec.det_snapshot(),
+            rec.timing_snapshot(),
+            start.elapsed().as_millis() as u64,
+        )
+    })
+}
+
+/// Runs the event engine under a sub-round constant latency (0.5 rounds):
+/// every message still lands by its next boundary, so the protocol trace —
+/// and therefore every `proto.*` counter — must match the round engine's.
+fn event_run(n: usize, seed: u64, rounds: u64) -> (DetSnapshot, TimingSnapshot, u64) {
+    let params = experiment_params(n);
+    let mut h = AsyncMaintenanceHarness::assemble(
+        params,
+        RandomChurnAdversary::new(CHURN_PER_ROUND, seed),
+        seed,
+        params.paper_churn_rules(),
+        params.paper_lateness(),
+        NetModel::new(LatencyModel::constant(500)),
+    );
+    let rec = Arc::new(ObsRecorder::new());
+    h.set_obs(ObsHandle::new(rec.clone()));
+    let start = Instant::now();
+    h.run_bootstrap();
+    h.run(rounds);
+    (
+        rec.det_snapshot(),
+        rec.timing_snapshot(),
+        start.elapsed().as_millis() as u64,
+    )
+}
+
+/// Runs the loopback transport with an [`ObsRecorder`], then replays its
+/// recorded trace through the event-engine twin with its own recorder.
+/// Returns (transport snapshot, twin snapshot, spans, elapsed ms).
+fn net_run(n: usize, seed: u64, rounds: u64) -> (DetSnapshot, DetSnapshot, TimingSnapshot, u64) {
+    let params = experiment_params(n);
+    let total = params.bootstrap_rounds() + rounds;
+    let mut real = NetMaintenanceHarness::assemble(
+        params,
+        RandomChurnAdversary::new(CHURN_PER_ROUND, seed),
+        seed,
+        params.paper_churn_rules(),
+        params.paper_lateness(),
+        Duration::from_millis(ROUND_MS),
+    );
+    let rec = Arc::new(ObsRecorder::new());
+    real.set_obs(ObsHandle::new(rec.clone()));
+    let start = Instant::now();
+    real.run(total);
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+
+    let mut twin = AsyncMaintenanceHarness::assemble_replay(
+        params,
+        RandomChurnAdversary::new(CHURN_PER_ROUND, seed),
+        seed,
+        params.paper_churn_rules(),
+        params.paper_lateness(),
+        real.trace(),
+    );
+    let twin_rec = Arc::new(ObsRecorder::new());
+    twin.set_obs(ObsHandle::new(twin_rec.clone()));
+    twin.run(total);
+
+    (
+        rec.det_snapshot(),
+        twin_rec.det_snapshot(),
+        rec.timing_snapshot(),
+        elapsed_ms,
+    )
+}
+
+/// Removes one counter from a snapshot before comparison.
+fn without_counter(mut snap: DetSnapshot, name: &str) -> DetSnapshot {
+    snap.counters.retain(|c| c.name != name);
+    snap
+}
+
+/// Byte equality of two serializable snapshots.
+fn bytes_eq<T: Serialize>(a: &T, b: &T) -> bool {
+    serde_json::to_string(a).expect("snapshots serialize")
+        == serde_json::to_string(b).expect("snapshots serialize")
+}
+
+fn main() {
+    let exp = "exp_profile";
+    // `--smoke` is this binary's own flag; everything else is the shared
+    // experiment CLI.
+    let mut smoke = false;
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| {
+            if arg == "--smoke" {
+                smoke = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let about = "the tsa-obs observability layer across all three schedulers: \
+                 deterministic counters/histograms (CI byte-compares them), the \
+                 transport's twin-counter pin, and wall-clock phase spans";
+    let args = match ExpArgs::parse_from(rest) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!(
+                "{}\n\nEXTRA:\n  --smoke        CI-sized run (a few seconds end to end)",
+                usage(exp, about)
+            );
+            return;
+        }
+        Err(message) => {
+            eprintln!("{exp}: {message}\n\n{}", usage(exp, about));
+            std::process::exit(2);
+        }
+    };
+
+    let g = grid(smoke);
+    let round_total = experiment_params(g.n).bootstrap_rounds() + g.rounds;
+    let net_total = experiment_params(g.net_n).bootstrap_rounds() + g.net_rounds;
+    if args.list {
+        // This experiment is not sweep-driven, so it lists its own grid.
+        println!("{exp}: 1 grid, 3 cell(s)");
+        println!(
+            "  [  0] round n={} seed={} rounds={round_total} churn={CHURN_PER_ROUND}",
+            g.n, g.seed
+        );
+        println!(
+            "  [  1] event n={} seed={} rounds={round_total} churn={CHURN_PER_ROUND} latency=500t",
+            g.n, g.seed
+        );
+        println!(
+            "  [  2] net n={} seed={} rounds={net_total} churn={CHURN_PER_ROUND} round_ms={ROUND_MS}",
+            g.net_n, g.seed
+        );
+        return;
+    }
+    let reporter = args.reporter();
+
+    // Round engine, twice: the thread-cap invariance check is the first
+    // deterministic claim of the obs layer. Cap 1 is the canonical run.
+    reporter.note(&format!(
+        "[{exp}] round engine n={} ({round_total} rounds, thread caps 1 and 2)",
+        g.n
+    ));
+    let (round_det, round_spans, round_ms) = round_run(g.n, g.seed, g.rounds, 1);
+    let (round_det_cap2, _, _) = round_run(g.n, g.seed, g.rounds, 2);
+    let thread_caps_identical = bytes_eq(&round_det, &round_det_cap2);
+
+    reporter.note(&format!(
+        "[{exp}] event engine n={} (sub-round latency twin)",
+        g.n
+    ));
+    let (event_det, event_spans, event_ms) = event_run(g.n, g.seed, g.rounds);
+    let event_matches_round =
+        bytes_eq(&round_det.filtered("proto."), &event_det.filtered("proto."));
+
+    reporter.note(&format!(
+        "[{exp}] loopback transport n={} ({net_total} wall-clock rounds) + twin replay",
+        g.net_n
+    ));
+    let (net_det, twin_det, net_spans, net_ms) = net_run(g.net_n, g.seed, g.net_rounds);
+    // Drop attribution differs by design: the replay accounts every
+    // undelivered fate as dropped at the boundary it missed, while the
+    // transport counts only frames it actively lost — end-of-run in-flight
+    // frames are neither. The twin contract (like `exp_net`'s) pins
+    // everything else: sent, delivered, and every histogram.
+    let net_twin_counters_match = bytes_eq(
+        &without_counter(net_det.filtered("proto."), "proto.dropped"),
+        &without_counter(twin_det.filtered("proto."), "proto.dropped"),
+    );
+
+    // The metrics-mode pin: streaming accumulators must fold to the exact
+    // digest of the full per-round history.
+    reporter.note(&format!("[{exp}] streaming-vs-full metrics digest"));
+    let adversary = AdversarySpec::random(CHURN_PER_ROUND, g.seed);
+    let full = experiment_scenario(g.n)
+        .adversary(adversary)
+        .seed(g.seed)
+        .run(g.rounds);
+    let streaming = experiment_scenario(g.n)
+        .adversary(adversary)
+        .seed(g.seed)
+        .metrics_mode(MetricsMode::Streaming)
+        .run(g.rounds);
+    let fm = full.maintenance.as_ref().expect("maintained outcome");
+    let sm = streaming.maintenance.as_ref().expect("maintained outcome");
+    let streaming_digest_matches_full =
+        fm.metrics_summary == sm.metrics_summary && sm.metrics.is_none();
+
+    let checks = Checks {
+        thread_caps_identical,
+        event_matches_round,
+        net_twin_counters_match,
+        streaming_digest_matches_full,
+    };
+    let all_checks_pass = checks.thread_caps_identical
+        && checks.event_matches_round
+        && checks.net_twin_counters_match
+        && checks.streaming_digest_matches_full;
+
+    let mut table = Table::new(
+        "Observability across the three schedulers (net columns are run-dependent)",
+        &[
+            "engine",
+            "n",
+            "rounds",
+            "proto.sent",
+            "proto.delivered",
+            "inbox max",
+            "repair samples",
+            "elapsed ms",
+        ],
+    );
+    for (engine, n, det, ms) in [
+        ("round", g.n, &round_det, round_ms),
+        ("event", g.n, &event_det, event_ms),
+        ("net", g.net_n, &net_det, net_ms),
+    ] {
+        let inbox_max = det.histogram("proto.inbox_len").map(|h| h.max).unwrap_or(0);
+        let repair: u64 = det
+            .region_histograms
+            .iter()
+            .filter(|r| r.histogram.name == "proto.repair_sample_age")
+            .map(|r| r.histogram.count)
+            .sum();
+        table.row(vec![
+            engine.to_string(),
+            n.to_string(),
+            det.counter("proto.rounds").to_string(),
+            det.counter("proto.sent").to_string(),
+            det.counter("proto.delivered").to_string(),
+            inbox_max.to_string(),
+            repair.to_string(),
+            ms.to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let mut check_table = Table::new("Observability pins", &["check", "holds"]);
+    check_table.row(vec![
+        "round engine byte-identical at thread caps 1/2".to_string(),
+        fmt_bool(checks.thread_caps_identical),
+    ]);
+    check_table.row(vec![
+        "proto.* identical: round vs sub-round event".to_string(),
+        fmt_bool(checks.event_matches_round),
+    ]);
+    check_table.row(vec![
+        "proto.* identical: transport vs its twin replay".to_string(),
+        fmt_bool(checks.net_twin_counters_match),
+    ]);
+    check_table.row(vec![
+        "streaming metrics fold to the full digest".to_string(),
+        fmt_bool(checks.streaming_digest_matches_full),
+    ]);
+    println!("{}", check_table.to_markdown());
+    println!(
+        "The deterministic section (round + event snapshots, all four pins) is a pure\n\
+         function of (seed, protocol): CI runs this binary twice at different TSA_THREADS\n\
+         and byte-compares it. The timing section — phase spans, and the transport's\n\
+         wall-clock-dependent counters — is excluded; the transport's contract is the\n\
+         twin pin, not byte identity."
+    );
+
+    let doc = ProfileDoc {
+        exp: exp.to_string(),
+        smoke,
+        deterministic: DeterministicDoc {
+            all_checks_pass,
+            checks,
+            round: EngineDet {
+                engine: "round".to_string(),
+                n: g.n,
+                seed: g.seed,
+                rounds: round_total,
+                snapshot: round_det,
+            },
+            event: EngineDet {
+                engine: "event".to_string(),
+                n: g.n,
+                seed: g.seed,
+                rounds: round_total,
+                snapshot: event_det,
+            },
+        },
+        timing: TimingDoc {
+            engines: vec![
+                EngineTiming {
+                    engine: "round".to_string(),
+                    elapsed_ms: round_ms,
+                    spans: round_spans,
+                },
+                EngineTiming {
+                    engine: "event".to_string(),
+                    elapsed_ms: event_ms,
+                    spans: event_spans,
+                },
+                EngineTiming {
+                    engine: "net".to_string(),
+                    elapsed_ms: net_ms,
+                    spans: net_spans,
+                },
+            ],
+            net: EngineDet {
+                engine: "net".to_string(),
+                n: g.net_n,
+                seed: g.seed,
+                rounds: net_total,
+                snapshot: net_det,
+            },
+        },
+    };
+    match &args.out {
+        Some(dir) => {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: could not create {}: {err}", dir.display());
+            }
+            write_bench_json_at(&dir.join(format!("BENCH_{exp}.json")), &doc);
+        }
+        None => write_bench_json(exp, &doc),
+    }
+    if !all_checks_pass {
+        eprintln!("{exp}: an observability pin failed");
+        std::process::exit(1);
+    }
+}

@@ -2,6 +2,9 @@
 //! `2λ+2`, congestion `O(k log n)` (a declarative n × k sweep with seed
 //! replicates), and trajectory-crossing counts (a bespoke Lemma 12 check).
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use serde::Serialize;
 
 use tsa_analysis::{fmt_f, Table};

@@ -2,6 +2,9 @@
 //! probability and discards at most half of all attempts — a declarative
 //! sweep over the size axis with seed replicates.
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use tsa_bench::{finish, run_sweeps, workload_spec, ExpArgs};
 use tsa_scenario::ScenarioKind;
 use tsa_sweep::SweepSpec;

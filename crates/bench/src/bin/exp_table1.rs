@@ -7,6 +7,9 @@
 //! * `maintained`: the paper's LDS through the full message-level protocol
 //!   against the 2-late targeted adversary.
 
+// Binaries own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use tsa_analysis::{fmt_bool, fmt_f, Table};
 use tsa_bench::{experiment_spec, finish, run_sweeps, workload_spec, ExpArgs};
 use tsa_scenario::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind};

@@ -1,6 +1,6 @@
 //! Minimal flag parsing shared by every `exp_*` binary.
 //!
-//! All experiment binaries accept the same four flags plus `--help`:
+//! All experiment binaries accept the same five flags plus `--help`:
 //!
 //! * `--full` — keep full-fidelity results (per-round metrics histories and
 //!   the raw per-cell records) in `BENCH_<exp>.json` instead of the compact
@@ -11,9 +11,13 @@
 //!   files (default: `BENCH_<exp>.json` in the current directory, shards
 //!   under `target/sweeps/`);
 //! * `--threads <k>` — worker threads for sweep execution (default:
-//!   `TSA_THREADS` or the machine's parallelism).
+//!   `TSA_THREADS` or the machine's parallelism);
+//! * `--quiet` — silence the stderr progress stream (resume summaries,
+//!   per-cell progress lines); results on stdout are unaffected.
 
 use std::path::PathBuf;
+
+use tsa_obs::Reporter;
 
 /// Parsed command-line arguments of an experiment binary.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -26,6 +30,8 @@ pub struct ExpArgs {
     pub out: Option<PathBuf>,
     /// Worker-thread override for sweep execution.
     pub threads: Option<usize>,
+    /// Silence the stderr progress stream (stdout results still print).
+    pub quiet: bool,
 }
 
 impl ExpArgs {
@@ -54,6 +60,7 @@ impl ExpArgs {
                     }
                     parsed.threads = Some(k);
                 }
+                "--quiet" => parsed.quiet = true,
                 other => return Err(format!("unknown flag {other:?} (try --help)")),
             }
         }
@@ -63,17 +70,24 @@ impl ExpArgs {
     /// Parses [`std::env::args`] for the experiment `exp`, printing usage and
     /// exiting on `--help` or a parse error.
     pub fn parse(exp: &str, about: &str) -> ExpArgs {
+        let reporter = Reporter::default();
         match Self::parse_from(std::env::args().skip(1)) {
             Ok(Some(args)) => args,
             Ok(None) => {
-                println!("{}", usage(exp, about));
+                reporter.result(&usage(exp, about));
                 std::process::exit(0);
             }
             Err(message) => {
-                eprintln!("{exp}: {message}\n\n{}", usage(exp, about));
+                reporter.error(&format!("{exp}: {message}\n\n{}", usage(exp, about)));
                 std::process::exit(2);
             }
         }
+    }
+
+    /// The progress reporter this invocation asked for: the stderr stream,
+    /// silenced by `--quiet`.
+    pub fn reporter(&self) -> Reporter {
+        Reporter::new(self.quiet)
     }
 }
 
@@ -82,7 +96,7 @@ pub fn usage(exp: &str, about: &str) -> String {
     format!(
         "{exp} — {about}\n\
          \n\
-         USAGE: {exp} [--full] [--list] [--out <dir>] [--threads <k>]\n\
+         USAGE: {exp} [--full] [--list] [--out <dir>] [--threads <k>] [--quiet]\n\
          \n\
          OPTIONS:\n\
          \x20 --full         keep full-fidelity records (raw per-round metrics)\n\
@@ -92,6 +106,8 @@ pub fn usage(exp: &str, about: &str) -> String {
          \x20 --out <dir>    write BENCH_{exp}.json and sweep shards under <dir>\n\
          \x20 --threads <k>  worker threads for sweep cells (default: TSA_THREADS\n\
          \x20                or the machine's available parallelism)\n\
+         \x20 --quiet        silence the stderr progress stream (resume summary,\n\
+         \x20                per-cell progress); stdout results still print\n\
          \x20 --help         print this help"
     )
 }
@@ -113,6 +129,7 @@ mod tests {
             "results",
             "--threads",
             "4",
+            "--quiet",
         ]))
         .unwrap()
         .unwrap();
@@ -120,6 +137,9 @@ mod tests {
         assert!(args.list);
         assert_eq!(args.out, Some(PathBuf::from("results")));
         assert_eq!(args.threads, Some(4));
+        assert!(args.quiet);
+        assert!(args.reporter().is_quiet());
+        assert!(!ExpArgs::default().reporter().is_quiet());
         assert_eq!(
             ExpArgs::parse_from(strings(&[])).unwrap().unwrap(),
             ExpArgs::default()
@@ -147,7 +167,14 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let text = usage("exp_x", "test experiment");
-        for flag in ["--full", "--list", "--out", "--threads", "--help"] {
+        for flag in [
+            "--full",
+            "--list",
+            "--out",
+            "--threads",
+            "--quiet",
+            "--help",
+        ] {
             assert!(text.contains(flag), "usage must document {flag}");
         }
     }

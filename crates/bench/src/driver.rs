@@ -76,36 +76,30 @@ pub fn list_cells(exp: &str, sweeps: &[SweepSpec]) -> String {
 
 /// Runs each sweep (resuming from existing shards), prints its aggregate
 /// table, and returns the runs in order. Under `--list` the cells are
-/// printed instead and the process exits without executing any.
+/// printed instead and the process exits without executing any. Progress —
+/// the executor's resume summary and per-cell lines — streams to stderr
+/// unless `--quiet`; the tables are results and always print on stdout.
 pub fn run_sweeps(exp: &str, args: &ExpArgs, sweeps: Vec<SweepSpec>) -> Vec<SweepRun> {
+    let reporter = args.reporter();
     if args.list {
-        print!("{}", list_cells(exp, &sweeps));
+        reporter.result(list_cells(exp, &sweeps).trim_end());
         std::process::exit(0);
     }
     sweeps
         .into_iter()
         .map(|sweep| {
-            let mut runner = SweepRunner::new(sweep.clone()).shard_path(shard_path(
-                exp,
-                &sweep.name,
-                args,
-            ));
+            let mut runner = SweepRunner::new(sweep.clone())
+                .shard_path(shard_path(exp, &sweep.name, args))
+                .reporter(reporter);
             if let Some(threads) = args.threads {
                 runner = runner.threads(threads);
             }
             let run = runner.run();
-            if run.resumed > 0 || run.discarded > 0 {
-                println!(
-                    "[{exp}.{}: resumed {} of {} cells from shards ({} stale), ran {} on {} threads]",
-                    sweep.name,
-                    run.resumed,
-                    run.records.len(),
-                    run.discarded,
-                    run.executed,
-                    run.threads,
-                );
-            }
-            println!("{}", aggregate(&sweep.name, &run.records).to_table().to_markdown());
+            reporter.result(
+                &aggregate(&sweep.name, &run.records)
+                    .to_table()
+                    .to_markdown(),
+            );
             run
         })
         .collect()
@@ -146,7 +140,10 @@ pub fn write_bench_doc(exp: &str, args: &ExpArgs, doc: &BenchDoc) {
     match &args.out {
         Some(dir) => {
             if let Err(err) = std::fs::create_dir_all(dir) {
-                eprintln!("warning: could not create {}: {err}", dir.display());
+                tsa_obs::Reporter::default().error(&format!(
+                    "warning: could not create {}: {err}",
+                    dir.display()
+                ));
             }
             crate::write_bench_json_at(&dir.join(format!("BENCH_{exp}.json")), doc);
         }

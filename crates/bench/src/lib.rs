@@ -4,7 +4,8 @@
 //! quantitative claim of a lemma/theorem) as a thin set of
 //! [`tsa_sweep::SweepSpec`] declarations over the shared [`driver`] (shards,
 //! resume, aggregation) and [`cli`] flags (`--full`, `--out`, `--threads`,
-//! `--help`); the Criterion benches in `benches/` measure the wall-clock cost
+//! `--quiet`, `--help`); the Criterion benches in `benches/` measure the
+//! wall-clock cost
 //! of the core operations. `EXPERIMENTS.md` in the repository root records
 //! the outputs. Every binary additionally writes its machine-readable
 //! results as `BENCH_<exp>.json` (a [`BenchDoc`]: sweep aggregates plus
@@ -23,6 +24,7 @@
 //! | `exp_partition`    | Regional partitions: bridge latency × loss survival grid, scheduled healing, the reconnection probe |
 //! | `exp_perf`         | Round-loop throughput trajectory (rounds/s, msgs/s, peak RSS) |
 //! | `exp_net`          | The overlay over loopback TCP: wall-clock throughput, bytes on the wire, and the deterministic-twin replay check |
+//! | `exp_profile`      | The `tsa-obs` observability layer: deterministic counters/histograms per scheduler (CI byte-compares them) plus wall-clock phase spans |
 
 #![warn(missing_docs)]
 
@@ -81,9 +83,16 @@ pub fn write_bench_json<T: Serialize>(exp: &str, results: &T) {
 /// stdout.
 pub fn write_bench_json_at<T: Serialize>(path: &std::path::Path, results: &T) {
     let json = serde_json::to_string_pretty(results).expect("bench results serialize");
+    let reporter = tsa_obs::Reporter::default();
     match std::fs::write(path, json) {
-        Ok(()) => println!("\n[machine-readable results written to {}]", path.display()),
-        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        Ok(()) => reporter.result(&format!(
+            "\n[machine-readable results written to {}]",
+            path.display()
+        )),
+        Err(err) => reporter.error(&format!(
+            "warning: could not write {}: {err}",
+            path.display()
+        )),
     }
 }
 

@@ -15,7 +15,11 @@ use std::collections::HashMap;
 use tsa_event::{
     EventConfig, EventSimulator, LatencyModel, MessageTrace, NetModel, NetStats, Topology,
 };
-use tsa_sim::{Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, Round};
+use tsa_obs::ObsHandle;
+use tsa_sim::{
+    Adversary, ChurnRules, Lateness, MetricsHistory, MetricsMode, MetricsSummary, NodeId, Round,
+    RoundMetrics,
+};
 
 use crate::harness::{build_report, harness_factory, harness_sim_config};
 use crate::node::ProtocolNode;
@@ -29,6 +33,10 @@ use tsa_overlay::Position;
 pub struct AsyncMaintenanceHarness<A: Adversary> {
     sim: EventSimulator<ProtocolNode, A>,
     params: MaintenanceParams,
+    /// The harness's own grip on the observability sink (the engine holds a
+    /// clone): the protocol-level probes — sampling ages — live here, above
+    /// the engine.
+    obs: ObsHandle,
 }
 
 impl<A: Adversary> AsyncMaintenanceHarness<A> {
@@ -70,7 +78,34 @@ impl<A: Adversary> AsyncMaintenanceHarness<A> {
             EventConfig::with_topology(harness_sim_config(seed, churn_rules, lateness), topology);
         let mut sim = EventSimulator::new(config, adversary, harness_factory(params));
         sim.seed_nodes(params.overlay.n);
-        AsyncMaintenanceHarness { sim, params }
+        AsyncMaintenanceHarness {
+            sim,
+            params,
+            obs: ObsHandle::off(),
+        }
+    }
+
+    /// Attaches an observability sink to the engine and the harness-level
+    /// probes (pass [`ObsHandle::off`] to detach).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.sim.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Selects how the engine retains per-round metrics. Call before
+    /// running.
+    pub fn set_metrics_mode(&mut self, mode: MetricsMode) {
+        self.sim.set_metrics_mode(mode);
+    }
+
+    /// The whole-run metrics digest, identical under both metrics modes.
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        self.sim.metrics_summary()
+    }
+
+    /// The most recent round's metrics, under either metrics mode.
+    pub fn last_metrics(&self) -> Option<&RoundMetrics> {
+        self.sim.last_metrics()
     }
 
     /// Assembles the deterministic twin of a recorded transport run: the
@@ -123,7 +158,14 @@ impl<A: Adversary> AsyncMaintenanceHarness<A> {
 
     /// Runs `rounds` round boundaries.
     pub fn run(&mut self, rounds: u64) {
-        self.sim.run(rounds);
+        if self.obs.is_on() {
+            // The engine's own `run` bypasses the harness-level probes.
+            for _ in 0..rounds {
+                self.step();
+            }
+        } else {
+            self.sim.run(rounds);
+        }
     }
 
     /// Runs the full churn-free bootstrap phase.
@@ -134,6 +176,30 @@ impl<A: Adversary> AsyncMaintenanceHarness<A> {
     /// Executes a single round boundary.
     pub fn step(&mut self) {
         self.sim.step();
+        if self.obs.is_on() {
+            self.probe_repair_sample_ages();
+        }
+    }
+
+    /// Records the age — in maturity ages — of every sample surfaced by
+    /// neighbour repair this round, keyed by the sampled node's region under
+    /// the configured topology (region 0 for non-regional topologies, which
+    /// keeps a [`Topology::Global`] run bit-identical to the round harness's
+    /// probe).
+    fn probe_repair_sample_ages(&self) {
+        let t = self.sim.round().saturating_sub(1);
+        let maturity = self.params.maturity_age().max(1);
+        let topology = &self.sim.config().topology;
+        for (_, node) in self.sim.nodes() {
+            for &owner in node.repair_samples() {
+                if let Some(joined) = self.sim.joined_at(owner) {
+                    let age = t.saturating_sub(joined) / maturity;
+                    let region = topology.region_of(owner).unwrap_or(0);
+                    self.obs
+                        .observe_region("proto.repair_sample_age", region, age);
+                }
+            }
+        }
     }
 
     /// Direct access to the underlying event simulator.
@@ -178,8 +244,8 @@ impl<A: Adversary> AsyncMaintenanceHarness<A> {
             self.sim.config().sim.hash_seed,
             round,
             &snapshots,
-            self.metrics()
-                .last()
+            self.sim
+                .last_metrics()
                 .map(|m| m.max_received_per_node)
                 .unwrap_or(0),
         )

@@ -5,9 +5,11 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use tsa_obs::ObsHandle;
 use tsa_overlay::{Lds, OverlayGraph, Position};
 use tsa_sim::{
-    Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, Round, SimConfig, Simulator,
+    Adversary, ChurnRules, Lateness, MetricsHistory, MetricsMode, MetricsSummary, NodeId, Round,
+    RoundMetrics, SimConfig, Simulator,
 };
 
 use crate::node::ProtocolNode;
@@ -55,6 +57,10 @@ impl MaintenanceReport {
 pub struct MaintenanceHarness<A: Adversary> {
     sim: Simulator<ProtocolNode, A>,
     params: MaintenanceParams,
+    /// The harness's own grip on the observability sink (the engine holds a
+    /// clone): the protocol-level probes — sampling ages — live here, above
+    /// the engine.
+    obs: ObsHandle,
 }
 
 /// The genesis [`SimConfig`] shared by the round harness and the async
@@ -185,7 +191,34 @@ impl<A: Adversary> MaintenanceHarness<A> {
         let config = harness_sim_config(seed, churn_rules, lateness);
         let mut sim = Simulator::new(config, adversary, harness_factory(params));
         sim.seed_nodes(params.overlay.n);
-        MaintenanceHarness { sim, params }
+        MaintenanceHarness {
+            sim,
+            params,
+            obs: ObsHandle::off(),
+        }
+    }
+
+    /// Attaches an observability sink to the engine and the harness-level
+    /// probes (pass [`ObsHandle::off`] to detach).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.sim.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Selects how the engine retains per-round metrics. Call before
+    /// running.
+    pub fn set_metrics_mode(&mut self, mode: MetricsMode) {
+        self.sim.set_metrics_mode(mode);
+    }
+
+    /// The whole-run metrics digest, identical under both metrics modes.
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        self.sim.metrics_summary()
+    }
+
+    /// The most recent round's metrics, under either metrics mode.
+    pub fn last_metrics(&self) -> Option<&RoundMetrics> {
+        self.sim.last_metrics()
     }
 
     /// The protocol parameters.
@@ -210,7 +243,14 @@ impl<A: Adversary> MaintenanceHarness<A> {
 
     /// Runs `rounds` rounds.
     pub fn run(&mut self, rounds: u64) {
-        self.sim.run(rounds);
+        if self.obs.is_on() {
+            // The engine's own `run` bypasses the harness-level probes.
+            for _ in 0..rounds {
+                self.step();
+            }
+        } else {
+            self.sim.run(rounds);
+        }
     }
 
     /// Runs the full churn-free bootstrap phase.
@@ -221,6 +261,25 @@ impl<A: Adversary> MaintenanceHarness<A> {
     /// Executes a single round.
     pub fn step(&mut self) {
         self.sim.step();
+        if self.obs.is_on() {
+            self.probe_repair_sample_ages();
+        }
+    }
+
+    /// Records the age — in maturity ages — of every sample surfaced by
+    /// neighbour repair this round. The round harness has no network
+    /// topology, so everything lands in region 0.
+    fn probe_repair_sample_ages(&self) {
+        let t = self.sim.round().saturating_sub(1);
+        let maturity = self.params.maturity_age().max(1);
+        for (_, node) in self.sim.nodes() {
+            for &owner in node.repair_samples() {
+                if let Some(joined) = self.sim.joined_at(owner) {
+                    let age = t.saturating_sub(joined) / maturity;
+                    self.obs.observe_region("proto.repair_sample_age", 0, age);
+                }
+            }
+        }
     }
 
     /// Direct access to the underlying simulator.
@@ -251,8 +310,8 @@ impl<A: Adversary> MaintenanceHarness<A> {
             self.sim.config().hash_seed,
             round,
             &snapshots,
-            self.metrics()
-                .last()
+            self.sim
+                .last_metrics()
                 .map(|m| m.max_received_per_node)
                 .unwrap_or(0),
         )

@@ -17,7 +17,11 @@ use std::time::Duration;
 
 use tsa_event::{MessageTrace, NetStats};
 use tsa_net::{NetConfig, NetRunner, WireStats};
-use tsa_sim::{Adversary, ChurnRules, Lateness, MetricsHistory, NodeId, Round};
+use tsa_obs::ObsHandle;
+use tsa_sim::{
+    Adversary, ChurnRules, Lateness, MetricsHistory, MetricsMode, MetricsSummary, NodeId, Round,
+    RoundMetrics,
+};
 
 use crate::harness::{build_report, harness_factory, harness_sim_config};
 use crate::node::ProtocolNode;
@@ -29,6 +33,10 @@ use crate::MaintenanceReport;
 pub struct NetMaintenanceHarness<A: Adversary> {
     net: NetRunner<ProtocolNode, A>,
     params: MaintenanceParams,
+    /// The harness's own grip on the observability sink (the runner holds a
+    /// clone): the protocol-level probes — sampling ages — live here, above
+    /// the transport.
+    obs: ObsHandle,
 }
 
 impl<A: Adversary> NetMaintenanceHarness<A> {
@@ -51,7 +59,34 @@ impl<A: Adversary> NetMaintenanceHarness<A> {
             .with_round_duration(round_duration);
         let mut net = NetRunner::new(config, adversary, harness_factory(params));
         net.seed_nodes(params.overlay.n);
-        NetMaintenanceHarness { net, params }
+        NetMaintenanceHarness {
+            net,
+            params,
+            obs: ObsHandle::off(),
+        }
+    }
+
+    /// Attaches an observability sink to the runner and the harness-level
+    /// probes (pass [`ObsHandle::off`] to detach).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.net.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Selects how the runner retains per-round metrics. Call before
+    /// running.
+    pub fn set_metrics_mode(&mut self, mode: MetricsMode) {
+        self.net.set_metrics_mode(mode);
+    }
+
+    /// The whole-run metrics digest, identical under both metrics modes.
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        self.net.metrics_summary()
+    }
+
+    /// The most recent round's metrics, under either metrics mode.
+    pub fn last_metrics(&self) -> Option<&RoundMetrics> {
+        self.net.last_metrics()
     }
 
     /// The protocol parameters.
@@ -76,7 +111,14 @@ impl<A: Adversary> NetMaintenanceHarness<A> {
 
     /// Runs `rounds` wall-clock rounds.
     pub fn run(&mut self, rounds: u64) {
-        self.net.run(rounds);
+        if self.obs.is_on() {
+            // The runner's own `run` bypasses the harness-level probes.
+            for _ in 0..rounds {
+                self.step();
+            }
+        } else {
+            self.net.run(rounds);
+        }
     }
 
     /// Runs the full churn-free bootstrap phase.
@@ -87,6 +129,25 @@ impl<A: Adversary> NetMaintenanceHarness<A> {
     /// Executes a single round.
     pub fn step(&mut self) {
         self.net.step();
+        if self.obs.is_on() {
+            self.probe_repair_sample_ages();
+        }
+    }
+
+    /// Records the age — in maturity ages — of every sample surfaced by
+    /// neighbour repair this round. The loopback transport has no region
+    /// structure, so everything lands in region 0.
+    fn probe_repair_sample_ages(&self) {
+        let t = self.net.round().saturating_sub(1);
+        let maturity = self.params.maturity_age().max(1);
+        for (_, node) in self.net.nodes() {
+            for &owner in node.repair_samples() {
+                if let Some(joined) = self.net.joined_at(owner) {
+                    let age = t.saturating_sub(joined) / maturity;
+                    self.obs.observe_region("proto.repair_sample_age", 0, age);
+                }
+            }
+        }
     }
 
     /// Direct access to the underlying transport runtime.
@@ -136,8 +197,8 @@ impl<A: Adversary> NetMaintenanceHarness<A> {
             self.net.config().sim.hash_seed,
             round,
             &snapshots,
-            self.metrics()
-                .last()
+            self.net
+                .last_metrics()
                 .map(|m| m.max_received_per_node)
                 .unwrap_or(0),
         )

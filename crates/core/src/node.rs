@@ -78,6 +78,11 @@ pub struct ProtocolNode {
     tokens: Vec<NodeId>,
     /// Connect slots (`c_1 … c_{2δ}` of Listing 4).
     slots: Vec<Option<NodeId>>,
+    /// Token owners this node spent on neighbor repair in its last round
+    /// (the samples behind the per-region sampling-age probe). Engine-side
+    /// state only — deliberately not part of [`NodeStats`] or the snapshot,
+    /// so artifacts are unaffected.
+    repair_sampled: Vec<NodeId>,
     /// Statistics for the experiments.
     stats: NodeStats,
 }
@@ -97,6 +102,7 @@ impl ProtocolNode {
             h_entries: Vec::new(),
             tokens: Vec::new(),
             slots,
+            repair_sampled: Vec::new(),
             stats: NodeStats::default(),
         }
     }
@@ -126,6 +132,13 @@ impl ProtocolNode {
     /// (i.e. it is actually wired into the overlay).
     pub fn participates(&self, epoch: u64) -> bool {
         self.d_epoch == epoch && !self.d_neighbors.is_empty()
+    }
+
+    /// The token owners this node spent on neighbor repair in its last
+    /// round (empty when it did not repair). The per-region sampling-age
+    /// probe reads these after every step.
+    pub fn repair_samples(&self) -> &[NodeId] {
+        &self.repair_sampled
     }
 
     /// A copy of the node's observable state for analysis.
@@ -583,6 +596,7 @@ impl ProtocolNode {
         let delta = self.params.delta;
         self.stats.connects_received_last_round = 0;
         self.stats.tokens_received_last_round = 0;
+        self.repair_sampled.clear();
 
         // Reset connect slots at the start of every round (Listing 4 line 35).
         for s in self.slots.iter_mut() {
@@ -660,6 +674,7 @@ impl ProtocolNode {
         if !self.is_mature(now) || !integrated {
             let picked = pick_tokens(&self.tokens, delta, &mut ctx.rng);
             for owner in picked {
+                self.repair_sampled.push(owner);
                 ctx.send(owner, ProtocolMsg::Connect { node: ctx.id() });
             }
         }

@@ -1,0 +1,194 @@
+//! Pins for the observability layer's two load-bearing claims.
+//!
+//! * **Off is really off.** Attaching a [`NullRecorder`] switches the
+//!   harness onto its instrumented path (per-step probes instead of the
+//!   engine's own `run` loop), so this pins that the path itself is inert:
+//!   the report and metrics digest are byte-identical to an uninstrumented
+//!   run across seeds and adversaries. Every committed `BENCH_*.json`
+//!   rests on this.
+//! * **Deterministic means deterministic.** An [`ObsRecorder`]'s counters
+//!   and histograms are pure functions of `(seed, protocol)`: byte-identical
+//!   across rayon thread caps, and — for the scheduler-independent `proto.*`
+//!   family — byte-identical between the round engine and a
+//!   sub-round-latency event run. CI's byte-comparison of
+//!   `BENCH_exp_profile.json`'s deterministic section rests on this.
+
+use std::sync::Arc;
+
+use proptest::{prop_assert_eq, proptest, ProptestConfig};
+use tsa_adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
+use tsa_core::{AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams};
+use tsa_event::{LatencyModel, NetModel};
+use tsa_obs::{NullRecorder, ObsHandle, ObsRecorder};
+use tsa_sim::{Adversary, NullAdversary};
+
+fn small_params() -> MaintenanceParams {
+    MaintenanceParams::new(32)
+        .with_c(1.5)
+        .with_tau(3)
+        .with_replication(2)
+}
+
+/// (report, metrics digest) of a round-engine run, optionally instrumented.
+fn round_fingerprint<A: Adversary>(
+    seed: u64,
+    rounds: u64,
+    adversary: A,
+    obs: Option<ObsHandle>,
+) -> (String, String) {
+    let params = small_params();
+    let mut h = MaintenanceHarness::assemble(
+        params,
+        adversary,
+        seed,
+        params.paper_churn_rules(),
+        params.paper_lateness(),
+    );
+    if let Some(obs) = obs {
+        h.set_obs(obs);
+    }
+    h.run_bootstrap();
+    h.run(rounds);
+    (
+        serde_json::to_string(&h.report()).unwrap(),
+        serde_json::to_string(&h.metrics_summary()).unwrap(),
+    )
+}
+
+/// Like [`round_fingerprint`], on the event engine under `latency` ticks.
+fn event_fingerprint<A: Adversary>(
+    seed: u64,
+    rounds: u64,
+    latency: u64,
+    adversary: A,
+    obs: Option<ObsHandle>,
+) -> (String, String) {
+    let params = small_params();
+    let mut h = AsyncMaintenanceHarness::assemble(
+        params,
+        adversary,
+        seed,
+        params.paper_churn_rules(),
+        params.paper_lateness(),
+        NetModel::new(LatencyModel::constant(latency)),
+    );
+    if let Some(obs) = obs {
+        h.set_obs(obs);
+    }
+    h.run_bootstrap();
+    h.run(rounds);
+    (
+        serde_json::to_string(&h.report()).unwrap(),
+        serde_json::to_string(&h.metrics_summary()).unwrap(),
+    )
+}
+
+/// The round engine's deterministic snapshot under a rayon thread cap.
+fn round_snapshot(seed: u64, rounds: u64, cap: usize) -> String {
+    rayon::with_thread_cap(cap, || {
+        let params = small_params();
+        let mut h = MaintenanceHarness::assemble(
+            params,
+            RandomChurnAdversary::new(2, seed),
+            seed,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+        );
+        let rec = Arc::new(ObsRecorder::new());
+        h.set_obs(ObsHandle::new(rec.clone()));
+        h.run_bootstrap();
+        h.run(rounds);
+        serde_json::to_string(&rec.det_snapshot()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn a_null_recorder_never_perturbs_a_run(
+        seed in 0u64..1_000_000,
+        adv in 0u8..3,
+    ) {
+        let instrumented = || ObsHandle::new(Arc::new(NullRecorder));
+        let (plain, with_null) = match adv {
+            0 => (
+                round_fingerprint(seed, 6, NullAdversary, None),
+                round_fingerprint(seed, 6, NullAdversary, Some(instrumented())),
+            ),
+            1 => (
+                round_fingerprint(seed, 6, RandomChurnAdversary::new(2, seed), None),
+                round_fingerprint(
+                    seed, 6, RandomChurnAdversary::new(2, seed), Some(instrumented()),
+                ),
+            ),
+            _ => (
+                round_fingerprint(seed, 6, TargetedSwarmAdversary::new(1, seed), None),
+                round_fingerprint(
+                    seed, 6, TargetedSwarmAdversary::new(1, seed), Some(instrumented()),
+                ),
+            ),
+        };
+        prop_assert_eq!(plain, with_null);
+    }
+
+    #[test]
+    fn proto_counters_agree_between_round_and_sub_round_event_runs(
+        seed in 0u64..1_000_000,
+        churny in 0u8..2,
+    ) {
+        let snapshot = |rec: &ObsRecorder| {
+            serde_json::to_string(&rec.det_snapshot().filtered("proto.")).unwrap()
+        };
+
+        let round_rec = Arc::new(ObsRecorder::new());
+        let event_rec = Arc::new(ObsRecorder::new());
+        if churny == 1 {
+            round_fingerprint(
+                seed, 5, RandomChurnAdversary::new(2, seed),
+                Some(ObsHandle::new(round_rec.clone())),
+            );
+            // 500 ticks = half a round: every message lands by its next
+            // boundary, so the protocol trace is the round engine's.
+            event_fingerprint(
+                seed, 5, 500, RandomChurnAdversary::new(2, seed),
+                Some(ObsHandle::new(event_rec.clone())),
+            );
+        } else {
+            round_fingerprint(seed, 5, NullAdversary, Some(ObsHandle::new(round_rec.clone())));
+            event_fingerprint(
+                seed, 5, 500, NullAdversary, Some(ObsHandle::new(event_rec.clone())),
+            );
+        }
+        prop_assert_eq!(snapshot(&round_rec), snapshot(&event_rec));
+    }
+}
+
+#[test]
+fn a_null_recorder_never_perturbs_an_event_run() {
+    // The event harness has its own instrumented path; one deterministic
+    // pin (super-round latency, so delivery genuinely straddles rounds).
+    let plain = event_fingerprint(13, 6, 1500, RandomChurnAdversary::new(2, 13), None);
+    let with_null = event_fingerprint(
+        13,
+        6,
+        1500,
+        RandomChurnAdversary::new(2, 13),
+        Some(ObsHandle::new(Arc::new(NullRecorder))),
+    );
+    assert_eq!(plain, with_null);
+}
+
+#[test]
+fn obs_snapshots_are_byte_identical_across_thread_caps() {
+    for seed in [3u64, 11] {
+        let cap1 = round_snapshot(seed, 6, 1);
+        for cap in [2, 4] {
+            assert_eq!(
+                cap1,
+                round_snapshot(seed, 6, cap),
+                "seed {seed}: deterministic snapshot must not depend on the thread cap {cap}"
+            );
+        }
+    }
+}

@@ -38,11 +38,13 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 
+use tsa_obs::ObsHandle;
 use tsa_sim::knowledge::{KnowledgeView, MemberInfo, RoundRecord};
 use tsa_sim::{
-    apply_churn_plan, run_activation, Adversary, ChurnBudget, ChurnOutcome, CommGraph, Envelope,
-    MetricsHistory, NodeFactory, NodeId, PlanScratch, ProtocolStep, Round, RoundMetricsBuilder,
-    SimConfig,
+    apply_churn_plan, record_round_obs, run_activation, Adversary, ChurnBudget, ChurnOutcome,
+    CommGraph, Envelope, MetricsHistory, MetricsMode, MetricsSummary, NodeFactory, NodeId,
+    PlanScratch, ProtocolStep, Round, RoundMetrics, RoundMetricsBuilder, SimConfig,
+    StreamingMetrics,
 };
 
 use crate::model::{NetModel, Topology};
@@ -186,6 +188,11 @@ pub struct EventSimulator<P: ProtocolStep, A: Adversary> {
     spare_records: Vec<RoundRecord>,
     records: Vec<RoundRecord>,
     metrics: MetricsHistory,
+    /// When set, finished rounds fold into O(1) accumulators instead of
+    /// growing the history ([`MetricsMode::Streaming`]).
+    streaming: Option<StreamingMetrics>,
+    /// Observability sink; off by default (one branch per probe).
+    obs: ObsHandle,
     budget: ChurnBudget,
     round: Round,
     next_id: u64,
@@ -223,6 +230,8 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             spare_records: Vec::new(),
             records: Vec::new(),
             metrics: MetricsHistory::new(),
+            streaming: None,
+            obs: ObsHandle::off(),
             budget: ChurnBudget::new(),
             round: 0,
             next_id: 0,
@@ -309,9 +318,48 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
         self.slots.iter().map(|s| (s.id, &s.process))
     }
 
-    /// Metrics collected so far (one row per round boundary).
+    /// Metrics collected so far (one row per round boundary). Empty under
+    /// [`MetricsMode::Streaming`] — use
+    /// [`metrics_summary`](Self::metrics_summary) /
+    /// [`last_metrics`](Self::last_metrics) for mode-independent access.
     pub fn metrics(&self) -> &MetricsHistory {
         &self.metrics
+    }
+
+    /// Attaches an observability sink (or detaches it with
+    /// [`ObsHandle::off`]); recording starts with the next boundary.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// Selects how finished rounds are retained. Call before running.
+    pub fn set_metrics_mode(&mut self, mode: MetricsMode) {
+        self.streaming = match mode {
+            MetricsMode::Full => None,
+            MetricsMode::Streaming => Some(StreamingMetrics::new()),
+        };
+    }
+
+    /// The whole-run metrics digest, identical under both metrics modes.
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        match &self.streaming {
+            Some(s) => s.summary(),
+            None => self.metrics.summary(),
+        }
+    }
+
+    /// The most recent round's metrics, under either metrics mode.
+    pub fn last_metrics(&self) -> Option<&RoundMetrics> {
+        match &self.streaming {
+            Some(s) => s.last(),
+            None => self.metrics.last(),
+        }
+    }
+
+    /// The streaming accumulators, when running under
+    /// [`MetricsMode::Streaming`].
+    pub fn streaming_metrics(&self) -> Option<&StreamingMetrics> {
+        self.streaming.as_ref()
     }
 
     /// Archived round records (communication graphs and digests).
@@ -367,7 +415,9 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
 
     /// Executes `rounds` round boundaries.
     pub fn run(&mut self, rounds: u64) {
-        self.metrics.reserve(rounds as usize);
+        if self.streaming.is_none() {
+            self.metrics.reserve(rounds as usize);
+        }
         for _ in 0..rounds {
             self.step();
         }
@@ -385,9 +435,12 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             .checked_mul(self.config.ticks_per_round)
             .expect("virtual clock overflow");
         let mut mb = RoundMetricsBuilder::new(t);
+        let obs_on = self.obs.is_on();
+        let stats_before = self.stats;
 
         // Phase 1: adversarial churn at the boundary, through the shared
         // arbiter (suppressed during the bootstrap phase).
+        let span = self.obs.span_start();
         let mut outcome = std::mem::take(&mut self.last_outcome);
         outcome.departed.clear();
         outcome.joined.clear();
@@ -432,6 +485,7 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             }
         }
         mb.record_churn(outcome.departed.len(), outcome.joined.len());
+        self.obs.span_end("event.churn", span);
 
         // Phase 2: hand every message that has arrived by this boundary's
         // tick to its receiver. A delay of `d ∈ [0, ticks_per_round]` for a
@@ -446,6 +500,7 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
         // delivery order — this is what makes any sub-round network model,
         // jitter included, bit-identical to the round engine instead of
         // only the constant-delay ones.
+        let span = self.obs.span_start();
         let mut dropped = 0usize;
         self.deliverable.clear();
         while let Some(head) = self.queue.peek() {
@@ -465,6 +520,7 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
                 }
             }
         }
+        self.obs.span_end("event.pop", span);
 
         // Sponsored joiners, grouped contiguously by bootstrap node exactly
         // as in the lockstep engine.
@@ -518,7 +574,9 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
         let hash_seed = self.config.sim.hash_seed;
         let record_digests = self.config.sim.record_digests;
         let mut lost = 0usize;
+        let span = self.obs.span_start();
         {
+            let obs = &self.obs;
             let topology = &self.config.topology;
             let ticks_per_round = self.config.ticks_per_round;
             let sponsored_ids = &self.sponsored_ids;
@@ -530,6 +588,11 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             let trace = &mut self.trace;
             for slot in self.slots.iter_mut() {
                 mb.record_received(slot.id, slot.inbox.len());
+                if obs_on {
+                    // Same name and semantics as the round engine's probe:
+                    // messages this activation reads.
+                    obs.observe("proto.inbox_len", slot.inbox.len() as u64);
+                }
                 let sponsored =
                     &sponsored_ids[slot.sponsored_start..slot.sponsored_start + slot.sponsored_len];
                 let (out, digest) = run_activation(
@@ -557,6 +620,7 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
                 if record_digests {
                     rec.digests.push((slot.id, digest));
                 }
+                let fate_span = obs.span_start();
                 for (to, payload) in slot.out.drain(..) {
                     let msg_seq = *seq;
                     *seq += 1;
@@ -626,9 +690,11 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
                         }
                     }
                 }
+                obs.span_end("event.fate", fate_span);
                 rec.graph.members.push(slot.id);
             }
         }
+        self.obs.span_end("event.dispatch", span);
         // Receiver-departed drops are charged to the delivery round, loss
         // drops to the sending round (the network never carried them).
         mb.record_dropped(dropped + lost);
@@ -646,7 +712,32 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             }
         }
 
-        self.metrics.push(mb.finish());
+        let row = mb.finish();
+        if obs_on {
+            record_round_obs(&self.obs, &row);
+            // Scheduler-specific (but still deterministic) counters: the
+            // network model's per-round effects and the queue depth.
+            let d = &self.stats;
+            self.obs.add("event.net_sent", d.sent - stats_before.sent);
+            self.obs.add("event.net_lost", d.lost - stats_before.lost);
+            self.obs.add(
+                "event.dropped_departed",
+                d.dropped_departed - stats_before.dropped_departed,
+            );
+            self.obs.add(
+                "event.bridge_sent",
+                d.bridge_sent - stats_before.bridge_sent,
+            );
+            self.obs.add(
+                "event.bridge_lost",
+                d.bridge_lost - stats_before.bridge_lost,
+            );
+            self.obs.observe("event.queue_len", self.queue.len() as u64);
+        }
+        match &mut self.streaming {
+            Some(s) => s.push(row),
+            None => self.metrics.push(row),
+        }
         self.last_outcome = outcome;
         self.round += 1;
     }

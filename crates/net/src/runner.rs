@@ -42,11 +42,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use tsa_event::{MessageFate, MessageTrace, NetStats, TICKS_PER_ROUND};
+use tsa_obs::ObsHandle;
 use tsa_sim::knowledge::{KnowledgeView, MemberInfo, RoundRecord};
 use tsa_sim::{
-    apply_churn_plan, run_activation, Adversary, ChurnBudget, ChurnOutcome, Envelope,
-    MetricsHistory, NodeFactory, NodeId, PlanScratch, ProtocolStep, Round, RoundMetricsBuilder,
-    SimConfig,
+    apply_churn_plan, record_round_obs, run_activation, Adversary, ChurnBudget, ChurnOutcome,
+    Envelope, MetricsHistory, MetricsMode, MetricsSummary, NodeFactory, NodeId, PlanScratch,
+    ProtocolStep, Round, RoundMetrics, RoundMetricsBuilder, SimConfig, StreamingMetrics,
 };
 
 use crate::codec::{decode_wire_value, encode_wire_frame, FrameDecoder, DEFAULT_MAX_FRAME};
@@ -302,6 +303,15 @@ where
     encode_scratch: Vec<u8>,
     records: Vec<RoundRecord>,
     metrics: MetricsHistory,
+    /// When set, finished rounds fold into O(1) accumulators instead of
+    /// growing the history ([`MetricsMode::Streaming`]).
+    streaming: Option<StreamingMetrics>,
+    /// Observability sink; off by default (one branch per probe). Note the
+    /// transport caveat: which boundary reads a frame is wall-clock, so the
+    /// runner's "deterministic" counters are only run-to-run stable when
+    /// every frame makes its next boundary (generous round durations — the
+    /// same condition the twin-replay CI smoke relies on).
+    obs: ObsHandle,
     budget: ChurnBudget,
     round: Round,
     next_id: u64,
@@ -350,6 +360,8 @@ where
             encode_scratch: Vec::new(),
             records: Vec::new(),
             metrics: MetricsHistory::new(),
+            streaming: None,
+            obs: ObsHandle::off(),
             budget: ChurnBudget::new(),
             round: 0,
             next_id: 0,
@@ -471,9 +483,48 @@ where
         self.slots.iter().map(|s| (s.id, &s.process))
     }
 
-    /// Metrics collected so far (one row per round).
+    /// Metrics collected so far (one row per round). Empty under
+    /// [`MetricsMode::Streaming`] — use
+    /// [`metrics_summary`](Self::metrics_summary) /
+    /// [`last_metrics`](Self::last_metrics) for mode-independent access.
     pub fn metrics(&self) -> &MetricsHistory {
         &self.metrics
+    }
+
+    /// Attaches an observability sink (or detaches it with
+    /// [`ObsHandle::off`]); recording starts with the next round.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// Selects how finished rounds are retained. Call before running.
+    pub fn set_metrics_mode(&mut self, mode: MetricsMode) {
+        self.streaming = match mode {
+            MetricsMode::Full => None,
+            MetricsMode::Streaming => Some(StreamingMetrics::new()),
+        };
+    }
+
+    /// The whole-run metrics digest, identical under both metrics modes.
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        match &self.streaming {
+            Some(s) => s.summary(),
+            None => self.metrics.summary(),
+        }
+    }
+
+    /// The most recent round's metrics, under either metrics mode.
+    pub fn last_metrics(&self) -> Option<&RoundMetrics> {
+        match &self.streaming {
+            Some(s) => s.last(),
+            None => self.metrics.last(),
+        }
+    }
+
+    /// The streaming accumulators, when running under
+    /// [`MetricsMode::Streaming`].
+    pub fn streaming_metrics(&self) -> Option<&StreamingMetrics> {
+        self.streaming.as_ref()
     }
 
     /// Archived round records (communication graphs and digests).
@@ -521,7 +572,9 @@ where
     /// Executes `rounds` rounds, each lasting its configured wall-clock
     /// duration.
     pub fn run(&mut self, rounds: u64) {
-        self.metrics.reserve(rounds as usize);
+        if self.streaming.is_none() {
+            self.metrics.reserve(rounds as usize);
+        }
         for _ in 0..rounds {
             self.step();
         }
@@ -535,10 +588,14 @@ where
         let deadline = Instant::now() + self.config.round_duration();
         let t = self.round;
         let mut mb = RoundMetricsBuilder::new(t);
+        let obs_on = self.obs.is_on();
+        let wire_frames_before = self.wire_sent_frames;
+        let wire_bytes_before = self.wire_sent_bytes;
         let mut dropped = 0usize;
 
         // Phase 1: adversarial churn through the shared arbiter, identical
         // to the twin engines (suppressed during bootstrap).
+        let span = self.obs.span_start();
         let mut outcome = std::mem::take(&mut self.last_outcome);
         outcome.departed.clear();
         outcome.joined.clear();
@@ -577,11 +634,13 @@ where
             }
         }
         mb.record_churn(outcome.departed.len(), outcome.joined.len());
+        self.obs.span_end("net.churn", span);
 
         // Phase 2: snapshot the hub. Everything the poller decoded before
         // this instant is this boundary's delivery batch; the batch is
         // re-sorted into global send order, exactly like the event engine's
         // deliverable batch, so residual arrival jitter has no meaning.
+        let span = self.obs.span_start();
         let mut batches: Vec<(NodeId, InboxBatch<P::Msg>)> = {
             let mut hub = self.hub.lock().expect("hub lock poisoned");
             for seq in hub.dead_letters.drain(..) {
@@ -612,6 +671,7 @@ where
                 self.stats.total_delay_ticks += delay;
             }
         }
+        self.obs.span_end("net.poll", span);
 
         // Sponsored joiners, grouped contiguously by bootstrap node exactly
         // as in the twin engines.
@@ -663,6 +723,7 @@ where
         let hash_seed = self.config.sim.hash_seed;
         let record_digests = self.config.sim.record_digests;
         let mut lost = 0usize;
+        let span = self.obs.span_start();
         // The snapshot was taken after churn over the current slots, so it
         // holds exactly one batch per slot, in id order (joiners included,
         // necessarily empty: their listeners bound this boundary).
@@ -675,6 +736,10 @@ where
                 .extend(batch.into_iter().map(|(_, env)| env));
             let slot = &mut self.slots[si];
             mb.record_received(slot.id, self.inbox_scratch.len());
+            if obs_on {
+                self.obs
+                    .observe("proto.inbox_len", self.inbox_scratch.len() as u64);
+            }
             let sponsored = &self.sponsored_ids
                 [slot.sponsored_start..slot.sponsored_start + slot.sponsored_len];
             let (out, digest) = run_activation(
@@ -721,6 +786,7 @@ where
             rec.graph.members.push(from);
         }
         drop(batches);
+        self.obs.span_end("net.encode", span);
         mb.record_dropped(dropped + lost);
         rec.graph.edges.sort_unstable();
         rec.graph.edges.dedup();
@@ -732,17 +798,34 @@ where
             }
         }
 
-        self.metrics.push(mb.finish());
+        let row = mb.finish();
+        if obs_on {
+            record_round_obs(&self.obs, &row);
+            // Wire-level counters: deterministic functions of the protocol
+            // traffic (frame counts and encoded bytes), not of scheduling.
+            self.obs.add(
+                "net.wire_frames",
+                self.wire_sent_frames - wire_frames_before,
+            );
+            self.obs
+                .add("net.wire_bytes", self.wire_sent_bytes - wire_bytes_before);
+        }
+        match &mut self.streaming {
+            Some(s) => s.push(row),
+            None => self.metrics.push(row),
+        }
         self.last_outcome = outcome;
         self.round += 1;
 
         // Phase 4: sleep out the round's wall-clock budget — this is the
         // window in which the poller turns this round's writes into the
         // next boundary's deliveries.
+        let span = self.obs.span_start();
         let now = Instant::now();
         if now < deadline {
             thread::sleep(deadline - now);
         }
+        self.obs.span_end("net.barrier", span);
     }
 
     /// Writes one framed message to its receiver's socket, connecting (and

@@ -8,9 +8,10 @@ use tsa_analysis::uniformity;
 use tsa_baselines::{attack_trial, AttackMode, ChordSwarm, HdGraph, SpartanOverlay};
 use tsa_core::{AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams, MaintenanceReport};
 use tsa_event::{ExecutionModel, Topology};
+use tsa_obs::ObsHandle;
 use tsa_overlay::{Lds, OverlayGraph, Position};
 use tsa_routing::{sample_many, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
-use tsa_sim::{Adversary, Lateness, MetricsHistory, NodeId, NullAdversary};
+use tsa_sim::{Adversary, Lateness, MetricsHistory, MetricsMode, NodeId, NullAdversary};
 
 use crate::outcome::{
     BaselineOutcome, MaintenanceOutcome, RoutingOutcome, SamplingOutcome, ScenarioOutcome,
@@ -136,6 +137,15 @@ impl Scenario {
         self
     }
 
+    /// Selects how the engine retains per-round metrics for a maintained
+    /// scenario: the full per-round history (the default), or O(1) streaming
+    /// accumulators — same [`MetricsSummary`](tsa_sim::MetricsSummary)
+    /// digest, no per-round rows in the outcome. One-shot kinds ignore it.
+    pub fn metrics_mode(mut self, mode: MetricsMode) -> Self {
+        self.spec.metrics = mode;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
@@ -200,8 +210,9 @@ impl Scenario {
             .lateness
             .unwrap_or_else(|| params.paper_lateness());
         let adversary = build_adversary(self.spec.adversary);
-        let harness =
+        let mut harness =
             MaintenanceHarness::assemble(params, adversary, self.spec.seed, rules, lateness);
+        harness.set_metrics_mode(self.spec.metrics);
         ScenarioRun {
             spec: self.spec,
             harness,
@@ -264,12 +275,14 @@ fn run_async_maintained(spec: ScenarioSpec, topology: Topology, rounds: u64) -> 
     let mut harness = AsyncMaintenanceHarness::assemble_with_topology(
         params, adversary, spec.seed, rules, lateness, topology,
     );
+    harness.set_metrics_mode(spec.metrics);
     if spec.bootstrap {
         harness.run_bootstrap();
     }
     harness.run(rounds);
     let report = harness.report();
     let max_connect_load = harness.connect_load().values().copied().max().unwrap_or(0);
+    let spec_metrics = spec.metrics;
     let bootstrap_rounds = if spec.bootstrap {
         params.bootstrap_rounds()
     } else {
@@ -285,8 +298,11 @@ fn run_async_maintained(spec: ScenarioSpec, topology: Topology, rounds: u64) -> 
         rounds: harness.round().saturating_sub(bootstrap_rounds),
         maintenance: Some(MaintenanceOutcome {
             report,
-            metrics_summary: harness.metrics().summary(),
-            metrics: Some(harness.metrics().clone()),
+            metrics_summary: harness.metrics_summary(),
+            metrics: match spec_metrics {
+                MetricsMode::Full => Some(harness.metrics().clone()),
+                MetricsMode::Streaming => None,
+            },
             max_connect_load,
             net_stats: Some(harness.net_stats()),
         }),
@@ -346,6 +362,12 @@ impl ScenarioRun {
         self.harness.step();
     }
 
+    /// Attaches an observability sink to the underlying harness and engine
+    /// (pass [`ObsHandle::off`] to detach).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.harness.set_obs(obs);
+    }
+
     /// The health report for the most recently completed round.
     pub fn report(&self) -> MaintenanceReport {
         self.harness.report()
@@ -397,6 +419,7 @@ impl ScenarioRun {
         };
         let mut spec = self.spec;
         spec.bootstrap = self.bootstrap_ran;
+        let spec_metrics = spec.metrics;
         ScenarioOutcome {
             label: format!(
                 "maintained LDS, n = {}, adversary = {}",
@@ -407,8 +430,11 @@ impl ScenarioRun {
             rounds: self.harness.round().saturating_sub(bootstrap_rounds),
             maintenance: Some(MaintenanceOutcome {
                 report,
-                metrics_summary: self.harness.metrics().summary(),
-                metrics: Some(self.harness.metrics().clone()),
+                metrics_summary: self.harness.metrics_summary(),
+                metrics: match spec_metrics {
+                    MetricsMode::Full => Some(self.harness.metrics().clone()),
+                    MetricsMode::Streaming => None,
+                },
                 max_connect_load,
                 // The round engine has no network model, so there are no
                 // loss/delay/bridge counters to report.
@@ -618,6 +644,45 @@ mod tests {
                 "digest re-folded from the history before the drop"
             );
         }
+    }
+
+    #[test]
+    fn streaming_metrics_mode_drops_the_rows_but_pins_the_digest() {
+        let base = || {
+            Scenario::maintained_lds(48)
+                .with_c(1.5)
+                .with_tau(4)
+                .with_replication(2)
+                .seed(11)
+        };
+        let full = base().run(6);
+        let streaming = base().metrics_mode(MetricsMode::Streaming).run(6);
+        let fm = full.maintenance.as_ref().unwrap();
+        let sm = streaming.maintenance.as_ref().unwrap();
+        assert!(fm.metrics.is_some() && sm.metrics.is_none());
+        assert_eq!(
+            fm.metrics_summary, sm.metrics_summary,
+            "streaming accumulators must fold to the full-history digest"
+        );
+        assert_eq!(
+            serde_json::to_string(&fm.report).unwrap(),
+            serde_json::to_string(&sm.report).unwrap(),
+            "the metrics mode must not perturb the run itself"
+        );
+        // ... and the same holds on the event engine.
+        use tsa_event::LatencyModel;
+        let async_base = || {
+            base().execution(
+                ExecutionModel::asynchronous(LatencyModel::uniform(0, 1500)).with_loss(0.02),
+            )
+        };
+        let afull = async_base().run(6);
+        let astream = async_base().metrics_mode(MetricsMode::Streaming).run(6);
+        assert_eq!(
+            afull.maintenance.as_ref().unwrap().metrics_summary,
+            astream.maintenance.as_ref().unwrap().metrics_summary
+        );
+        assert!(astream.maintenance.unwrap().metrics.is_none());
     }
 
     #[test]

@@ -61,3 +61,6 @@ pub use tsa_event::{
     ExecutionModel, LatencyModel, LinkOverride, NetModel, NetStats, PartitionSchedule,
     RegionAssign, RegionEntry, Topology,
 };
+// The metrics-mode vocabulary every spec embeds, re-exported for the same
+// reason.
+pub use tsa_sim::MetricsMode;

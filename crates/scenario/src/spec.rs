@@ -7,7 +7,7 @@
 use serde::{Deserialize, Serialize};
 use tsa_core::MaintenanceParams;
 use tsa_event::ExecutionModel;
-use tsa_sim::{ChurnRules, Lateness};
+use tsa_sim::{ChurnRules, Lateness, MetricsMode};
 
 /// Which experiment a scenario executes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -288,6 +288,14 @@ pub struct ScenarioSpec {
     /// synchronous spec) keeps its exact serialized form.
     #[serde(default, skip_serializing_if = "ExecutionModel::is_rounds")]
     pub execution: ExecutionModel,
+    /// How the engine retains per-round metrics for a maintained scenario:
+    /// the full per-round history (default), or O(1) streaming accumulators
+    /// whose [`MetricsSummary`](tsa_sim::MetricsSummary) digest is pinned
+    /// identical to the full fold. One-shot kinds ignore it. Serialized only
+    /// when streaming, so every pre-existing artifact (and every full-mode
+    /// spec) keeps its exact serialized form.
+    #[serde(default, skip_serializing_if = "MetricsMode::is_full")]
+    pub metrics: MetricsMode,
     /// Whether to run the churn-free bootstrap phase before the measured
     /// rounds (maintained scenarios only).
     pub bootstrap: bool,
@@ -318,6 +326,7 @@ impl ScenarioSpec {
             adversary: AdversarySpec::Null,
             lateness: None,
             execution: ExecutionModel::Rounds,
+            metrics: MetricsMode::Full,
             bootstrap: true,
             messages_per_node: 1,
             holder_failure: 0.0,
@@ -406,6 +415,11 @@ impl ScenarioSpec {
                 // pre-ExecutionModel labels are reproduced verbatim.
                 if !self.execution.is_rounds() {
                     parts.push(format!("exec={}", self.execution.label()));
+                }
+                // Same rule for the metrics mode: the full history is the
+                // default and adds nothing.
+                if !self.metrics.is_full() {
+                    parts.push("metrics=streaming".to_string());
                 }
             }
             ScenarioKind::Routing => {
@@ -510,6 +524,37 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn full_metrics_specs_never_serialize_the_metrics_field() {
+        // Same byte-compatibility contract as `execution`: a Full-mode spec
+        // serializes exactly as it did before MetricsMode existed, and JSON
+        // without the field deserializes to Full — so every committed
+        // BENCH_*.json and every old sweep shard round-trips unchanged.
+        let spec = ScenarioSpec::new(ScenarioKind::MaintainedLds, 64);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(!json.contains("metrics"), "Full must be skipped: {json}");
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.metrics, MetricsMode::Full);
+        assert_eq!(back, spec);
+        assert!(
+            !spec.axis_label().contains("metrics="),
+            "{}",
+            spec.axis_label()
+        );
+
+        let mut streaming = spec;
+        streaming.metrics = MetricsMode::Streaming;
+        let json = serde_json::to_string(&streaming).unwrap();
+        assert!(json.contains("\"metrics\":\"Streaming\""), "{json}");
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, streaming);
+        assert!(
+            streaming.axis_label().contains("metrics=streaming"),
+            "{}",
+            streaming.axis_label()
+        );
     }
 
     #[test]

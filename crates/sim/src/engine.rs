@@ -40,13 +40,18 @@
 
 use std::collections::BTreeMap;
 
+use tsa_obs::ObsHandle;
+
 use crate::adversary::Adversary;
 use crate::churn::{apply_churn_plan, ChurnBudget, ChurnOutcome, ChurnPlan, PlanScratch};
 use crate::config::SimConfig;
 use crate::ids::{NodeId, Round};
 use crate::knowledge::{CommGraph, KnowledgeView, MemberInfo, RoundRecord};
 use crate::message::Envelope;
-use crate::metrics::{MetricsHistory, RoundMetricsBuilder};
+use crate::metrics::{
+    record_round_obs, MetricsHistory, MetricsMode, MetricsSummary, RoundMetrics,
+    RoundMetricsBuilder, StreamingMetrics,
+};
 use crate::node::{run_activation, ProtocolStep};
 
 /// A node in the engine: its protocol state plus per-round scratch that is
@@ -116,6 +121,12 @@ pub struct Simulator<P: ProtocolStep, A: Adversary> {
     spare_records: Vec<RoundRecord>,
     records: Vec<RoundRecord>,
     metrics: MetricsHistory,
+    /// When set, finished rounds fold into these O(1) accumulators instead
+    /// of growing the history ([`MetricsMode::Streaming`]).
+    streaming: Option<StreamingMetrics>,
+    /// Observability sink; [`ObsHandle::off`] by default, so the round loop
+    /// pays one branch per probe and nothing else.
+    obs: ObsHandle,
     budget: ChurnBudget,
     round: Round,
     next_id: u64,
@@ -144,6 +155,8 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
             spare_records: Vec::new(),
             records: Vec::new(),
             metrics: MetricsHistory::new(),
+            streaming: None,
+            obs: ObsHandle::off(),
             budget: ChurnBudget::new(),
             round: 0,
             next_id: 0,
@@ -234,9 +247,50 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
         self.slots.iter().map(|s| (s.id, &s.process))
     }
 
-    /// Metrics collected so far.
+    /// Metrics collected so far. Empty under [`MetricsMode::Streaming`] —
+    /// use [`metrics_summary`](Self::metrics_summary) /
+    /// [`last_metrics`](Self::last_metrics) for mode-independent access.
     pub fn metrics(&self) -> &MetricsHistory {
         &self.metrics
+    }
+
+    /// Attaches an observability sink (or detaches it with
+    /// [`ObsHandle::off`]). Safe to call at any point; recording starts with
+    /// the next round.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// Selects how finished rounds are retained. Call before running:
+    /// switching to `Streaming` starts fresh accumulators and leaves any
+    /// already-recorded history rows where they are.
+    pub fn set_metrics_mode(&mut self, mode: MetricsMode) {
+        self.streaming = match mode {
+            MetricsMode::Full => None,
+            MetricsMode::Streaming => Some(StreamingMetrics::new()),
+        };
+    }
+
+    /// The whole-run metrics digest, identical under both metrics modes.
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        match &self.streaming {
+            Some(s) => s.summary(),
+            None => self.metrics.summary(),
+        }
+    }
+
+    /// The most recent round's metrics, under either metrics mode.
+    pub fn last_metrics(&self) -> Option<&RoundMetrics> {
+        match &self.streaming {
+            Some(s) => s.last(),
+            None => self.metrics.last(),
+        }
+    }
+
+    /// The streaming accumulators, when running under
+    /// [`MetricsMode::Streaming`].
+    pub fn streaming_metrics(&self) -> Option<&StreamingMetrics> {
+        self.streaming.as_ref()
     }
 
     /// Archived round records (communication graphs and digests).
@@ -270,7 +324,9 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
 
     /// Executes `rounds` rounds.
     pub fn run(&mut self, rounds: u64) {
-        self.metrics.reserve(rounds as usize);
+        if self.streaming.is_none() {
+            self.metrics.reserve(rounds as usize);
+        }
         for _ in 0..rounds {
             self.step();
         }
@@ -283,6 +339,7 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
 
         // Phase 1: adversarial churn (suppressed during the bootstrap phase).
         // The previous round's outcome buffers are recycled.
+        let span = self.obs.span_start();
         let mut outcome = std::mem::take(&mut self.last_outcome);
         outcome.departed.clear();
         outcome.joined.clear();
@@ -304,6 +361,7 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
             self.apply_plan(t, plan, &mut outcome);
         }
         mb.record_churn(outcome.departed.len(), outcome.joined.len());
+        self.obs.span_end("sim.churn", span);
 
         // Phase 2: deliver messages sent in round t-1 to surviving receivers,
         // as a stable counting scatter: locate each envelope's receiver slot
@@ -314,6 +372,7 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
         // — exactly what a stable sort by receiver would produce, but with
         // no sort scratch: a `sort_by_key` here would heap-allocate its
         // merge buffer every round.
+        let span = self.obs.span_start();
         for slot in self.slots.iter_mut() {
             slot.inbox_start = 0;
             slot.inbox_len = 0;
@@ -400,6 +459,7 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
         }
 
         mb.record_node_count(self.slots.len());
+        self.obs.span_end("sim.deliver", span);
 
         // Phase 3: compute. Every node steps exactly once; its RNG stream
         // depends only on (seed, id, round), so parallel and sequential
@@ -421,6 +481,7 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
         } else {
             1
         };
+        let span = self.obs.span_start();
         {
             let in_flight = &self.in_flight;
             let sponsored_ids = &self.sponsored_ids;
@@ -444,11 +505,13 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
                 slot.digest = digest;
             });
         }
+        self.obs.span_end("sim.compute", span);
 
         // Phase 4: drain outboxes into the next round's in-flight buffer,
         // record the communication graph and per-node metrics. All buffers
         // (double-buffered queue, dedup scratch, recycled round records) are
         // reused, so the steady state allocates nothing.
+        let span = self.obs.span_start();
         let mut rec = self.spare_records.pop().unwrap_or_default();
         rec.graph.round = t;
         rec.graph.edges.clear();
@@ -458,8 +521,15 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
         {
             let next_in_flight = &mut self.next_in_flight;
             let scratch = &mut self.dedup_scratch;
+            let obs = &self.obs;
+            let obs_on = obs.is_on();
             for slot in self.slots.iter_mut() {
                 mb.record_received(slot.id, slot.inbox_len);
+                if obs_on {
+                    // Per-node inbox sizes: a deterministic function of the
+                    // protocol (delivery is exhaustive in rounds mode).
+                    obs.observe("proto.inbox_len", slot.inbox_len as u64);
+                }
                 scratch.clear();
                 scratch.extend(slot.out.iter().map(|(to, _)| *to));
                 scratch.sort_unstable();
@@ -491,8 +561,16 @@ impl<P: ProtocolStep, A: Adversary> Simulator<P, A> {
                 self.spare_records.push(old);
             }
         }
+        self.obs.span_end("sim.scatter", span);
 
-        self.metrics.push(mb.finish());
+        let row = mb.finish();
+        if self.obs.is_on() {
+            record_round_obs(&self.obs, &row);
+        }
+        match &mut self.streaming {
+            Some(s) => s.push(row),
+            None => self.metrics.push(row),
+        }
         self.last_outcome = outcome;
         self.round += 1;
     }

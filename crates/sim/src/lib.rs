@@ -63,7 +63,10 @@ pub use engine::{NodeFactory, Simulator};
 pub use ids::{parity, NodeId, Round, RoundParity};
 pub use knowledge::{CommGraph, KnowledgeView, Lateness, MemberInfo, RoundRecord};
 pub use message::{Envelope, Outbox};
-pub use metrics::{MetricsHistory, MetricsSummary, RoundMetrics, RoundMetricsBuilder};
+pub use metrics::{
+    record_round_obs, MetricsHistory, MetricsMode, MetricsSummary, Reservoir, RoundMetrics,
+    RoundMetricsBuilder, StreamingMetrics, RESERVOIR_CAPACITY,
+};
 pub use node::{run_activation, Ctx, Process, ProtocolStep};
 
 /// Commonly used items, re-exported for convenience.

@@ -4,6 +4,9 @@
 //! messages per node and round; experiment E11 measures exactly the quantities
 //! collected here.
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
 use crate::ids::{NodeId, Round};
 
 /// Metrics of a single round.
@@ -244,6 +247,206 @@ impl MetricsHistory {
     }
 }
 
+/// Folds one finished round's row into the scheduler-independent `proto.*`
+/// observability names. Every scheduler policy calls this with its own
+/// per-round rows, so a round-engine run and a (fully delivering) event- or
+/// net-engine run of the same protocol produce byte-identical `proto.*`
+/// counters — the cross-engine comparison `exp_profile` byte-checks.
+pub fn record_round_obs(obs: &tsa_obs::ObsHandle, row: &RoundMetrics) {
+    obs.add("proto.rounds", 1);
+    obs.add("proto.sent", row.messages_sent as u64);
+    obs.add("proto.delivered", row.messages_delivered as u64);
+    obs.add("proto.dropped", row.messages_dropped as u64);
+    obs.add("proto.departures", row.departures as u64);
+    obs.add("proto.joins", row.joins as u64);
+    obs.observe("proto.round_sent", row.messages_sent as u64);
+    obs.observe("proto.node_count", row.node_count as u64);
+}
+
+/// How an engine retains the metrics it collects.
+///
+/// `Full` keeps every per-round [`RoundMetrics`] row in a
+/// [`MetricsHistory`] — O(rounds) memory, required for `--full` artifacts
+/// and per-round plots. `Streaming` replaces the history with O(1) running
+/// accumulators plus a small reservoir-sampled congestion distribution
+/// ([`StreamingMetrics`]), pinned by test to fold to the byte-identical
+/// [`MetricsSummary`] digest. Streaming is what makes observability stop
+/// costing O(messages) on very large grids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MetricsMode {
+    /// Keep the full per-round history (the default, and the only mode that
+    /// can serve `--full` artifacts).
+    #[default]
+    Full,
+    /// Keep O(1) running accumulators and a sampled distribution only.
+    Streaming,
+}
+
+impl MetricsMode {
+    /// Whether this is the default `Full` mode (the serde skip predicate
+    /// that keeps pre-existing scenario specs byte-stable).
+    pub fn is_full(&self) -> bool {
+        matches!(self, MetricsMode::Full)
+    }
+}
+
+/// Capacity of the streaming congestion reservoir.
+pub const RESERVOIR_CAPACITY: usize = 32;
+
+/// The reservoir's fixed RNG seed: sampling depends only on the pushed
+/// sequence, never on ambient randomness, so streaming runs stay
+/// reproducible.
+const RESERVOIR_SEED: u64 = 0x0b5e_c0de;
+
+/// Uniform reservoir sampling (algorithm R) over a stream of values, with a
+/// fixed-seed RNG: the retained sample is a deterministic function of the
+/// pushed sequence.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    samples: Vec<u64>,
+    rng: ChaCha8Rng,
+}
+
+impl Reservoir {
+    /// An empty reservoir retaining at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        Reservoir {
+            capacity,
+            seen: 0,
+            samples: Vec::with_capacity(capacity),
+            rng: ChaCha8Rng::seed_from_u64(RESERVOIR_SEED),
+        }
+    }
+
+    /// Offers one value to the reservoir.
+    pub fn push(&mut self, value: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+        } else {
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.samples[j as usize] = value;
+            }
+        }
+    }
+
+    /// The retained samples (unordered beyond insertion/replacement order).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Values offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// O(1) streaming replacement for a [`MetricsHistory`]: the running
+/// accumulators needed to reproduce the exact [`MetricsSummary`] digest,
+/// the most recent round's row (harness reports read `last()`), and a
+/// reservoir-sampled distribution of per-round congestion.
+///
+/// The mean accumulates `mean_sent_per_node` left-to-right exactly as the
+/// history's iterator fold does, so `summary()` is bit-identical to
+/// `MetricsHistory::summary()` over the same rows — pinned by test.
+#[derive(Clone, Debug)]
+pub struct StreamingMetrics {
+    rounds: usize,
+    total_sent: usize,
+    total_delivered: usize,
+    total_dropped: usize,
+    peak_congestion: usize,
+    peak_send_rate: usize,
+    peak_out_degree: usize,
+    mean_sum: f64,
+    total_departures: usize,
+    total_joins: usize,
+    last: Option<RoundMetrics>,
+    congestion: Reservoir,
+}
+
+impl Default for StreamingMetrics {
+    fn default() -> Self {
+        StreamingMetrics {
+            rounds: 0,
+            total_sent: 0,
+            total_delivered: 0,
+            total_dropped: 0,
+            peak_congestion: 0,
+            peak_send_rate: 0,
+            peak_out_degree: 0,
+            mean_sum: 0.0,
+            total_departures: 0,
+            total_joins: 0,
+            last: None,
+            congestion: Reservoir::new(RESERVOIR_CAPACITY),
+        }
+    }
+}
+
+impl StreamingMetrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one finished round in (the streaming analogue of
+    /// [`MetricsHistory::push`]).
+    pub fn push(&mut self, m: RoundMetrics) {
+        self.rounds += 1;
+        self.total_sent += m.messages_sent;
+        self.total_delivered += m.messages_delivered;
+        self.total_dropped += m.messages_dropped;
+        self.peak_congestion = self.peak_congestion.max(m.max_received_per_node);
+        self.peak_send_rate = self.peak_send_rate.max(m.max_sent_per_node);
+        self.peak_out_degree = self.peak_out_degree.max(m.max_out_degree);
+        self.mean_sum += m.mean_sent_per_node;
+        self.total_departures += m.departures;
+        self.total_joins += m.joins;
+        self.congestion.push(m.max_received_per_node as u64);
+        self.last = Some(m);
+    }
+
+    /// Rounds folded so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The most recent round's metrics, if any.
+    pub fn last(&self) -> Option<&RoundMetrics> {
+        self.last.as_ref()
+    }
+
+    /// The reservoir-sampled per-round congestion values.
+    pub fn congestion_samples(&self) -> &[u64] {
+        self.congestion.samples()
+    }
+
+    /// The digest — bit-identical to `MetricsHistory::summary()` over the
+    /// same rows.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            rounds: self.rounds,
+            total_messages_sent: self.total_sent,
+            total_messages_delivered: self.total_delivered,
+            total_messages_dropped: self.total_dropped,
+            peak_congestion: self.peak_congestion,
+            peak_send_rate: self.peak_send_rate,
+            peak_out_degree: self.peak_out_degree,
+            mean_messages_per_node_round: if self.rounds == 0 {
+                0.0
+            } else {
+                self.mean_sum / self.rounds as f64
+            },
+            total_departures: self.total_departures,
+            total_joins: self.total_joins,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +531,70 @@ mod tests {
         assert_eq!(h.peak_congestion(), 0);
         assert_eq!(h.mean_messages_per_node_round(), 0.0);
         assert!(h.last().is_none());
+    }
+
+    fn varied_rows(rounds: usize) -> Vec<RoundMetrics> {
+        (0..rounds)
+            .map(|r| {
+                let mut b = RoundMetricsBuilder::new(r as u64);
+                b.record_node_count(3 + r % 5);
+                b.record_churn(r % 2, r % 3);
+                b.record_received(NodeId(1), (r * 7) % 11);
+                b.record_sent(NodeId(1), (r * 5) % 13, (r * 3) % 7);
+                b.record_dropped(r % 4);
+                b.finish()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_digest_is_bit_identical_to_full() {
+        for rounds in [0usize, 1, 3, 50, 200] {
+            let mut h = MetricsHistory::new();
+            let mut s = StreamingMetrics::new();
+            for row in varied_rows(rounds) {
+                h.push(row.clone());
+                s.push(row);
+            }
+            let (full, streaming) = (h.summary(), s.summary());
+            assert_eq!(full, streaming, "digest diverged at {rounds} rounds");
+            // Bit-identical, not just PartialEq: the serialized artifact
+            // bytes are the contract.
+            assert_eq!(
+                full.mean_messages_per_node_round.to_bits(),
+                streaming.mean_messages_per_node_round.to_bits()
+            );
+            assert_eq!(s.rounds(), rounds);
+            assert_eq!(
+                s.last().map(|m| m.round),
+                h.last().map(|m| m.round),
+                "streaming keeps the last row for harness reports"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_and_bounded() {
+        let mut a = Reservoir::new(4);
+        let mut b = Reservoir::new(4);
+        for v in 0..1000u64 {
+            a.push(v);
+            b.push(v);
+        }
+        assert_eq!(a.samples(), b.samples(), "fixed seed, fixed sequence");
+        assert_eq!(a.samples().len(), 4);
+        assert_eq!(a.seen(), 1000);
+        // Replacement actually happens: after 1000 offers the reservoir is
+        // overwhelmingly unlikely to still hold the first four values.
+        assert_ne!(a.samples(), &[0, 1, 2, 3]);
+        // All retained values came from the stream.
+        assert!(a.samples().iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn metrics_mode_default_and_predicate() {
+        assert_eq!(MetricsMode::default(), MetricsMode::Full);
+        assert!(MetricsMode::Full.is_full());
+        assert!(!MetricsMode::Streaming.is_full());
     }
 }

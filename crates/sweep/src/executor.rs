@@ -19,6 +19,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use tsa_obs::{Progress, Reporter};
 use tsa_scenario::Scenario;
 
 use crate::shard::{
@@ -33,6 +34,7 @@ pub struct SweepRunner {
     spec: SweepSpec,
     threads_override: Option<usize>,
     shard_path: Option<PathBuf>,
+    reporter: Option<Reporter>,
 }
 
 /// The completed result of a sweep run.
@@ -59,7 +61,16 @@ impl SweepRunner {
             spec,
             threads_override: None,
             shard_path: None,
+            reporter: None,
         }
+    }
+
+    /// Streams progress — a resume summary up front, then one line per
+    /// completed cell with an ETA — through `reporter` (which is silent in
+    /// quiet mode). Without a reporter the runner stays mute, as before.
+    pub fn reporter(mut self, reporter: Reporter) -> Self {
+        self.reporter = Some(reporter);
+        self
     }
 
     /// Overrides the worker thread count (still capped by
@@ -115,6 +126,24 @@ impl SweepRunner {
             .collect();
         let threads = self.effective_threads(pending.len());
 
+        // One unconditional line up front: how much of the grid a shard
+        // file bought us. Before this, a resumed sweep was indistinguishable
+        // from a fresh one.
+        if let Some(reporter) = &self.reporter {
+            reporter.note(&format!(
+                "sweep '{}': {} cells — {} reused from shards, {} stale/unparseable discarded, {} to run on {} threads",
+                self.spec.name,
+                cells.len(),
+                done.len(),
+                discarded,
+                pending.len(),
+                threads
+            ));
+        }
+        let progress = self
+            .reporter
+            .map(|r| Progress::start(r, &self.spec.name, cells.len(), done.len()));
+
         let writer = self
             .shard_path
             .as_ref()
@@ -141,6 +170,9 @@ impl SweepRunner {
                 let mut writer = writer.lock().expect("shard writer lock");
                 append_record(&mut *writer, &record).expect("shard record appends");
             }
+            if let Some(progress) = &progress {
+                progress.item_done(&cell_rollup(&record));
+            }
             fresh.lock().expect("record collector lock").push(record);
         });
 
@@ -158,6 +190,36 @@ impl SweepRunner {
             threads,
         }
     }
+}
+
+/// The one-line per-cell rollup the progress reporter prints: the cell's
+/// axis point, its seed, and the headline numbers of its outcome kind.
+fn cell_rollup(record: &CellRecord) -> String {
+    let spec = &record.outcome.spec;
+    let head = format!(
+        "cell {} [{} seed={}]",
+        record.cell,
+        spec.axis_label(),
+        spec.seed
+    );
+    if let Some(m) = &record.outcome.maintenance {
+        return format!(
+            "{head} routable={} sent={} peak={}",
+            m.report.is_routable(),
+            m.metrics_summary.total_messages_sent,
+            m.metrics_summary.peak_congestion
+        );
+    }
+    if let Some(b) = &record.outcome.baseline {
+        return format!("{head} budget={}", b.budget);
+    }
+    if let Some(r) = &record.outcome.routing {
+        return format!("{head} delivered={}/{}", r.delivered, r.total);
+    }
+    if let Some(s) = &record.outcome.sampling {
+        return format!("{head} discard_rate={:.3}", s.discard_rate);
+    }
+    head
 }
 
 #[cfg(test)]
@@ -183,6 +245,24 @@ mod tests {
         // Without max_parallel the override passes through.
         let unbounded = SweepRunner::new(small_sampling_sweep("u"));
         assert_eq!(unbounded.threads(8).effective_threads(100), 8);
+    }
+
+    #[test]
+    fn a_reporter_never_perturbs_the_records() {
+        let mute = SweepRunner::new(small_sampling_sweep("rep"))
+            .threads(2)
+            .run();
+        // A silent reporter exercises the progress plumbing end to end
+        // without polluting test output.
+        let reported = SweepRunner::new(small_sampling_sweep("rep"))
+            .threads(2)
+            .reporter(Reporter::silent())
+            .run();
+        assert_eq!(
+            serde_json::to_string(&mute.records).unwrap(),
+            serde_json::to_string(&reported.records).unwrap(),
+            "progress reporting must be observational only"
+        );
     }
 
     #[test]

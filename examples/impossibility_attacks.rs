@@ -21,6 +21,9 @@
 //! the impossibility constructions run a *custom* gossip protocol against the
 //! raw simulator, below the maintained-LDS layer the builder composes.
 
+// Examples own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use rand::seq::SliceRandom;
 use two_steps_ahead::adversary::{
     victim_is_isolated, IsolateNewcomerAdversary, JoinChainAdversary,

@@ -10,6 +10,9 @@
 //! cargo run --release --example massive_churn
 //! ```
 
+// Examples own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use two_steps_ahead::prelude::*;
 
 fn run(label: &str, scenario: Scenario) {

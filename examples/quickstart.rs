@@ -6,6 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples own their stdout/stderr: it IS their interface.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use two_steps_ahead::prelude::*;
 
 fn main() {

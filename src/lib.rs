@@ -21,6 +21,8 @@
 //! * [`baselines`] — SPARTAN-style, H_d-graph and Chord-with-swarms
 //!   comparison overlays;
 //! * [`analysis`] — statistics, uniformity tests and table rendering;
+//! * [`obs`] — observability: deterministic counters/histograms and
+//!   wall-clock phase spans, streaming metrics, progress reporting;
 //! * [`scenario`] — the fluent [`Scenario`](scenario::Scenario) builder that
 //!   composes all of the above into runnable, serializable experiments;
 //! * [`sweep`] — declarative parameter sweeps over `Scenario`: grid
@@ -38,6 +40,7 @@ pub use tsa_baselines as baselines;
 pub use tsa_core as maintenance;
 pub use tsa_event as event;
 pub use tsa_net as net;
+pub use tsa_obs as obs;
 pub use tsa_overlay as overlay;
 pub use tsa_routing as routing;
 pub use tsa_scenario as scenario;
@@ -56,10 +59,11 @@ pub mod prelude {
         Topology,
     };
     pub use tsa_net::{NetConfig, NetRunner};
+    pub use tsa_obs::{ObsHandle, ObsRecorder, Reporter};
     pub use tsa_overlay::{Lds, OverlayParams, Position};
     pub use tsa_routing::{RoutableSeries, RoutingConfig, RoutingSim};
     pub use tsa_scenario::{
-        AdversarySpec, BaselineKind, ChurnSpec, Scenario, ScenarioOutcome, ScenarioRun,
+        AdversarySpec, BaselineKind, ChurnSpec, MetricsMode, Scenario, ScenarioOutcome, ScenarioRun,
     };
     pub use tsa_sim::prelude::*;
     pub use tsa_sweep::{aggregate, RoundsSpec, SweepAggregate, SweepRunner, SweepSpec};
