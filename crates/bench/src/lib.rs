@@ -25,6 +25,7 @@
 //! | `exp_perf`         | Round-loop throughput trajectory (rounds/s, msgs/s, peak RSS) |
 //! | `exp_net`          | The overlay over loopback TCP: wall-clock throughput, bytes on the wire, and the deterministic-twin replay check |
 //! | `exp_profile`      | The `tsa-obs` observability layer: deterministic counters/histograms per scheduler (CI byte-compares them) plus wall-clock phase spans |
+//! | `exp_byzantine`    | Byzantine nodes and injected faults: zero-fraction anchors, per-kind breaking points of the swarm property, the cross-engine fault twin |
 
 #![warn(missing_docs)]
 

@@ -13,7 +13,8 @@
 use std::collections::HashMap;
 
 use tsa_event::{
-    EventConfig, EventSimulator, LatencyModel, MessageTrace, NetModel, NetStats, Topology,
+    EventConfig, EventSimulator, FaultPlan, FaultStats, LatencyModel, MessageTrace, NetModel,
+    NetStats, Topology,
 };
 use tsa_obs::ObsHandle;
 use tsa_sim::{
@@ -134,6 +135,21 @@ impl<A: Adversary> AsyncMaintenanceHarness<A> {
         );
         harness.sim.set_replay(trace);
         harness
+    }
+
+    /// Installs a fault-injection plan (wired to the protocol's message
+    /// adapter). Call before the first round. Composes with
+    /// [`assemble_replay`](AsyncMaintenanceHarness::assemble_replay): under
+    /// replay, drop/delay fates come from the trace while mutations and
+    /// duplicates are re-applied, keeping the twin byte-aligned.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.sim
+            .set_faults(plan, crate::messages::ProtocolMsg::fault_adapter());
+    }
+
+    /// Whole-run counters of injected faults.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.sim.fault_stats()
     }
 
     /// The protocol parameters.

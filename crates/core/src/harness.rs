@@ -84,13 +84,21 @@ pub(crate) fn harness_sim_config(
 pub(crate) fn harness_factory(params: MaintenanceParams) -> tsa_sim::NodeFactory<ProtocolNode> {
     let n = params.overlay.n;
     let genesis: Arc<Vec<NodeId>> = Arc::new((0..n as u64).map(NodeId).collect());
-    Box::new(move |_, round| {
+    Box::new(move |id, round| {
         let genesis_ref = if round == 0 {
             Some(genesis.clone())
         } else {
             None
         };
-        ProtocolNode::new(params, genesis_ref)
+        let mut node = ProtocolNode::new(params, genesis_ref);
+        // The byzantine role is a pure function of the id, so every engine
+        // (and a rejoining id) assigns it identically.
+        if let Some(spec) = params.byzantine {
+            if spec.is_byzantine(id) {
+                node.set_byzantine(Some(spec.kind));
+            }
+        }
+        node
     })
 }
 

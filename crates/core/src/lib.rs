@@ -36,6 +36,7 @@
 
 #![deny(missing_docs)]
 
+pub mod byzantine;
 pub mod event_harness;
 pub mod harness;
 pub mod messages;
@@ -44,6 +45,7 @@ pub mod node;
 pub mod params;
 pub mod snapshot;
 
+pub use byzantine::{ByzantineSpec, MisbehaviorKind};
 pub use event_harness::AsyncMaintenanceHarness;
 pub use harness::{MaintenanceHarness, MaintenanceReport};
 pub use messages::{MsgKind, ProtocolMsg};

@@ -1,5 +1,6 @@
 //! Protocol messages of `A_LDS` and `A_RANDOM` (Listings 3 and 4).
 
+use tsa_event::FaultAdapter;
 use tsa_sim::NodeId;
 
 /// A message of the maintenance protocol.
@@ -84,6 +85,49 @@ impl ProtocolMsg {
             ProtocolMsg::Connect { .. } => MsgKind::Connect,
         }
     }
+
+    /// The [`FaultAdapter`] wiring this message type into the engines'
+    /// fault-injection machinery: kind tags for
+    /// [`FaultRule::kinds`](tsa_event::FaultRule) matching, and a mutator
+    /// that corrupts position and trajectory claims (but never identities,
+    /// receivers or message kinds — the delivery facts the twin trace
+    /// depends on).
+    pub fn fault_adapter() -> FaultAdapter<ProtocolMsg> {
+        FaultAdapter {
+            kind_of: |m| m.kind().tag(),
+            mutate: mutate_msg,
+        }
+    }
+}
+
+/// A uniform `[0,1)` value derived from the fault entropy word, salted per
+/// field so one mutated message's fields decorrelate.
+fn entropy_unit(entropy: u64, salt: u64) -> f64 {
+    (tsa_sim::rng::mix(&[entropy, salt]) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Corrupts the payload *claims* of a message in place: positions,
+/// trajectory points and sampling targets are replaced by entropy-derived
+/// ring positions. Identity-only messages (`Token`, `Connect`) are left
+/// untouched — mutating an identifier would invent a node, which is a
+/// different adversary than a corrupted claim.
+fn mutate_msg(msg: &mut ProtocolMsg, entropy: u64) -> bool {
+    match msg {
+        ProtocolMsg::Create { position, .. } | ProtocolMsg::AnnounceJoin { position, .. } => {
+            *position = entropy_unit(entropy, 0);
+            true
+        }
+        ProtocolMsg::RouteJoin { point, .. } => {
+            *point = entropy_unit(entropy, 1);
+            true
+        }
+        ProtocolMsg::RouteToken { target, point, .. } => {
+            *target = entropy_unit(entropy, 2);
+            *point = entropy_unit(entropy, 3);
+            true
+        }
+        ProtocolMsg::Token { .. } | ProtocolMsg::Connect { .. } => false,
+    }
 }
 
 /// The six message kinds of the protocol.
@@ -101,6 +145,21 @@ pub enum MsgKind {
     Token,
     /// Fresh-node connect request.
     Connect,
+}
+
+impl MsgKind {
+    /// The stable numeric tag fault rules match against
+    /// ([`FaultRule::kinds`](tsa_event::FaultRule)).
+    pub fn tag(&self) -> u8 {
+        match self {
+            MsgKind::Create => 0,
+            MsgKind::AnnounceJoin => 1,
+            MsgKind::RouteJoin => 2,
+            MsgKind::RouteToken => 3,
+            MsgKind::Token => 4,
+            MsgKind::Connect => 5,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use tsa_event::{MessageTrace, NetStats};
+use tsa_event::{FaultPlan, FaultStats, MessageTrace, NetStats};
 use tsa_net::{NetConfig, NetRunner, WireStats};
 use tsa_obs::ObsHandle;
 use tsa_sim::{
@@ -87,6 +87,21 @@ impl<A: Adversary> NetMaintenanceHarness<A> {
     /// The most recent round's metrics, under either metrics mode.
     pub fn last_metrics(&self) -> Option<&RoundMetrics> {
         self.net.last_metrics()
+    }
+
+    /// Installs a fault-injection plan (wired to the protocol's message
+    /// adapter). Call before the first round. The same plan installed on an
+    /// [`AsyncMaintenanceHarness`](crate::AsyncMaintenanceHarness) takes
+    /// byte-identical decisions, because both engines assign the same
+    /// sequence numbers.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.net
+            .set_faults(plan, crate::messages::ProtocolMsg::fault_adapter());
+    }
+
+    /// Whole-run counters of injected faults.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.net.fault_stats()
     }
 
     /// The protocol parameters.

@@ -41,6 +41,7 @@ use rand::Rng;
 
 use tsa_sim::{Ctx, Envelope, NodeId, Process, Round};
 
+use crate::byzantine::MisbehaviorKind;
 use crate::messages::ProtocolMsg;
 use crate::params::MaintenanceParams;
 use crate::snapshot::{NodeSnapshot, NodeStats};
@@ -85,6 +86,9 @@ pub struct ProtocolNode {
     repair_sampled: Vec<NodeId>,
     /// Statistics for the experiments.
     stats: NodeStats,
+    /// When `Some`, the node runs this misbehavior instead of the honest
+    /// protocol (`None` leaves the honest path untouched).
+    byzantine: Option<MisbehaviorKind>,
 }
 
 impl ProtocolNode {
@@ -104,7 +108,20 @@ impl ProtocolNode {
             slots,
             repair_sampled: Vec::new(),
             stats: NodeStats::default(),
+            byzantine: None,
         }
+    }
+
+    /// Assigns (or clears) the node's byzantine role. Call before its first
+    /// round; the harness factory does this from
+    /// [`MaintenanceParams::byzantine`].
+    pub fn set_byzantine(&mut self, kind: Option<MisbehaviorKind>) {
+        self.byzantine = kind;
+    }
+
+    /// The node's byzantine role, if any.
+    pub fn byzantine_kind(&self) -> Option<MisbehaviorKind> {
+        self.byzantine
     }
 
     /// The protocol parameters.
@@ -679,6 +696,105 @@ impl ProtocolNode {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Byzantine roles
+    // ------------------------------------------------------------------
+
+    /// One honest activation: the even/odd maintenance round plus the
+    /// random-overlay round, exactly as the paper specifies.
+    fn honest_round(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMsg>,
+        inbox: &[Envelope<ProtocolMsg>],
+        epoch: u64,
+    ) {
+        if ctx.round() % 2 == 0 {
+            self.even_round(ctx, inbox, epoch);
+        } else {
+            self.odd_round(ctx, inbox, epoch);
+        }
+        self.random_overlay_round(ctx, inbox);
+    }
+
+    /// One byzantine activation: the honest machinery still runs — the node
+    /// keeps the protocol's cadence, state shape and RNG consumption — but
+    /// the misbehavior wraps it: selective forwarding censors the inbox
+    /// before the honest code reads it, the other kinds rewrite the claims
+    /// the honest code queued before they reach the network.
+    fn byzantine_round(
+        &mut self,
+        ctx: &mut Ctx<'_, ProtocolMsg>,
+        inbox: &[Envelope<ProtocolMsg>],
+        epoch: u64,
+        kind: MisbehaviorKind,
+    ) {
+        let censored: Vec<Envelope<ProtocolMsg>>;
+        let inbox = if kind == MisbehaviorKind::SelectiveForward {
+            censored = inbox
+                .iter()
+                .filter(|env| {
+                    !matches!(
+                        env.payload,
+                        ProtocolMsg::RouteJoin { .. } | ProtocolMsg::RouteToken { .. }
+                    )
+                })
+                .cloned()
+                .collect();
+            censored.as_slice()
+        } else {
+            inbox
+        };
+        self.honest_round(ctx, inbox, epoch);
+
+        let me = ctx.id();
+        let mut sent = std::mem::take(ctx.queued_mut());
+        match kind {
+            // The censorship already happened on the inbound side.
+            MisbehaviorKind::SelectiveForward => {}
+            // Claims two epochs stale: exactly the staleness the
+            // two-steps-ahead rebuild is supposed to outrun.
+            MisbehaviorKind::StaleClaims => {
+                for (_, msg) in sent.iter_mut() {
+                    if let ProtocolMsg::Create {
+                        node,
+                        epoch,
+                        position,
+                    }
+                    | ProtocolMsg::AnnounceJoin {
+                        node,
+                        epoch,
+                        position,
+                    } = msg
+                    {
+                        *position = ctx.position_hash(*node, epoch.saturating_sub(2));
+                    }
+                }
+            }
+            // Antipodal positions: maximally wrong, still in [0,1).
+            MisbehaviorKind::ForgedPosition => {
+                for (_, msg) in sent.iter_mut() {
+                    if let ProtocolMsg::Create { position, .. }
+                    | ProtocolMsg::AnnounceJoin { position, .. } = msg
+                    {
+                        *position = (*position + 0.5) % 1.0;
+                    }
+                }
+            }
+            // Introductions and tokens all name the byzantine node itself:
+            // every CREATE/CONNECT-machinery reply funnels edges to it.
+            MisbehaviorKind::BogusReplies => {
+                for (_, msg) in sent.iter_mut() {
+                    match msg {
+                        ProtocolMsg::Create { node, .. } => *node = me,
+                        ProtocolMsg::Token { owner } => *owner = me,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        *ctx.queued_mut() = sent;
+    }
 }
 
 impl Process for ProtocolNode {
@@ -689,12 +805,10 @@ impl Process for ProtocolNode {
             self.joined_at = Some(ctx.round());
         }
         let epoch = ctx.round() / 2;
-        if ctx.round() % 2 == 0 {
-            self.even_round(ctx, inbox, epoch);
-        } else {
-            self.odd_round(ctx, inbox, epoch);
+        match self.byzantine {
+            None => self.honest_round(ctx, inbox, epoch),
+            Some(kind) => self.byzantine_round(ctx, inbox, epoch, kind),
         }
-        self.random_overlay_round(ctx, inbox);
         self.stats.last_round = ctx.round();
         self.stats.messages_sent += ctx.queued();
     }

@@ -3,6 +3,8 @@
 use serde::{Deserialize, Serialize};
 use tsa_overlay::OverlayParams;
 
+use crate::byzantine::ByzantineSpec;
+
 /// All tunables of the Section 5 maintenance protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MaintenanceParams {
@@ -22,6 +24,12 @@ pub struct MaintenanceParams {
     /// construction the paper delegates to Gmyr et al. \\[14\\]; it equals
     /// `λ + 1`, the depth of the join-request pipeline.
     pub genesis_epochs: u64,
+    /// When `Some`, the id slice the spec selects runs its misbehavior
+    /// instead of the honest protocol. `None` (the default, and the only
+    /// value existing serialized parameter sets can contain) leaves every
+    /// node honest.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub byzantine: Option<ByzantineSpec>,
 }
 
 impl MaintenanceParams {
@@ -39,7 +47,14 @@ impl MaintenanceParams {
             tau: (2 * lambda).max(4),
             replication: 3,
             genesis_epochs: overlay.lambda() as u64 + 1,
+            byzantine: None,
         }
+    }
+
+    /// Assigns a byzantine role to the id slice `spec` selects.
+    pub fn with_byzantine(mut self, spec: ByzantineSpec) -> Self {
+        self.byzantine = Some(spec);
+        self
     }
 
     /// Overrides the robustness parameter `c` (and keeps everything else

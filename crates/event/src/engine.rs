@@ -47,6 +47,7 @@ use tsa_sim::{
     StreamingMetrics,
 };
 
+use crate::fault::{FaultAdapter, FaultDecision, FaultPlan, FaultStats};
 use crate::model::{NetModel, Topology};
 use crate::trace::{MessageFate, MessageTrace};
 use crate::TICKS_PER_ROUND;
@@ -205,6 +206,12 @@ pub struct EventSimulator<P: ProtocolStep, A: Adversary> {
     /// being sampled from the network model (this engine acting as the
     /// replaying twin of a recorded run).
     replay: Option<MessageTrace>,
+    /// When `Some`, every outgoing message is matched against the fault
+    /// plan at the delivery boundary (decisions are pure functions of
+    /// `(seed, seq)`, identical on the loopback transport).
+    faults: Option<(FaultPlan, FaultAdapter<P::Msg>)>,
+    /// Whole-run counters of injected faults (separate from [`NetStats`]).
+    fault_stats: FaultStats,
 }
 
 impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
@@ -239,6 +246,8 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             stats: NetStats::default(),
             trace: None,
             replay: None,
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -409,6 +418,23 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
         self.replay = Some(trace);
     }
 
+    /// Installs a fault-injection plan and the protocol's message adapter.
+    /// Call before the first [`step`](EventSimulator::step). Decisions are
+    /// pure functions of `(seed, seq)`; the same plan injects the same
+    /// faults on the loopback transport. When combined with
+    /// [`set_replay`](EventSimulator::set_replay), Drop and Delay decisions
+    /// defer to the trace (which already encodes every fate) while
+    /// Duplicate and Mutate are re-applied to keep sequence numbers and
+    /// payload bytes aligned with the recording.
+    pub fn set_faults(&mut self, plan: FaultPlan, adapter: FaultAdapter<P::Msg>) {
+        self.faults = Some((plan, adapter));
+    }
+
+    /// Whole-run counters of injected faults.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
     fn slot_index(&self, id: NodeId) -> Option<usize> {
         self.slots.binary_search_by_key(&id, |s| s.id).ok()
     }
@@ -437,6 +463,7 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
         let mut mb = RoundMetricsBuilder::new(t);
         let obs_on = self.obs.is_on();
         let stats_before = self.stats;
+        let fault_stats_before = self.fault_stats;
 
         // Phase 1: adversarial churn at the boundary, through the shared
         // arbiter (suppressed during the bootstrap phase).
@@ -586,6 +613,8 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
             let scratch = &mut self.dedup_scratch;
             let replay = self.replay.as_ref();
             let trace = &mut self.trace;
+            let faults = self.faults.as_ref();
+            let fault_stats = &mut self.fault_stats;
             for slot in self.slots.iter_mut() {
                 mb.record_received(slot.id, slot.inbox.len());
                 if obs_on {
@@ -621,72 +650,134 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
                     rec.digests.push((slot.id, digest));
                 }
                 let fate_span = obs.span_start();
-                for (to, payload) in slot.out.drain(..) {
-                    let msg_seq = *seq;
-                    *seq += 1;
-                    stats.sent += 1;
-                    // The effective model of this message is a pure function
-                    // of (round, sender, receiver); the fate stream it
-                    // consumes is seeded from (seed, seq) alone, so two
-                    // topologies resolving this link to equal models take
-                    // identical branches here.
-                    let (net, cross) = topology.resolve(t, slot.id, to);
-                    if cross {
-                        stats.bridge_sent += 1;
-                    }
-                    // The fate: sampled from the network model, or — when
-                    // replaying a recorded twin run — read from the fixed
-                    // schedule by sequence number.
-                    let delay = match replay {
-                        None => net.route(seed, msg_seq),
-                        Some(tr) => match tr.fate(msg_seq) {
-                            Some(MessageFate::Lost) => None,
-                            Some(MessageFate::Delivered { at_round }) => {
-                                // Delivered at boundary `at_round` means an
-                                // arrival tick at exactly that boundary.
-                                let arrival = at_round
-                                    .checked_mul(ticks_per_round)
-                                    .expect("virtual clock overflow");
-                                assert!(
-                                    at_round > t,
-                                    "replay trace delivers seq {msg_seq} at round \
-                                     {at_round}, not after its send round {t}"
-                                );
-                                Some(arrival - now)
+                for (to, mut payload) in slot.out.drain(..) {
+                    // Fault-plan decision on the sequence number this message
+                    // is about to take — a pure function of (seed, seq), so
+                    // the loopback transport takes the identical branch for
+                    // the identical frame.
+                    let (fault_drop, extra_delay, duplicate) = match faults {
+                        None => (false, 0u64, false),
+                        Some((plan, adapter)) => match plan.decide(
+                            seed,
+                            *seq,
+                            t,
+                            slot.id,
+                            to,
+                            (adapter.kind_of)(&payload),
+                        ) {
+                            FaultDecision::Pass => (false, 0, false),
+                            FaultDecision::Drop => {
+                                fault_stats.dropped += 1;
+                                (true, 0, false)
                             }
-                            None => panic!(
-                                "replay trace exhausted at seq {msg_seq}: the \
-                                 replayed execution diverged from the recording"
-                            ),
+                            FaultDecision::Delay(ticks) => {
+                                fault_stats.delayed += 1;
+                                (false, ticks, false)
+                            }
+                            FaultDecision::Duplicate => {
+                                fault_stats.duplicated += 1;
+                                (false, 0, true)
+                            }
+                            FaultDecision::Mutate => {
+                                if (adapter.mutate)(
+                                    &mut payload,
+                                    FaultPlan::mutation_entropy(seed, *seq),
+                                ) {
+                                    fault_stats.mutated += 1;
+                                }
+                                (false, 0, false)
+                            }
                         },
                     };
-                    match delay {
-                        None => {
-                            lost += 1;
-                            stats.lost += 1;
-                            if cross {
-                                stats.bridge_lost += 1;
-                            }
-                            if let Some(tr) = trace.as_mut() {
-                                tr.record(msg_seq, MessageFate::Lost);
-                            }
+                    // When replaying a recorded trace, Drop and Delay are
+                    // already encoded in the fates; only Mutate (payload
+                    // bytes) and Duplicate (sequence alignment) re-apply.
+                    let (fault_drop, extra_delay) = if replay.is_some() {
+                        (false, 0)
+                    } else {
+                        (fault_drop, extra_delay)
+                    };
+                    // The duplicate copy consumes the next sequence number
+                    // and takes its own network fate, with no fault decision
+                    // of its own.
+                    let dup = duplicate.then(|| payload.clone());
+                    for payload in std::iter::once(payload).chain(dup) {
+                        let msg_seq = *seq;
+                        *seq += 1;
+                        stats.sent += 1;
+                        // The effective model of this message is a pure
+                        // function of (round, sender, receiver); the fate
+                        // stream it consumes is seeded from (seed, seq)
+                        // alone, so two topologies resolving this link to
+                        // equal models take identical branches here.
+                        let (net, cross) = topology.resolve(t, slot.id, to);
+                        if cross {
+                            stats.bridge_sent += 1;
                         }
-                        Some(delay) => {
-                            stats.max_delay_ticks = stats.max_delay_ticks.max(delay);
-                            stats.total_delay_ticks += delay;
-                            if let Some(tr) = trace.as_mut() {
-                                // The boundary that will read this message:
-                                // the first one at or past the arrival tick,
-                                // and never the sending round's own.
-                                let arrival = now + delay;
-                                let at_round = (arrival.div_ceil(ticks_per_round)).max(t + 1);
-                                tr.record(msg_seq, MessageFate::Delivered { at_round });
+                        // The fate: a fault drop, a sample from the network
+                        // model (plus any fault delay), or — when replaying
+                        // a recorded twin run — the fixed schedule's entry
+                        // for this sequence number.
+                        let delay = if fault_drop {
+                            None
+                        } else {
+                            match replay {
+                                None => net
+                                    .route(seed, msg_seq)
+                                    .map(|d| d.saturating_add(extra_delay)),
+                                Some(tr) => match tr.fate(msg_seq) {
+                                    Some(MessageFate::Lost) => None,
+                                    Some(MessageFate::Delivered { at_round }) => {
+                                        // Delivered at boundary `at_round`
+                                        // means an arrival tick at exactly
+                                        // that boundary.
+                                        let arrival = at_round
+                                            .checked_mul(ticks_per_round)
+                                            .expect("virtual clock overflow");
+                                        assert!(
+                                            at_round > t,
+                                            "replay trace delivers seq {msg_seq} at round \
+                                             {at_round}, not after its send round {t}"
+                                        );
+                                        Some(arrival - now)
+                                    }
+                                    None => panic!(
+                                        "replay trace exhausted at seq {msg_seq}: the \
+                                         replayed execution diverged from the recording"
+                                    ),
+                                },
                             }
-                            queue.push(Pending {
-                                arrival: now + delay,
-                                seq: msg_seq,
-                                env: Envelope::new(slot.id, to, t, payload),
-                            });
+                        };
+                        match delay {
+                            None => {
+                                lost += 1;
+                                stats.lost += 1;
+                                if cross {
+                                    stats.bridge_lost += 1;
+                                }
+                                if let Some(tr) = trace.as_mut() {
+                                    tr.record(msg_seq, MessageFate::Lost);
+                                }
+                            }
+                            Some(delay) => {
+                                stats.max_delay_ticks = stats.max_delay_ticks.max(delay);
+                                stats.total_delay_ticks =
+                                    stats.total_delay_ticks.saturating_add(delay);
+                                let arrival = now.saturating_add(delay);
+                                if let Some(tr) = trace.as_mut() {
+                                    // The boundary that will read this
+                                    // message: the first one at or past the
+                                    // arrival tick, and never the sending
+                                    // round's own.
+                                    let at_round = (arrival.div_ceil(ticks_per_round)).max(t + 1);
+                                    tr.record(msg_seq, MessageFate::Delivered { at_round });
+                                }
+                                queue.push(Pending {
+                                    arrival,
+                                    seq: msg_seq,
+                                    env: Envelope::new(slot.id, to, t, payload),
+                                });
+                            }
                         }
                     }
                 }
@@ -733,6 +824,27 @@ impl<P: ProtocolStep, A: Adversary> EventSimulator<P, A> {
                 d.bridge_lost - stats_before.bridge_lost,
             );
             self.obs.observe("event.queue_len", self.queue.len() as u64);
+            // Fault counters only exist when a plan is installed, so
+            // fault-free runs keep their exact historical obs output.
+            if self.faults.is_some() {
+                let f = &self.fault_stats;
+                self.obs.add(
+                    "proto.fault_dropped",
+                    f.dropped - fault_stats_before.dropped,
+                );
+                self.obs.add(
+                    "proto.fault_delayed",
+                    f.delayed - fault_stats_before.delayed,
+                );
+                self.obs.add(
+                    "proto.fault_duplicated",
+                    f.duplicated - fault_stats_before.duplicated,
+                );
+                self.obs.add(
+                    "proto.fault_mutated",
+                    f.mutated - fault_stats_before.mutated,
+                );
+            }
         }
         match &mut self.streaming {
             Some(s) => s.push(row),

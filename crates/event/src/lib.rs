@@ -21,6 +21,11 @@
 //!   at which round) on one engine and replays it as a fixed schedule on
 //!   another — the bridge the `tsa-net` loopback transport uses to twin a
 //!   wall-clock run with a deterministic replay;
+//! * [`FaultPlan`] is a serde-round-trippable fault-injection language:
+//!   ordered rules of (round window, sender/receiver/region selector,
+//!   message kind) → (drop | delay | duplicate | mutate), decided by pure
+//!   functions of `(seed, seq)` so the same plan injects byte-identical
+//!   faults on this engine and on the loopback transport;
 //! * [`ExecutionModel`] is the serde-round-trippable selector the
 //!   `tsa-scenario` / `tsa-sweep` stack uses to pick an engine per scenario
 //!   (default: the synchronous round model).
@@ -58,10 +63,15 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod model;
 pub mod trace;
 
 pub use engine::{EventConfig, EventSimulator, NetStats};
+pub use fault::{
+    FaultAction, FaultAdapter, FaultDecision, FaultPlan, FaultRule, FaultStats, NodeSelector,
+    RoundWindow,
+};
 pub use model::{
     ExecutionModel, LatencyModel, LinkOverride, NetModel, PartitionSchedule, RegionAssign,
     RegionEntry, Topology,

@@ -41,7 +41,10 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use tsa_event::{MessageFate, MessageTrace, NetStats, TICKS_PER_ROUND};
+use tsa_event::{
+    FaultAdapter, FaultDecision, FaultPlan, FaultStats, MessageFate, MessageTrace, NetStats,
+    TICKS_PER_ROUND,
+};
 use tsa_obs::ObsHandle;
 use tsa_sim::knowledge::{KnowledgeView, MemberInfo, RoundRecord};
 use tsa_sim::{
@@ -319,6 +322,15 @@ where
     stats: NetStats,
     wire_sent_frames: u64,
     wire_sent_bytes: u64,
+    /// When `Some`, every outgoing frame is matched against the fault plan
+    /// before it is written (the same pure `(seed, seq)` decisions the
+    /// event engine takes at its delivery boundary).
+    faults: Option<(FaultPlan, FaultAdapter<P::Msg>)>,
+    /// Whole-run counters of injected faults (separate from [`NetStats`]).
+    fault_stats: FaultStats,
+    /// Fault-delayed frames: `(release round, seq, envelope)`, written to
+    /// the wire at the boundary whose round reaches `release`.
+    held: Vec<(Round, u64, Envelope<P::Msg>)>,
 }
 
 impl<P, A> NetRunner<P, A>
@@ -369,6 +381,9 @@ where
             stats: NetStats::default(),
             wire_sent_frames: 0,
             wire_sent_bytes: 0,
+            faults: None,
+            fault_stats: FaultStats::default(),
+            held: Vec::new(),
         }
     }
 
@@ -564,6 +579,22 @@ where
         self.fates.clone()
     }
 
+    /// Installs a fault-injection plan and the protocol's message adapter.
+    /// Call before the first [`step`](NetRunner::step). Decisions are pure
+    /// functions of `(seed, seq)` — identical to the event engine's for the
+    /// same plan — and are taken at the frame boundary: dropped frames
+    /// never reach the wire, delayed frames are held back whole rounds,
+    /// duplicated frames consume the next sequence number, mutated frames
+    /// are corrupted before encoding.
+    pub fn set_faults(&mut self, plan: FaultPlan, adapter: FaultAdapter<P::Msg>) {
+        self.faults = Some((plan, adapter));
+    }
+
+    /// Whole-run counters of injected faults.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
     /// The adversary, for post-run inspection.
     pub fn adversary(&self) -> &A {
         &self.adversary
@@ -591,6 +622,7 @@ where
         let obs_on = self.obs.is_on();
         let wire_frames_before = self.wire_sent_frames;
         let wire_bytes_before = self.wire_sent_bytes;
+        let fault_stats_before = self.fault_stats;
         let mut dropped = 0usize;
 
         // Phase 1: adversarial churn through the shared arbiter, identical
@@ -723,6 +755,24 @@ where
         let hash_seed = self.config.sim.hash_seed;
         let record_digests = self.config.sim.record_digests;
         let mut lost = 0usize;
+        // Fault-delayed frames whose hold has expired go onto the wire at
+        // this boundary, to be read one round later — `delay_rounds` past
+        // their original delivery boundary. Frames whose hold outlives the
+        // run stay recorded as `Lost`, which is how the replaying twin must
+        // treat them (they influenced nobody).
+        if !self.held.is_empty() {
+            let mut held = std::mem::take(&mut self.held);
+            let mut still = Vec::new();
+            for (release, seq, env) in held.drain(..) {
+                if release > t {
+                    still.push((release, seq, env));
+                } else if !self.write_frame(seq, &env) {
+                    lost += 1;
+                    self.stats.lost += 1;
+                }
+            }
+            self.held = still;
+        }
         let span = self.obs.span_start();
         // The snapshot was taken after churn over the current slots, so it
         // holds exactly one batch per slot, in id order (joiners included,
@@ -768,18 +818,69 @@ where
                 rec.digests.push((slot.id, digest));
             }
             let from = slot.id;
+            let tpr = self.config.ticks_per_round;
             let mut out = std::mem::take(&mut self.slots[si].out);
-            for (to, payload) in out.drain(..) {
-                let msg_seq = self.seq;
-                self.seq += 1;
-                self.stats.sent += 1;
-                // Lost until proven delivered: overwritten when a later
-                // boundary (or none) reads the frame.
-                self.fates.record(msg_seq, MessageFate::Lost);
-                let env = Envelope::new(from, to, t, payload);
-                if !self.write_frame(msg_seq, &env) {
-                    lost += 1;
-                    self.stats.lost += 1;
+            for (to, mut payload) in out.drain(..) {
+                // Fault-plan decision on the sequence number this frame is
+                // about to take — the same pure function of (seed, seq) the
+                // event engine evaluates for the identical message.
+                let (fault_drop, delay_rounds, duplicate) = match self.faults.as_ref() {
+                    None => (false, 0u64, false),
+                    Some((plan, adapter)) => {
+                        match plan.decide(seed, self.seq, t, from, to, (adapter.kind_of)(&payload))
+                        {
+                            FaultDecision::Pass => (false, 0, false),
+                            FaultDecision::Drop => {
+                                self.fault_stats.dropped += 1;
+                                (true, 0, false)
+                            }
+                            FaultDecision::Delay(ticks) => {
+                                self.fault_stats.delayed += 1;
+                                // The transport's clock is the round cadence:
+                                // the hold-back is the tick delay rounded up to
+                                // whole rounds, at least one.
+                                (false, ticks.div_ceil(tpr).max(1), false)
+                            }
+                            FaultDecision::Duplicate => {
+                                self.fault_stats.duplicated += 1;
+                                (false, 0, true)
+                            }
+                            FaultDecision::Mutate => {
+                                if (adapter.mutate)(
+                                    &mut payload,
+                                    FaultPlan::mutation_entropy(seed, self.seq),
+                                ) {
+                                    self.fault_stats.mutated += 1;
+                                }
+                                (false, 0, false)
+                            }
+                        }
+                    }
+                };
+                // The duplicate copy consumes the next sequence number and
+                // takes its own wire fate, with no fault decision of its
+                // own.
+                let dup = duplicate.then(|| payload.clone());
+                for payload in std::iter::once(payload).chain(dup) {
+                    let msg_seq = self.seq;
+                    self.seq += 1;
+                    self.stats.sent += 1;
+                    // Lost until proven delivered: overwritten when a later
+                    // boundary (or none) reads the frame.
+                    self.fates.record(msg_seq, MessageFate::Lost);
+                    let env = Envelope::new(from, to, t, payload);
+                    if fault_drop {
+                        // Never reaches the wire; counted exactly like the
+                        // event engine counts a fault drop.
+                        lost += 1;
+                        self.stats.lost += 1;
+                    } else if delay_rounds > 0 {
+                        self.held
+                            .push((t.saturating_add(delay_rounds), msg_seq, env));
+                    } else if !self.write_frame(msg_seq, &env) {
+                        lost += 1;
+                        self.stats.lost += 1;
+                    }
                 }
             }
             self.slots[si].out = out;
@@ -809,6 +910,27 @@ where
             );
             self.obs
                 .add("net.wire_bytes", self.wire_sent_bytes - wire_bytes_before);
+            // Fault counters only exist when a plan is installed, so
+            // fault-free runs keep their exact historical obs output.
+            if self.faults.is_some() {
+                let f = &self.fault_stats;
+                self.obs.add(
+                    "proto.fault_dropped",
+                    f.dropped - fault_stats_before.dropped,
+                );
+                self.obs.add(
+                    "proto.fault_delayed",
+                    f.delayed - fault_stats_before.delayed,
+                );
+                self.obs.add(
+                    "proto.fault_duplicated",
+                    f.duplicated - fault_stats_before.duplicated,
+                );
+                self.obs.add(
+                    "proto.fault_mutated",
+                    f.mutated - fault_stats_before.mutated,
+                );
+            }
         }
         match &mut self.streaming {
             Some(s) => s.push(row),

@@ -6,8 +6,11 @@ use rand_chacha::ChaCha8Rng;
 use tsa_adversary::{DegreeAttackAdversary, RandomChurnAdversary, TargetedSwarmAdversary};
 use tsa_analysis::uniformity;
 use tsa_baselines::{attack_trial, AttackMode, ChordSwarm, HdGraph, SpartanOverlay};
-use tsa_core::{AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams, MaintenanceReport};
-use tsa_event::{ExecutionModel, Topology};
+use tsa_core::{
+    AsyncMaintenanceHarness, ByzantineSpec, MaintenanceHarness, MaintenanceParams,
+    MaintenanceReport,
+};
+use tsa_event::{ExecutionModel, FaultPlan, LatencyModel, NetModel, Topology};
 use tsa_obs::ObsHandle;
 use tsa_overlay::{Lds, OverlayGraph, Position};
 use tsa_routing::{sample_many, uniform_workload, RoutableSeries, RoutingConfig, RoutingSim};
@@ -146,6 +149,24 @@ impl Scenario {
         self
     }
 
+    /// Installs a fault-injection plan at the message boundary of a
+    /// maintained scenario. Faults act where messages are delivered, so a
+    /// plan routes the run onto the event engine even under the default
+    /// synchronous execution — with a zero-delay network model, which is the
+    /// round engine bit for bit. One-shot kinds ignore it.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.spec.faults = Some(plan);
+        self
+    }
+
+    /// Assigns a byzantine role to the id slice `spec` selects (maintained
+    /// scenarios only). Flows through [`MaintenanceParams::with_byzantine`],
+    /// so every engine resolves it identically.
+    pub fn byzantine(mut self, spec: ByzantineSpec) -> Self {
+        self.spec.byzantine = Some(spec);
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
@@ -203,6 +224,11 @@ impl Scenario {
              Scenario::run instead of build() for {:?}",
             self.spec.execution
         );
+        assert!(
+            self.spec.faults.is_none(),
+            "fault plans act at the event engine's delivery boundary; use \
+             Scenario::run instead of build()"
+        );
         let params = self.spec.maintenance_params();
         let rules = self.spec.churn.rules_for(&params);
         let lateness = self
@@ -229,6 +255,14 @@ impl Scenario {
     /// reported as 0.
     pub fn run(self, rounds: u64) -> ScenarioOutcome {
         match (self.spec.kind, self.spec.execution.effective_topology()) {
+            (ScenarioKind::MaintainedLds, None) if self.spec.faults.is_some() => {
+                // Faults act at the delivery boundary, which only the event
+                // engine has. A zero-delay model is the round engine bit for
+                // bit, so the only difference a fault-free plan makes is the
+                // extra network/fault counters in the outcome.
+                let topology = Topology::Global(NetModel::new(LatencyModel::constant(0)));
+                run_async_maintained(self.spec, topology, rounds)
+            }
             (ScenarioKind::MaintainedLds, None) => {
                 let mut run = self.build();
                 if run.spec.bootstrap {
@@ -276,11 +310,15 @@ fn run_async_maintained(spec: ScenarioSpec, topology: Topology, rounds: u64) -> 
         params, adversary, spec.seed, rules, lateness, topology,
     );
     harness.set_metrics_mode(spec.metrics);
+    if let Some(plan) = &spec.faults {
+        harness.set_faults(plan.clone());
+    }
     if spec.bootstrap {
         harness.run_bootstrap();
     }
     harness.run(rounds);
     let report = harness.report();
+    let fault_stats = spec.faults.is_some().then(|| harness.fault_stats());
     let max_connect_load = harness.connect_load().values().copied().max().unwrap_or(0);
     let spec_metrics = spec.metrics;
     let bootstrap_rounds = if spec.bootstrap {
@@ -305,6 +343,7 @@ fn run_async_maintained(spec: ScenarioSpec, topology: Topology, rounds: u64) -> 
             },
             max_connect_load,
             net_stats: Some(harness.net_stats()),
+            fault_stats,
         }),
         baseline: None,
         routing: None,
@@ -437,8 +476,10 @@ impl ScenarioRun {
                 },
                 max_connect_load,
                 // The round engine has no network model, so there are no
-                // loss/delay/bridge counters to report.
+                // loss/delay/bridge counters to report — and no delivery
+                // boundary, so no fault counters either.
                 net_stats: None,
+                fault_stats: None,
             }),
             baseline: None,
             routing: None,
@@ -894,6 +935,141 @@ mod tests {
         assert!(serde_json::to_string(&asynch)
             .unwrap()
             .contains("bridge_sent"));
+    }
+
+    #[test]
+    fn an_empty_fault_plan_reproduces_the_round_engine_byte_for_byte() {
+        // The scenario-level zero-fault anchor: installing FaultPlan::default()
+        // routes the run onto the event engine with a zero-delay model, whose
+        // only trace in the outcome is the spec's own `faults` field and the
+        // extra (all-zero fault, zero-loss network) counters.
+        use tsa_event::FaultPlan;
+        let base = || {
+            Scenario::maintained_lds(48)
+                .with_c(1.5)
+                .with_tau(4)
+                .with_replication(2)
+                .seed(21)
+        };
+        let sync = base().run(6);
+        let faulted = base().faults(FaultPlan::default()).run(6);
+        let mut normalized = faulted.clone();
+        normalized.spec.faults = None;
+        let m = normalized.maintenance.as_mut().unwrap();
+        let net_stats = m.net_stats.take().expect("fault runs carry net counters");
+        let fault_stats = m
+            .fault_stats
+            .take()
+            .expect("fault runs carry fault counters");
+        assert_eq!(
+            serde_json::to_string(&normalized).unwrap(),
+            serde_json::to_string(&sync).unwrap(),
+            "an empty plan must not perturb the run"
+        );
+        assert_eq!(fault_stats.total(), 0, "an empty plan injects nothing");
+        assert_eq!(net_stats.lost, 0);
+    }
+
+    #[test]
+    fn a_drop_all_plan_perturbs_the_run_and_counts_its_drops() {
+        use tsa_event::{FaultAction, FaultPlan, FaultRule};
+        let base = || {
+            Scenario::maintained_lds(48)
+                .with_c(1.5)
+                .with_tau(4)
+                .with_replication(2)
+                .seed(21)
+        };
+        let sync = base().run(6);
+        let plan = FaultPlan::new().with_rule(
+            FaultRule::every(FaultAction::Drop)
+                .with_prob(0.05)
+                .in_window(tsa_event::RoundWindow::starting_at(2)),
+        );
+        let faulted = base().faults(plan).run(6);
+        let m = faulted.maintenance.as_ref().unwrap();
+        let fs = m.fault_stats.expect("fault counters present");
+        assert!(fs.dropped > 0, "a 5% drop plan must fire: {fs:?}");
+        assert_eq!(
+            fs.dropped,
+            m.net_stats.unwrap().lost,
+            "on a lossless model every lost message is an injected drop"
+        );
+        assert_ne!(
+            m.metrics_summary,
+            sync.maintenance.unwrap().metrics_summary,
+            "dropping maintenance traffic must perturb the run"
+        );
+        // ... and the outcome replays from its own spec.
+        let replay = Scenario::from_spec(faulted.spec.clone()).run(faulted.rounds);
+        assert_eq!(
+            serde_json::to_string(&replay).unwrap(),
+            serde_json::to_string(&faulted).unwrap(),
+            "fault outcomes replay from their embedded spec"
+        );
+    }
+
+    #[test]
+    fn byzantine_scenarios_run_on_all_engines_and_replay_from_their_spec() {
+        use tsa_core::{ByzantineSpec, MisbehaviorKind};
+        use tsa_event::LatencyModel;
+        let byz = ByzantineSpec::fraction(1, 8, MisbehaviorKind::ForgedPosition);
+        let base = || {
+            Scenario::maintained_lds(48)
+                .with_c(1.5)
+                .with_tau(4)
+                .with_replication(2)
+                .seed(13)
+                .byzantine(byz)
+        };
+        // Round engine.
+        let sync = base().run(6);
+        assert_eq!(sync.spec.byzantine, Some(byz));
+        assert_eq!(
+            sync.maintenance.as_ref().unwrap().report.node_count,
+            48,
+            "byzantine nodes still occupy their slots"
+        );
+        // Event engine at zero delay: byzantine behaviour is part of the
+        // node program, so the two engines coincide exactly as they do for
+        // honest runs.
+        let asynch = base()
+            .execution(ExecutionModel::asynchronous(LatencyModel::constant(0)))
+            .run(6);
+        assert_eq!(
+            serde_json::to_string(&sync.maintenance.as_ref().unwrap().report).unwrap(),
+            serde_json::to_string(&asynch.maintenance.as_ref().unwrap().report).unwrap(),
+            "zero-delay byzantine runs coincide across engines"
+        );
+        // A forged-position run must actually differ from the honest run.
+        let honest = Scenario::maintained_lds(48)
+            .with_c(1.5)
+            .with_tau(4)
+            .with_replication(2)
+            .seed(13)
+            .run(6);
+        assert_ne!(
+            sync.maintenance.as_ref().unwrap().metrics_summary,
+            honest.maintenance.unwrap().metrics_summary,
+            "an eighth of the network forging positions must leave a trace"
+        );
+        // ... and the outcome replays from its own spec.
+        let replay = Scenario::from_spec(sync.spec.clone()).run(sync.rounds);
+        assert_eq!(
+            serde_json::to_string(&replay).unwrap(),
+            serde_json::to_string(&sync).unwrap()
+        );
+    }
+
+    #[test]
+    fn build_panics_for_fault_plans() {
+        use tsa_event::{FaultAction, FaultPlan, FaultRule};
+        let result = std::panic::catch_unwind(|| {
+            Scenario::maintained_lds(48)
+                .faults(FaultPlan::new().with_rule(FaultRule::every(FaultAction::Drop)))
+                .build()
+        });
+        assert!(result.is_err(), "fault plans need the event engine");
     }
 
     #[test]

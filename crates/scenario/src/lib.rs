@@ -55,12 +55,15 @@ pub use outcome::{
     BaselineOutcome, MaintenanceOutcome, RoutingOutcome, SamplingOutcome, ScenarioOutcome,
 };
 pub use spec::{AdversarySpec, BaselineKind, ChurnSpec, ScenarioKind, ScenarioSpec};
-// The execution-model vocabulary every spec embeds, re-exported so scenario
-// consumers need no direct tsa-event dependency.
+// The execution-model and fault-injection vocabulary every spec embeds,
+// re-exported so scenario consumers need no direct tsa-event dependency.
 pub use tsa_event::{
-    ExecutionModel, LatencyModel, LinkOverride, NetModel, NetStats, PartitionSchedule,
-    RegionAssign, RegionEntry, Topology,
+    ExecutionModel, FaultAction, FaultPlan, FaultRule, FaultStats, LatencyModel, LinkOverride,
+    NetModel, NetStats, NodeSelector, PartitionSchedule, RegionAssign, RegionEntry, RoundWindow,
+    Topology,
 };
+// The byzantine-role vocabulary, re-exported for the same reason.
+pub use tsa_core::{ByzantineSpec, MisbehaviorKind};
 // The metrics-mode vocabulary every spec embeds, re-exported for the same
 // reason.
 pub use tsa_sim::MetricsMode;

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 use tsa_baselines::ResilienceOutcome;
 use tsa_core::MaintenanceReport;
-use tsa_event::NetStats;
+use tsa_event::{FaultStats, NetStats};
 use tsa_sim::{MetricsHistory, MetricsSummary};
 
 use crate::spec::ScenarioSpec;
@@ -38,6 +38,11 @@ pub struct MaintenanceOutcome {
     /// byte-stable).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub net_stats: Option<NetStats>,
+    /// Whole-run counters of injected faults. Only present when the spec
+    /// carried a [`FaultPlan`](tsa_event::FaultPlan), so fault-free outcomes
+    /// (and every pre-existing artifact) keep their exact serialized form.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fault_stats: Option<FaultStats>,
 }
 
 /// Result of a static-baseline attack trial.
@@ -173,6 +178,7 @@ impl ScenarioOutcome {
                 metrics: None,
                 max_connect_load: m.max_connect_load,
                 net_stats: m.net_stats,
+                fault_stats: m.fault_stats,
             }),
             baseline: self.baseline,
             routing: self.routing,

@@ -5,8 +5,8 @@
 //! embedded in a `ScenarioOutcome` fully documents how a result was produced.
 
 use serde::{Deserialize, Serialize};
-use tsa_core::MaintenanceParams;
-use tsa_event::ExecutionModel;
+use tsa_core::{ByzantineSpec, MaintenanceParams};
+use tsa_event::{ExecutionModel, FaultPlan};
 use tsa_sim::{ChurnRules, Lateness, MetricsMode};
 
 /// Which experiment a scenario executes.
@@ -296,6 +296,20 @@ pub struct ScenarioSpec {
     /// spec) keeps its exact serialized form.
     #[serde(default, skip_serializing_if = "MetricsMode::is_full")]
     pub metrics: MetricsMode,
+    /// The fault-injection plan applied at the message boundary of a
+    /// maintained scenario. Faults act where messages are delivered, so a
+    /// plan forces the event engine even under the default synchronous
+    /// execution (a zero-delay model otherwise reproduces the round engine).
+    /// One-shot kinds ignore it. Serialized only when present, so every
+    /// pre-existing artifact keeps its exact serialized form.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultPlan>,
+    /// The byzantine role assignment of a maintained scenario: which id
+    /// slice misbehaves, and how. Flows into
+    /// [`MaintenanceParams::byzantine`], so all three engines resolve it
+    /// through the shared harness factory. Serialized only when present.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub byzantine: Option<ByzantineSpec>,
     /// Whether to run the churn-free bootstrap phase before the measured
     /// rounds (maintained scenarios only).
     pub bootstrap: bool,
@@ -327,6 +341,8 @@ impl ScenarioSpec {
             lateness: None,
             execution: ExecutionModel::Rounds,
             metrics: MetricsMode::Full,
+            faults: None,
+            byzantine: None,
             bootstrap: true,
             messages_per_node: 1,
             holder_failure: 0.0,
@@ -351,6 +367,9 @@ impl ScenarioSpec {
         }
         if let Some(r) = self.replication {
             params = params.with_replication(r);
+        }
+        if let Some(spec) = self.byzantine {
+            params = params.with_byzantine(spec);
         }
         params
     }
@@ -420,6 +439,15 @@ impl ScenarioSpec {
                 // default and adds nothing.
                 if !self.metrics.is_full() {
                     parts.push("metrics=streaming".to_string());
+                }
+                // Fault-free, all-honest runs are the default and add
+                // nothing, so pre-fault labels are reproduced verbatim.
+                if let Some(plan) = &self.faults {
+                    parts.push(format!("faults={}", plan.label()));
+                }
+                if let Some(byz) = &self.byzantine {
+                    // `ByzantineSpec::label` is already `byz`-prefixed.
+                    parts.push(byz.label());
                 }
             }
             ScenarioKind::Routing => {
@@ -554,6 +582,58 @@ mod tests {
             streaming.axis_label().contains("metrics=streaming"),
             "{}",
             streaming.axis_label()
+        );
+    }
+
+    #[test]
+    fn fault_free_specs_never_serialize_the_fault_fields() {
+        // The byte-compatibility contract once more: a spec without faults
+        // or byzantine nodes serializes exactly as it did before either
+        // existed, and JSON without the fields deserializes to None — so
+        // every committed BENCH_*.json round-trips unchanged.
+        use tsa_core::MisbehaviorKind;
+        use tsa_event::{FaultAction, FaultRule};
+        let spec = ScenarioSpec::new(ScenarioKind::MaintainedLds, 64);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(!json.contains("faults"), "None must be skipped: {json}");
+        assert!(!json.contains("byzantine"), "None must be skipped: {json}");
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, None);
+        assert_eq!(back.byzantine, None);
+        assert_eq!(back, spec);
+        assert!(!spec.axis_label().contains("faults="));
+        assert!(!spec.axis_label().contains("byz"));
+
+        let mut faulty = spec;
+        faulty.faults = Some(FaultPlan::new().with_rule(FaultRule::every(FaultAction::Drop)));
+        faulty.byzantine = Some(ByzantineSpec::fraction(
+            1,
+            8,
+            MisbehaviorKind::SelectiveForward,
+        ));
+        let json = serde_json::to_string(&faulty).unwrap();
+        assert!(json.contains("\"faults\""), "{json}");
+        assert!(json.contains("\"byzantine\""), "{json}");
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, faulty);
+        let label = faulty.axis_label();
+        assert!(label.contains("faults=fd*"), "{label}");
+        assert!(label.contains("byz1/8-selfwd"), "{label}");
+    }
+
+    #[test]
+    fn byzantine_specs_resolve_into_maintenance_params() {
+        use tsa_core::MisbehaviorKind;
+        let mut spec = ScenarioSpec::new(ScenarioKind::MaintainedLds, 64);
+        spec.byzantine = Some(ByzantineSpec::fraction(1, 4, MisbehaviorKind::BogusReplies));
+        let params = spec.maintenance_params();
+        assert_eq!(params.byzantine, spec.byzantine);
+        // ... and an all-honest spec resolves to all-honest params.
+        assert_eq!(
+            ScenarioSpec::new(ScenarioKind::MaintainedLds, 64)
+                .maintenance_params()
+                .byzantine,
+            None
         );
     }
 

@@ -103,6 +103,12 @@ impl<M> Outbox<M> {
         self.msgs
     }
 
+    /// Mutable access to the queued `(receiver, payload)` pairs — the hook a
+    /// byzantine node uses to rewrite what its honest machinery queued.
+    pub fn queued_mut(&mut self) -> &mut Vec<(NodeId, M)> {
+        &mut self.msgs
+    }
+
     /// Iterates over the queued destinations (used by degree metrics).
     pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.msgs.iter().map(|(to, _)| *to)

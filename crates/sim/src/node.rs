@@ -144,6 +144,12 @@ impl<'a, M> Ctx<'a, M> {
         self.outbox.len()
     }
 
+    /// Mutable access to the queued `(receiver, payload)` pairs — the hook a
+    /// byzantine node uses to rewrite what its honest machinery queued.
+    pub fn queued_mut(&mut self) -> &mut Vec<(NodeId, M)> {
+        self.outbox.queued_mut()
+    }
+
     /// Consumes the context and returns the outbox (engine internal).
     pub fn into_outbox(self) -> Outbox<M> {
         self.outbox

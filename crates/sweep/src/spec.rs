@@ -12,7 +12,8 @@
 
 use serde::{Deserialize, Serialize};
 use tsa_scenario::{
-    AdversarySpec, ChurnSpec, ExecutionModel, ScenarioKind, ScenarioSpec, Topology,
+    AdversarySpec, ByzantineSpec, ChurnSpec, ExecutionModel, FaultPlan, ScenarioKind, ScenarioSpec,
+    Topology,
 };
 use tsa_sim::Lateness;
 
@@ -87,9 +88,9 @@ pub struct SweepCell {
 /// Every `Vec` field is an axis: empty means "keep the base spec's value",
 /// non-empty means "take the cartesian product over these values". The
 /// enumeration order is fixed and documented (kind, n, c, δ, τ, r, churn,
-/// adversary, lateness, execution model, topology, k, holder failure,
-/// attempts, then seed innermost), so cell indices are stable for shard
-/// checkpoints.
+/// adversary, lateness, execution model, topology, fault plan, byzantine
+/// role, k, holder failure, attempts, then seed innermost), so cell indices
+/// are stable for shard checkpoints.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SweepSpec {
     /// Name of the sweep (shard file stem, table title).
@@ -140,6 +141,20 @@ pub struct SweepSpec {
     /// the execution axis.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub topology: Vec<Topology>,
+    /// Axis over the fault-injection plan applied at the message boundary.
+    /// Each plan routes its cell onto the event engine (see
+    /// [`ScenarioSpec::faults`]). Absent in pre-fault sweep specs, so it
+    /// defaults to empty ("keep the base spec's plan") and is skipped when
+    /// empty, keeping old spec JSON byte-identical. Meaningful for
+    /// maintained cells only, exactly like the execution axis.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub faults: Vec<FaultPlan>,
+    /// Axis over the byzantine role assignment (which id slice misbehaves,
+    /// and how). Absent in pre-byzantine sweep specs, so it defaults to
+    /// empty and is skipped when empty, keeping old spec JSON
+    /// byte-identical. Meaningful for maintained cells only.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub byzantine: Vec<ByzantineSpec>,
     /// Axis over messages per node in routing workloads.
     pub messages_per_node: Vec<usize>,
     /// Axis over the per-step holder failure probability.
@@ -173,6 +188,8 @@ impl SweepSpec {
             lateness: Vec::new(),
             execution: Vec::new(),
             topology: Vec::new(),
+            faults: Vec::new(),
+            byzantine: Vec::new(),
             messages_per_node: Vec::new(),
             holder_failure: Vec::new(),
             attempts: Vec::new(),
@@ -251,6 +268,20 @@ impl SweepSpec {
         self
     }
 
+    /// Sweeps the fault-injection plan applied at the message boundary.
+    /// Meaningful for maintained scenarios only (see the field docs).
+    pub fn over_faults(mut self, plans: impl IntoIterator<Item = FaultPlan>) -> Self {
+        self.faults = plans.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the byzantine role assignment. Meaningful for maintained
+    /// scenarios only (see the field docs).
+    pub fn over_byzantine(mut self, specs: impl IntoIterator<Item = ByzantineSpec>) -> Self {
+        self.byzantine = specs.into_iter().collect();
+        self
+    }
+
     /// Sweeps messages per node (routing workloads).
     pub fn over_messages_per_node(mut self, ks: impl IntoIterator<Item = usize>) -> Self {
         self.messages_per_node = ks.into_iter().collect();
@@ -283,6 +314,8 @@ impl SweepSpec {
             * axis(self.lateness.len())
             * axis(self.execution.len())
             * axis(self.topology.len())
+            * axis(self.faults.len())
+            * axis(self.byzantine.len())
             * axis(self.messages_per_node.len())
             * axis(self.holder_failure.len())
             * axis(self.attempts.len())
@@ -314,6 +347,8 @@ impl SweepSpec {
         let latenesses = axis(&self.lateness);
         let executions = axis(&self.execution);
         let topologies = axis(&self.topology);
+        let fault_plans = axis(&self.faults);
+        let byzantines = axis(&self.byzantine);
         let ks = axis(&self.messages_per_node);
         let fails = axis(&self.holder_failure);
         let attempts_axis = axis(&self.attempts);
@@ -330,67 +365,108 @@ impl SweepSpec {
                                         for &lateness in &latenesses {
                                             for &execution in &executions {
                                                 for &topology in &topologies {
-                                                    for &k in &ks {
-                                                        for &fail in &fails {
-                                                            for &attempts in &attempts_axis {
-                                                                for seed in self.seeds.seeds() {
-                                                                    let mut spec = self
-                                                                        .base
-                                                                        .clone()
-                                                                        .with_seed(seed);
-                                                                    if let Some(kind) = kind {
-                                                                        spec.kind = *kind;
-                                                                    }
-                                                                    if let Some(n) = n {
-                                                                        spec.n = *n;
-                                                                    }
-                                                                    if let Some(c) = c {
-                                                                        spec.c = Some(*c);
-                                                                    }
-                                                                    if let Some(delta) = delta {
-                                                                        spec.delta = Some(*delta);
-                                                                    }
-                                                                    if let Some(tau) = tau {
-                                                                        spec.tau = Some(*tau);
-                                                                    }
-                                                                    if let Some(r) = replication {
-                                                                        spec.replication = Some(*r);
-                                                                    }
-                                                                    if let Some(churn) = churn {
-                                                                        spec.churn = *churn;
-                                                                    }
-                                                                    if let Some(adv) = adversary {
-                                                                        spec.adversary = *adv;
-                                                                    }
-                                                                    if let Some(l) = lateness {
-                                                                        spec.lateness = Some(*l);
-                                                                    }
-                                                                    if let Some(x) = execution {
-                                                                        spec.execution = x.clone();
-                                                                    }
-                                                                    if let Some(t) = topology {
-                                                                        spec.execution = spec
+                                                    for &fault_plan in &fault_plans {
+                                                        for &byz in &byzantines {
+                                                            for &k in &ks {
+                                                                for &fail in &fails {
+                                                                    for &attempts in &attempts_axis
+                                                                    {
+                                                                        for seed in
+                                                                            self.seeds.seeds()
+                                                                        {
+                                                                            let mut spec = self
+                                                                                .base
+                                                                                .clone()
+                                                                                .with_seed(seed);
+                                                                            if let Some(kind) = kind
+                                                                            {
+                                                                                spec.kind = *kind;
+                                                                            }
+                                                                            if let Some(n) = n {
+                                                                                spec.n = *n;
+                                                                            }
+                                                                            if let Some(c) = c {
+                                                                                spec.c = Some(*c);
+                                                                            }
+                                                                            if let Some(delta) =
+                                                                                delta
+                                                                            {
+                                                                                spec.delta =
+                                                                                    Some(*delta);
+                                                                            }
+                                                                            if let Some(tau) = tau {
+                                                                                spec.tau =
+                                                                                    Some(*tau);
+                                                                            }
+                                                                            if let Some(r) =
+                                                                                replication
+                                                                            {
+                                                                                spec.replication =
+                                                                                    Some(*r);
+                                                                            }
+                                                                            if let Some(churn) =
+                                                                                churn
+                                                                            {
+                                                                                spec.churn = *churn;
+                                                                            }
+                                                                            if let Some(adv) =
+                                                                                adversary
+                                                                            {
+                                                                                spec.adversary =
+                                                                                    *adv;
+                                                                            }
+                                                                            if let Some(l) =
+                                                                                lateness
+                                                                            {
+                                                                                spec.lateness =
+                                                                                    Some(*l);
+                                                                            }
+                                                                            if let Some(x) =
+                                                                                execution
+                                                                            {
+                                                                                spec.execution =
+                                                                                    x.clone();
+                                                                            }
+                                                                            if let Some(t) =
+                                                                                topology
+                                                                            {
+                                                                                spec.execution = spec
                                                                             .execution
                                                                             .with_topology(
                                                                                 t.clone(),
                                                                             );
+                                                                            }
+                                                                            if let Some(p) =
+                                                                                fault_plan
+                                                                            {
+                                                                                spec.faults =
+                                                                                    Some(p.clone());
+                                                                            }
+                                                                            if let Some(b) = byz {
+                                                                                spec.byzantine =
+                                                                                    Some(*b);
+                                                                            }
+                                                                            if let Some(k) = k {
+                                                                                spec.messages_per_node = *k;
+                                                                            }
+                                                                            if let Some(p) = fail {
+                                                                                spec.holder_failure = *p;
+                                                                            }
+                                                                            if let Some(a) =
+                                                                                attempts
+                                                                            {
+                                                                                spec.attempts = *a;
+                                                                            }
+                                                                            let rounds = self
+                                                                                .rounds
+                                                                                .resolve(&spec);
+                                                                            cells.push(SweepCell {
+                                                                                index: cells.len(),
+                                                                                spec,
+                                                                                rounds,
+                                                                            });
+                                                                        }
                                                                     }
-                                                                    if let Some(k) = k {
-                                                                        spec.messages_per_node = *k;
-                                                                    }
-                                                                    if let Some(p) = fail {
-                                                                        spec.holder_failure = *p;
-                                                                    }
-                                                                    if let Some(a) = attempts {
-                                                                        spec.attempts = *a;
-                                                                    }
-                                                                    let rounds =
-                                                                        self.rounds.resolve(&spec);
-                                                                    cells.push(SweepCell {
-                                                                        index: cells.len(),
-                                                                        spec,
-                                                                        rounds,
-                                                                    });
                                                                 }
                                                             }
                                                         }
@@ -590,6 +666,47 @@ mod tests {
         // a pre-topology sweep spec did.
         let plain = SweepSpec::new("plain", base);
         assert!(!serde_json::to_string(&plain).unwrap().contains("topology"));
+        let json = serde_json::to_string(&sweep).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sweep);
+        assert_eq!(back.enumerate(), sweep.enumerate());
+    }
+
+    #[test]
+    fn fault_and_byzantine_axes_sweep_adversarial_regimes() {
+        use tsa_scenario::{ByzantineSpec, FaultAction, FaultPlan, FaultRule, MisbehaviorKind};
+        let base = ScenarioSpec::new(ScenarioKind::MaintainedLds, 48);
+        let plans = [
+            FaultPlan::default(),
+            FaultPlan::new().with_rule(FaultRule::every(FaultAction::Drop).with_prob(0.1)),
+        ];
+        let roles = [
+            ByzantineSpec::fraction(0, 8, MisbehaviorKind::StaleClaims),
+            ByzantineSpec::fraction(1, 8, MisbehaviorKind::StaleClaims),
+            ByzantineSpec::fraction(1, 4, MisbehaviorKind::StaleClaims),
+        ];
+        let sweep = SweepSpec::new("byz", base.clone())
+            .over_faults(plans.clone())
+            .over_byzantine(roles)
+            .seeds(1, 2);
+        let cells = sweep.enumerate();
+        assert_eq!(cells.len(), 12);
+        assert_eq!(sweep.cell_count(), 12);
+        // Enumeration order: fault plan outside, byzantine role inside, seed
+        // innermost.
+        assert_eq!(cells[0].spec.faults.as_ref(), Some(&plans[0]));
+        assert_eq!(cells[0].spec.byzantine, Some(roles[0]));
+        assert_eq!(cells[2].spec.byzantine, Some(roles[1]));
+        assert_eq!(cells[6].spec.faults.as_ref(), Some(&plans[1]));
+        assert_eq!(cells[6].spec.byzantine, Some(roles[0]));
+        // An empty axis keeps the base's (absent) plan and serializes
+        // exactly as a pre-fault sweep spec did.
+        let plain = SweepSpec::new("plain", base);
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(
+            !json.contains("faults") && !json.contains("byzantine"),
+            "{json}"
+        );
         let json = serde_json::to_string(&sweep).unwrap();
         let back: SweepSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sweep);

@@ -51,12 +51,12 @@ pub use tsa_sweep as sweep;
 pub mod prelude {
     pub use tsa_adversary::{RandomChurnAdversary, TargetedSwarmAdversary};
     pub use tsa_core::{
-        AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams, MaintenanceReport,
-        NetMaintenanceHarness,
+        AsyncMaintenanceHarness, ByzantineSpec, MaintenanceHarness, MaintenanceParams,
+        MaintenanceReport, MisbehaviorKind, NetMaintenanceHarness,
     };
     pub use tsa_event::{
-        ExecutionModel, LatencyModel, MessageTrace, NetModel, PartitionSchedule, RegionAssign,
-        Topology,
+        ExecutionModel, FaultAction, FaultPlan, FaultRule, LatencyModel, MessageTrace, NetModel,
+        NodeSelector, PartitionSchedule, RegionAssign, RoundWindow, Topology,
     };
     pub use tsa_net::{NetConfig, NetRunner};
     pub use tsa_obs::{ObsHandle, ObsRecorder, Reporter};
