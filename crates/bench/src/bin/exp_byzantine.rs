@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use tsa_analysis::{fmt_bool, fmt_f, Table};
-use tsa_bench::{experiment_params, usage, write_bench_json, write_bench_json_at, ExpArgs};
+use tsa_bench::{experiment_params, usage, write_bench_json_at, ExpArgs};
 use tsa_core::{
     AsyncMaintenanceHarness, ByzantineSpec, MaintenanceHarness, MaintenanceParams, MisbehaviorKind,
     NetMaintenanceHarness,
@@ -489,14 +489,44 @@ fn main() {
             twins,
         },
     };
-    match &args.out {
+    let artifact_path = match &args.out {
         Some(dir) => {
             if let Err(err) = std::fs::create_dir_all(dir) {
                 eprintln!("warning: could not create {}: {err}", dir.display());
             }
-            write_bench_json_at(&dir.join(format!("BENCH_{exp}.json")), &doc);
+            dir.join(format!("BENCH_{exp}.json"))
         }
-        None => write_bench_json(exp, &doc),
+        None => std::path::PathBuf::from(format!("BENCH_{exp}.json")),
+    };
+    // This artifact carries no timing section — it is machine-invariant in
+    // full, so the compare gate is whole-file byte equality. A committed
+    // artifact of the other grid shape (full vs --smoke) is no baseline.
+    let committed = args.compare.then(|| {
+        std::fs::read_to_string(&artifact_path).ok().filter(|text| {
+            serde_json::parse_value(text)
+                .ok()
+                .and_then(|v| v.get("smoke").and_then(|s| s.as_bool()))
+                == Some(smoke)
+        })
+    });
+    write_bench_json_at(&artifact_path, &doc);
+    if let Some(committed) = committed {
+        let fresh = std::fs::read_to_string(&artifact_path).unwrap_or_default();
+        let report = tsa_bench::compare_artifact(exp, committed.as_deref(), &fresh);
+        match tsa_bench::compare::append_trajectory(
+            args.out.as_deref(),
+            exp,
+            report.det_match,
+            fresh.len() as u64,
+            Vec::new(),
+        ) {
+            Ok(path) => println!("[{exp}] trajectory row appended to {}", path.display()),
+            Err(err) => eprintln!("warning: could not append trajectory row: {err}"),
+        }
+        println!("{}", report.render());
+        if !report.det_match {
+            std::process::exit(1);
+        }
     }
     if !all_match {
         eprintln!("{exp}: an anchor or twin check failed");

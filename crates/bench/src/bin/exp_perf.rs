@@ -30,7 +30,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use tsa_bench::{experiment_scenario, usage, write_bench_json, write_bench_json_at, ExpArgs};
+use tsa_bench::{experiment_scenario, usage, write_bench_json_at, ExpArgs};
 use tsa_core::ProtocolMsg;
 use tsa_scenario::{AdversarySpec, ChurnSpec};
 use tsa_sim::prelude::*;
@@ -309,11 +309,117 @@ fn main() {
         machine_threads,
         rows,
     };
-    match &args.out {
+    let artifact_path = match &args.out {
         Some(dir) => {
             std::fs::create_dir_all(dir).expect("output directory is creatable");
-            write_bench_json_at(&dir.join("BENCH_exp_perf.json"), &doc);
+            dir.join("BENCH_exp_perf.json")
         }
-        None => write_bench_json("exp_perf", &doc),
+        None => std::path::PathBuf::from("BENCH_exp_perf.json"),
+    };
+    let committed = args
+        .compare
+        .then(|| std::fs::read_to_string(&artifact_path).ok());
+    write_bench_json_at(&artifact_path, &doc);
+    if let Some(committed) = committed {
+        compare_trajectory(&args, committed.as_deref(), &doc);
+    }
+}
+
+/// Relative tolerance on `rounds_per_sec` for the `--compare` band: wall
+/// clocks are noisy even on one machine, so the band only catches collapses
+/// (or implausible speedups), not jitter.
+const PERF_BAND: f64 = 0.5;
+
+/// Cells shorter than this on either side are skipped by the band: a
+/// single-digit-millisecond cell flips 2× on cache state alone, so a band
+/// there would gate on noise.
+const PERF_BAND_MIN_WALL_MS: f64 = 100.0;
+
+/// The `--compare` gate for a timing-only artifact: every committed
+/// `(workload, n, threads)` row's `rounds_per_sec` must land within
+/// [`PERF_BAND`] of the fresh run's, and one machine-tagged trajectory row
+/// records the fresh throughputs either way. Exits non-zero on a band
+/// violation. A committed artifact of the other grid shape (full vs
+/// `--smoke`) is no baseline.
+fn compare_trajectory(args: &ExpArgs, committed: Option<&str>, doc: &PerfDoc) {
+    let committed = committed
+        .and_then(|text| serde_json::parse_value(text).ok())
+        .filter(|v| v.get("smoke").and_then(|s| s.as_bool()) == Some(doc.smoke));
+    let mut violations = Vec::new();
+    let mut compared = 0usize;
+    if let Some(rows) = committed
+        .as_ref()
+        .and_then(|v| v.get("rows"))
+        .and_then(|v| v.as_array())
+    {
+        for row in rows {
+            let key = |field: &str| row.get(field).and_then(|v| v.as_u64());
+            let (Some(n), Some(threads)) = (key("n"), key("threads")) else {
+                continue;
+            };
+            let workload = row
+                .get("workload")
+                .and_then(|v| v.as_str())
+                .unwrap_or_default();
+            let Some(was) = row.get("rounds_per_sec").and_then(|v| v.as_f64()) else {
+                continue;
+            };
+            let Some(fresh) = doc
+                .rows
+                .iter()
+                .find(|r| r.workload == workload && r.n as u64 == n && r.threads as u64 == threads)
+            else {
+                continue;
+            };
+            let was_wall = row.get("wall_ms").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            if was_wall < PERF_BAND_MIN_WALL_MS || fresh.wall_ms < PERF_BAND_MIN_WALL_MS {
+                continue;
+            }
+            compared += 1;
+            let name = format!("rounds_per_sec[{workload} n={n} t={threads}]");
+            if let Some(v) =
+                tsa_bench::compare::check_band(&name, was, fresh.rounds_per_sec, PERF_BAND)
+            {
+                violations.push(v);
+            }
+        }
+    }
+    let band_ok = violations.is_empty();
+    let metrics = doc
+        .rows
+        .iter()
+        .map(|r| tsa_dash::MetricPoint {
+            name: format!("rounds_per_sec[{} n={} t={}]", r.workload, r.n, r.threads),
+            value: r.rounds_per_sec,
+        })
+        .collect();
+    match tsa_bench::compare::append_trajectory(
+        args.out.as_deref(),
+        "exp_perf",
+        band_ok,
+        0,
+        metrics,
+    ) {
+        Ok(path) => println!("[exp_perf] trajectory row appended to {}", path.display()),
+        Err(err) => eprintln!("warning: could not append trajectory row: {err}"),
+    }
+    if committed.is_none() {
+        println!("exp_perf: no comparable committed artifact (baseline seeded)");
+        return;
+    }
+    if band_ok {
+        println!(
+            "exp_perf: {compared} committed throughput row(s) within the ±{:.0}% band",
+            PERF_BAND * 100.0
+        );
+    } else {
+        eprintln!(
+            "exp_perf: throughput left the ±{:.0}% band:",
+            PERF_BAND * 100.0
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
     }
 }

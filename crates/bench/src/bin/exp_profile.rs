@@ -3,19 +3,24 @@
 //!
 //! One maintained run per scheduler — the synchronous round engine, the
 //! virtual-time event engine under a sub-round constant latency, and the
-//! loopback-TCP transport — each under seeded random churn with an
-//! [`ObsRecorder`] attached. Two families of results come out, mirroring
-//! `exp_net`:
+//! loopback-TCP transport — each under seeded random churn with a
+//! flight-recorder [`JournalRecorder`] attached, plus a fourth run of the
+//! event engine under a mixed fault plan so the gated `proto.fault_*`
+//! counters land in the byte-compared section. Two families of results come
+//! out, mirroring `exp_net`:
 //!
 //! * **deterministic** — the protocol-derived counters and power-of-two
 //!   histograms (`proto.*`, plus each simulator's own counters) of the round
-//!   and event engines. These are pure functions of `(seed, protocol)`:
-//!   byte-identical across machines, thread caps and `TSA_THREADS` settings,
-//!   so CI runs this binary twice at different thread counts and
-//!   byte-compares the section. The section also carries the cross-checks:
-//!   thread-cap invariance of the round engine, `proto.*` identity between
-//!   the round engine and a sub-round-latency event run, the transport's
-//!   twin-counter pin, and the streaming-vs-full metrics digest pin.
+//!   and event engines, faulted and clean. These are pure functions of
+//!   `(seed, protocol)`: byte-identical across machines, thread caps and
+//!   `TSA_THREADS` settings, so CI runs this binary twice at different
+//!   thread counts and byte-compares the section. The section also carries
+//!   the cross-checks: thread-cap invariance of the round engine (snapshot
+//!   AND the ordered journal stream), `proto.*` identity between the round
+//!   engine and a sub-round-latency event run, the transport's twin-counter
+//!   pin (now over a faulted run, so `proto.fault_*` is inside the pin),
+//!   journal-fold identity with the live snapshots, presence of nonzero
+//!   fault counters, and the streaming-vs-full metrics digest pin.
 //! * **timing** — the wall-clock phase spans (`sim.*`, `event.*`, `net.*`):
 //!   where each scheduler actually spends its time. The *transport's*
 //!   counter snapshot also lives here: wall-clock scheduling makes its
@@ -23,28 +28,36 @@
 //!   boundary in one run lands just after it in the next), so its raw
 //!   counters can never be byte-compared. Its deterministic claim is the
 //!   twin pin instead — replaying the recorded message fates through the
-//!   event engine must reproduce the transport's `proto.*` counters and
-//!   histograms, whatever those fates were (`proto.dropped` excluded: the
-//!   replay attributes every undelivered fate as a drop, the transport only
-//!   the frames it actively lost).
+//!   event engine (with the same fault plan) must reproduce the transport's
+//!   `proto.*` counters and histograms, whatever those fates were
+//!   (`proto.dropped` excluded: the replay attributes every undelivered
+//!   fate as a drop, the transport only the frames it actively lost).
 //!
 //! `--smoke` shrinks the grid to a seconds-long CI-sized run.
+//! `--journal <dir>` additionally writes the deterministic journal streams
+//! (`journal.round.jsonl`, `journal.event.jsonl`,
+//! `journal.event_faulted.jsonl` — the transport's journal is wall-clock
+//! dependent and stays out) and a Chrome-trace `trace.json` with the phase
+//! spans of all three engines, ready for Perfetto.
 
 // Binaries own their stdout/stderr: it IS their interface.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use tsa_adversary::RandomChurnAdversary;
 use tsa_analysis::{fmt_bool, Table};
-use tsa_bench::{
-    experiment_params, experiment_scenario, usage, write_bench_json, write_bench_json_at, ExpArgs,
-};
+use tsa_bench::{experiment_params, experiment_scenario, usage, write_bench_json_at, ExpArgs};
 use tsa_core::{AsyncMaintenanceHarness, MaintenanceHarness, NetMaintenanceHarness};
-use tsa_obs::{DetSnapshot, ObsHandle, ObsRecorder, TimingSnapshot};
-use tsa_scenario::{AdversarySpec, LatencyModel, MetricsMode, NetModel};
+use tsa_dash::{JournalRecorder, RunJournal, SpanSlice, TraceBuilder};
+use tsa_obs::{DetSnapshot, ObsHandle, TimingSnapshot};
+use tsa_scenario::{
+    AdversarySpec, FaultAction, FaultPlan, FaultRule, LatencyModel, MetricsMode, NetModel,
+    RoundWindow,
+};
 
 /// The milliseconds of wall clock one transport round occupies. Generous for
 /// loopback, so the runs stay meaningful (mostly-delivered) without the
@@ -54,6 +67,23 @@ const ROUND_MS: u64 = 25;
 /// Departures per round the seeded churn adversary injects — enough to keep
 /// neighbor repair (and its sampling-age probe) busy every round.
 const CHURN_PER_ROUND: usize = 2;
+
+/// The mixed fault plan of the faulted runs: every action kind at low
+/// probability, drops delayed past bootstrap. Fault decisions are a pure
+/// function of `(seed, frame sequence)`, so the resulting `proto.fault_*`
+/// counters are deterministic on the event engine and twin-pinned on the
+/// transport.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_rule(
+            FaultRule::every(FaultAction::Drop)
+                .with_prob(0.04)
+                .in_window(RoundWindow::starting_at(2)),
+        )
+        .with_rule(FaultRule::every(FaultAction::Delay { ticks: 1500 }).with_prob(0.05))
+        .with_rule(FaultRule::every(FaultAction::Duplicate).with_prob(0.05))
+        .with_rule(FaultRule::every(FaultAction::Mutate).with_prob(0.05))
+}
 
 /// The grid: one (n, seed, measured-rounds) point per scheduler.
 struct Grid {
@@ -103,13 +133,24 @@ struct Checks {
     /// The round engine's deterministic state is byte-identical under
     /// thread caps 1 and 2 (counter/histogram updates are commutative).
     thread_caps_identical: bool,
+    /// The round engine's ordered journal *stream* (not just the folded
+    /// totals) is byte-identical under thread caps 1 and 2: deterministic
+    /// events are only ever recorded from sequential sections.
+    journal_identical_across_caps: bool,
+    /// Folding each flight-recorder journal reproduces the live
+    /// `DetSnapshot` byte-for-byte, on every engine including the transport.
+    journal_fold_matches_snapshot: bool,
     /// `proto.*` state of a sub-round-latency event run is byte-identical
     /// to the round engine's.
     event_matches_round: bool,
     /// Replaying the transport's recorded message fates through the event
-    /// engine reproduces the transport's `proto.*` state exactly
+    /// engine — both sides under the same fault plan — reproduces the
+    /// transport's `proto.*` state exactly, `proto.fault_*` included
     /// (`proto.dropped` excluded — drop *attribution* differs by design).
     net_twin_counters_match: bool,
+    /// The faulted runs actually recorded nonzero `proto.fault_*` counters
+    /// (the plan bit, the gate opened).
+    fault_counters_recorded: bool,
     /// `MetricsMode::Streaming` folds to the exact `MetricsSummary` of
     /// `MetricsMode::Full`.
     streaming_digest_matches_full: bool,
@@ -122,6 +163,10 @@ struct DeterministicDoc {
     checks: Checks,
     round: EngineDet,
     event: EngineDet,
+    /// The event engine under the mixed fault plan: same determinism
+    /// contract as the clean run, with the gated `proto.fault_*` counters
+    /// present and byte-compared.
+    event_faulted: EngineDet,
 }
 
 /// One scheduler's wall-clock phase spans (machine-dependent).
@@ -151,8 +196,34 @@ struct ProfileDoc {
     timing: TimingDoc,
 }
 
-/// Runs the round engine with an [`ObsRecorder`] under a rayon thread cap.
-fn round_run(n: usize, seed: u64, rounds: u64, cap: usize) -> (DetSnapshot, TimingSnapshot, u64) {
+/// Everything one flight-recorded run yields.
+struct RunOut {
+    det: DetSnapshot,
+    spans: TimingSnapshot,
+    journal: RunJournal,
+    slices: Vec<SpanSlice>,
+    elapsed_ms: u64,
+    /// Folding the journal reproduced `det` byte-for-byte.
+    fold_ok: bool,
+}
+
+/// Drains one [`JournalRecorder`] into a [`RunOut`].
+fn collect(rec: &JournalRecorder, elapsed_ms: u64) -> RunOut {
+    let det = rec.det_snapshot();
+    let journal = rec.journal();
+    let fold_ok = bytes_eq(&journal.fold(), &det);
+    RunOut {
+        spans: rec.timing_snapshot(),
+        slices: rec.slices(),
+        journal,
+        det,
+        elapsed_ms,
+        fold_ok,
+    }
+}
+
+/// Runs the round engine with a [`JournalRecorder`] under a rayon thread cap.
+fn round_run(n: usize, seed: u64, rounds: u64, cap: usize) -> RunOut {
     rayon::with_thread_cap(cap, || {
         let params = experiment_params(n);
         let mut h = MaintenanceHarness::assemble(
@@ -162,23 +233,21 @@ fn round_run(n: usize, seed: u64, rounds: u64, cap: usize) -> (DetSnapshot, Timi
             params.paper_churn_rules(),
             params.paper_lateness(),
         );
-        let rec = Arc::new(ObsRecorder::new());
+        let rec = Arc::new(JournalRecorder::new());
         h.set_obs(ObsHandle::new(rec.clone()));
         let start = Instant::now();
         h.run_bootstrap();
         h.run(rounds);
-        (
-            rec.det_snapshot(),
-            rec.timing_snapshot(),
-            start.elapsed().as_millis() as u64,
-        )
+        collect(&rec, start.elapsed().as_millis() as u64)
     })
 }
 
 /// Runs the event engine under a sub-round constant latency (0.5 rounds):
-/// every message still lands by its next boundary, so the protocol trace —
-/// and therefore every `proto.*` counter — must match the round engine's.
-fn event_run(n: usize, seed: u64, rounds: u64) -> (DetSnapshot, TimingSnapshot, u64) {
+/// every message still lands by its next boundary, so with no faults the
+/// protocol trace — and therefore every `proto.*` counter — must match the
+/// round engine's. With a fault plan the gated `proto.fault_*` counters
+/// appear, still a pure function of the seed.
+fn event_run(n: usize, seed: u64, rounds: u64, faults: Option<FaultPlan>) -> RunOut {
     let params = experiment_params(n);
     let mut h = AsyncMaintenanceHarness::assemble(
         params,
@@ -188,22 +257,22 @@ fn event_run(n: usize, seed: u64, rounds: u64) -> (DetSnapshot, TimingSnapshot, 
         params.paper_lateness(),
         NetModel::new(LatencyModel::constant(500)),
     );
-    let rec = Arc::new(ObsRecorder::new());
+    if let Some(plan) = faults {
+        h.set_faults(plan);
+    }
+    let rec = Arc::new(JournalRecorder::new());
     h.set_obs(ObsHandle::new(rec.clone()));
     let start = Instant::now();
     h.run_bootstrap();
     h.run(rounds);
-    (
-        rec.det_snapshot(),
-        rec.timing_snapshot(),
-        start.elapsed().as_millis() as u64,
-    )
+    collect(&rec, start.elapsed().as_millis() as u64)
 }
 
-/// Runs the loopback transport with an [`ObsRecorder`], then replays its
-/// recorded trace through the event-engine twin with its own recorder.
-/// Returns (transport snapshot, twin snapshot, spans, elapsed ms).
-fn net_run(n: usize, seed: u64, rounds: u64) -> (DetSnapshot, DetSnapshot, TimingSnapshot, u64) {
+/// Runs the loopback transport under the mixed fault plan with a
+/// [`JournalRecorder`], then replays its recorded trace through the
+/// event-engine twin (same plan) with its own recorder. Returns the
+/// transport's run plus the twin's deterministic snapshot.
+fn net_run(n: usize, seed: u64, rounds: u64) -> (RunOut, DetSnapshot) {
     let params = experiment_params(n);
     let total = params.bootstrap_rounds() + rounds;
     let mut real = NetMaintenanceHarness::assemble(
@@ -214,7 +283,8 @@ fn net_run(n: usize, seed: u64, rounds: u64) -> (DetSnapshot, DetSnapshot, Timin
         params.paper_lateness(),
         Duration::from_millis(ROUND_MS),
     );
-    let rec = Arc::new(ObsRecorder::new());
+    real.set_faults(fault_plan());
+    let rec = Arc::new(JournalRecorder::new());
     real.set_obs(ObsHandle::new(rec.clone()));
     let start = Instant::now();
     real.run(total);
@@ -228,16 +298,12 @@ fn net_run(n: usize, seed: u64, rounds: u64) -> (DetSnapshot, DetSnapshot, Timin
         params.paper_lateness(),
         real.trace(),
     );
-    let twin_rec = Arc::new(ObsRecorder::new());
+    twin.set_faults(fault_plan());
+    let twin_rec = Arc::new(JournalRecorder::new());
     twin.set_obs(ObsHandle::new(twin_rec.clone()));
     twin.run(total);
 
-    (
-        rec.det_snapshot(),
-        twin_rec.det_snapshot(),
-        rec.timing_snapshot(),
-        elapsed_ms,
-    )
+    (collect(&rec, elapsed_ms), twin_rec.det_snapshot())
 }
 
 /// Removes one counter from a snapshot before comparison.
@@ -246,36 +312,81 @@ fn without_counter(mut snap: DetSnapshot, name: &str) -> DetSnapshot {
     snap
 }
 
+/// The sum of the gated fault counters in a snapshot.
+fn fault_total(snap: &DetSnapshot) -> u64 {
+    ["dropped", "delayed", "duplicated", "mutated"]
+        .iter()
+        .map(|kind| snap.counter(&format!("proto.fault_{kind}")))
+        .sum()
+}
+
 /// Byte equality of two serializable snapshots.
 fn bytes_eq<T: Serialize>(a: &T, b: &T) -> bool {
     serde_json::to_string(a).expect("snapshots serialize")
         == serde_json::to_string(b).expect("snapshots serialize")
 }
 
+/// Writes the journal streams and the phase-span trace under `dir`.
+fn write_journals(dir: &PathBuf, runs: &[(&str, &RunOut)]) {
+    if let Err(err) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {err}", dir.display());
+        return;
+    }
+    let mut trace = TraceBuilder::new();
+    for (i, (engine, run)) in runs.iter().enumerate() {
+        let pid = i as u64 + 1;
+        trace.process_name(pid, engine);
+        trace.thread_name(pid, 1, "phases");
+        trace.slices_from(pid, 1, &run.slices);
+        // The transport's journal stream is wall-clock dependent; only the
+        // deterministic engines export one.
+        if *engine == "net" {
+            continue;
+        }
+        let path = dir.join(format!("journal.{engine}.jsonl"));
+        if let Err(err) = std::fs::write(&path, run.journal.to_jsonl()) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        }
+    }
+    let path = dir.join("trace.json");
+    if let Err(err) = std::fs::write(&path, trace.to_json()) {
+        eprintln!("warning: could not write {}: {err}", path.display());
+    }
+}
+
 fn main() {
     let exp = "exp_profile";
-    // `--smoke` is this binary's own flag; everything else is the shared
-    // experiment CLI.
+    // `--smoke` and `--journal <dir>` are this binary's own flags;
+    // everything else is the shared experiment CLI.
     let mut smoke = false;
-    let rest: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|arg| {
-            if arg == "--smoke" {
-                smoke = true;
-                false
-            } else {
-                true
-            }
-        })
-        .collect();
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut rest = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--journal" => match raw.next() {
+                Some(dir) => journal_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("{exp}: --journal requires a directory argument");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(arg),
+        }
+    }
     let about = "the tsa-obs observability layer across all three schedulers: \
                  deterministic counters/histograms (CI byte-compares them), the \
-                 transport's twin-counter pin, and wall-clock phase spans";
+                 flight-recorder journal, fault counters, the transport's \
+                 twin-counter pin, and wall-clock phase spans";
     let args = match ExpArgs::parse_from(rest) {
         Ok(Some(args)) => args,
         Ok(None) => {
             println!(
-                "{}\n\nEXTRA:\n  --smoke        CI-sized run (a few seconds end to end)",
+                "{}\n\nEXTRA:\n\
+                 \x20 --smoke        CI-sized run (a few seconds end to end)\n\
+                 \x20 --journal <dir> write the deterministic journal streams and\n\
+                 \x20                the Perfetto trace.json under <dir>",
                 usage(exp, about)
             );
             return;
@@ -291,7 +402,7 @@ fn main() {
     let net_total = experiment_params(g.net_n).bootstrap_rounds() + g.net_rounds;
     if args.list {
         // This experiment is not sweep-driven, so it lists its own grid.
-        println!("{exp}: 1 grid, 3 cell(s)");
+        println!("{exp}: 1 grid, 4 cell(s)");
         println!(
             "  [  0] round n={} seed={} rounds={round_total} churn={CHURN_PER_ROUND}",
             g.n, g.seed
@@ -301,7 +412,11 @@ fn main() {
             g.n, g.seed
         );
         println!(
-            "  [  2] net n={} seed={} rounds={net_total} churn={CHURN_PER_ROUND} round_ms={ROUND_MS}",
+            "  [  2] event n={} seed={} rounds={round_total} churn={CHURN_PER_ROUND} latency=500t faults=mixed",
+            g.n, g.seed
+        );
+        println!(
+            "  [  3] net n={} seed={} rounds={net_total} churn={CHURN_PER_ROUND} round_ms={ROUND_MS} faults=mixed",
             g.net_n, g.seed
         );
         return;
@@ -309,37 +424,49 @@ fn main() {
     let reporter = args.reporter();
 
     // Round engine, twice: the thread-cap invariance check is the first
-    // deterministic claim of the obs layer. Cap 1 is the canonical run.
+    // deterministic claim of the obs layer. Cap 1 is the canonical run. The
+    // journal stream — event ORDER, not just folded totals — must also be
+    // cap-invariant, because deterministic events only ever originate from
+    // the engines' sequential sections.
     reporter.note(&format!(
         "[{exp}] round engine n={} ({round_total} rounds, thread caps 1 and 2)",
         g.n
     ));
-    let (round_det, round_spans, round_ms) = round_run(g.n, g.seed, g.rounds, 1);
-    let (round_det_cap2, _, _) = round_run(g.n, g.seed, g.rounds, 2);
-    let thread_caps_identical = bytes_eq(&round_det, &round_det_cap2);
+    let round = round_run(g.n, g.seed, g.rounds, 1);
+    let round_cap2 = round_run(g.n, g.seed, g.rounds, 2);
+    let thread_caps_identical = bytes_eq(&round.det, &round_cap2.det);
+    let journal_identical_across_caps = round.journal.to_jsonl() == round_cap2.journal.to_jsonl();
 
     reporter.note(&format!(
-        "[{exp}] event engine n={} (sub-round latency twin)",
+        "[{exp}] event engine n={} (sub-round latency twin, clean + faulted)",
         g.n
     ));
-    let (event_det, event_spans, event_ms) = event_run(g.n, g.seed, g.rounds);
+    let event = event_run(g.n, g.seed, g.rounds, None);
     let event_matches_round =
-        bytes_eq(&round_det.filtered("proto."), &event_det.filtered("proto."));
+        bytes_eq(&round.det.filtered("proto."), &event.det.filtered("proto."));
+    let event_faulted = event_run(g.n, g.seed, g.rounds, Some(fault_plan()));
 
     reporter.note(&format!(
-        "[{exp}] loopback transport n={} ({net_total} wall-clock rounds) + twin replay",
+        "[{exp}] loopback transport n={} ({net_total} wall-clock rounds, faulted) + twin replay",
         g.net_n
     ));
-    let (net_det, twin_det, net_spans, net_ms) = net_run(g.net_n, g.seed, g.net_rounds);
+    let (net, twin_det) = net_run(g.net_n, g.seed, g.net_rounds);
     // Drop attribution differs by design: the replay accounts every
     // undelivered fate as dropped at the boundary it missed, while the
     // transport counts only frames it actively lost — end-of-run in-flight
     // frames are neither. The twin contract (like `exp_net`'s) pins
-    // everything else: sent, delivered, and every histogram.
+    // everything else: sent, delivered, every histogram, and — both sides
+    // running the same fault plan — every `proto.fault_*` counter.
     let net_twin_counters_match = bytes_eq(
-        &without_counter(net_det.filtered("proto."), "proto.dropped"),
+        &without_counter(net.det.filtered("proto."), "proto.dropped"),
         &without_counter(twin_det.filtered("proto."), "proto.dropped"),
     );
+    let journal_fold_matches_snapshot = round.fold_ok
+        && round_cap2.fold_ok
+        && event.fold_ok
+        && event_faulted.fold_ok
+        && net.fold_ok;
+    let fault_counters_recorded = fault_total(&event_faulted.det) > 0 && fault_total(&net.det) > 0;
 
     // The metrics-mode pin: streaming accumulators must fold to the exact
     // digest of the full per-round history.
@@ -361,13 +488,19 @@ fn main() {
 
     let checks = Checks {
         thread_caps_identical,
+        journal_identical_across_caps,
+        journal_fold_matches_snapshot,
         event_matches_round,
         net_twin_counters_match,
+        fault_counters_recorded,
         streaming_digest_matches_full,
     };
     let all_checks_pass = checks.thread_caps_identical
+        && checks.journal_identical_across_caps
+        && checks.journal_fold_matches_snapshot
         && checks.event_matches_round
         && checks.net_twin_counters_match
+        && checks.fault_counters_recorded
         && checks.streaming_digest_matches_full;
 
     let mut table = Table::new(
@@ -378,32 +511,33 @@ fn main() {
             "rounds",
             "proto.sent",
             "proto.delivered",
+            "faults",
             "inbox max",
-            "repair samples",
+            "journal events",
             "elapsed ms",
         ],
     );
-    for (engine, n, det, ms) in [
-        ("round", g.n, &round_det, round_ms),
-        ("event", g.n, &event_det, event_ms),
-        ("net", g.net_n, &net_det, net_ms),
+    for (engine, n, run) in [
+        ("round", g.n, &round),
+        ("event", g.n, &event),
+        ("event+faults", g.n, &event_faulted),
+        ("net+faults", g.net_n, &net),
     ] {
-        let inbox_max = det.histogram("proto.inbox_len").map(|h| h.max).unwrap_or(0);
-        let repair: u64 = det
-            .region_histograms
-            .iter()
-            .filter(|r| r.histogram.name == "proto.repair_sample_age")
-            .map(|r| r.histogram.count)
-            .sum();
+        let inbox_max = run
+            .det
+            .histogram("proto.inbox_len")
+            .map(|h| h.max)
+            .unwrap_or(0);
         table.row(vec![
             engine.to_string(),
             n.to_string(),
-            det.counter("proto.rounds").to_string(),
-            det.counter("proto.sent").to_string(),
-            det.counter("proto.delivered").to_string(),
+            run.det.counter("proto.rounds").to_string(),
+            run.det.counter("proto.sent").to_string(),
+            run.det.counter("proto.delivered").to_string(),
+            fault_total(&run.det).to_string(),
             inbox_max.to_string(),
-            repair.to_string(),
-            ms.to_string(),
+            run.journal.len().to_string(),
+            run.elapsed_ms.to_string(),
         ]);
     }
     println!("{}", table.to_markdown());
@@ -414,12 +548,24 @@ fn main() {
         fmt_bool(checks.thread_caps_identical),
     ]);
     check_table.row(vec![
+        "journal stream byte-identical at thread caps 1/2".to_string(),
+        fmt_bool(checks.journal_identical_across_caps),
+    ]);
+    check_table.row(vec![
+        "journal folds to the live snapshot (all engines)".to_string(),
+        fmt_bool(checks.journal_fold_matches_snapshot),
+    ]);
+    check_table.row(vec![
         "proto.* identical: round vs sub-round event".to_string(),
         fmt_bool(checks.event_matches_round),
     ]);
     check_table.row(vec![
-        "proto.* identical: transport vs its twin replay".to_string(),
+        "proto.* identical: faulted transport vs its twin replay".to_string(),
         fmt_bool(checks.net_twin_counters_match),
+    ]);
+    check_table.row(vec![
+        "gated proto.fault_* counters recorded".to_string(),
+        fmt_bool(checks.fault_counters_recorded),
     ]);
     check_table.row(vec![
         "streaming metrics fold to the full digest".to_string(),
@@ -427,12 +573,29 @@ fn main() {
     ]);
     println!("{}", check_table.to_markdown());
     println!(
-        "The deterministic section (round + event snapshots, all four pins) is a pure\n\
-         function of (seed, protocol): CI runs this binary twice at different TSA_THREADS\n\
-         and byte-compares it. The timing section — phase spans, and the transport's\n\
-         wall-clock-dependent counters — is excluded; the transport's contract is the\n\
-         twin pin, not byte identity."
+        "The deterministic section (round + event + faulted-event snapshots, all seven\n\
+         pins) is a pure function of (seed, protocol): CI runs this binary twice at\n\
+         different TSA_THREADS and byte-compares it, journal streams included. The\n\
+         timing section — phase spans, and the transport's wall-clock-dependent\n\
+         counters — is excluded; the transport's contract is the twin pin, not byte\n\
+         identity."
     );
+
+    if let Some(dir) = &journal_dir {
+        write_journals(
+            dir,
+            &[
+                ("round", &round),
+                ("event", &event),
+                ("event_faulted", &event_faulted),
+                ("net", &net),
+            ],
+        );
+        reporter.note(&format!(
+            "[{exp}] journal streams + trace.json written under {}",
+            dir.display()
+        ));
+    }
 
     let doc = ProfileDoc {
         exp: exp.to_string(),
@@ -445,32 +608,44 @@ fn main() {
                 n: g.n,
                 seed: g.seed,
                 rounds: round_total,
-                snapshot: round_det,
+                snapshot: round.det,
             },
             event: EngineDet {
                 engine: "event".to_string(),
                 n: g.n,
                 seed: g.seed,
                 rounds: round_total,
-                snapshot: event_det,
+                snapshot: event.det,
+            },
+            event_faulted: EngineDet {
+                engine: "event_faulted".to_string(),
+                n: g.n,
+                seed: g.seed,
+                rounds: round_total,
+                snapshot: event_faulted.det,
             },
         },
         timing: TimingDoc {
             engines: vec![
                 EngineTiming {
                     engine: "round".to_string(),
-                    elapsed_ms: round_ms,
-                    spans: round_spans,
+                    elapsed_ms: round.elapsed_ms,
+                    spans: round.spans,
                 },
                 EngineTiming {
                     engine: "event".to_string(),
-                    elapsed_ms: event_ms,
-                    spans: event_spans,
+                    elapsed_ms: event.elapsed_ms,
+                    spans: event.spans,
+                },
+                EngineTiming {
+                    engine: "event_faulted".to_string(),
+                    elapsed_ms: event_faulted.elapsed_ms,
+                    spans: event_faulted.spans,
                 },
                 EngineTiming {
                     engine: "net".to_string(),
-                    elapsed_ms: net_ms,
-                    spans: net_spans,
+                    elapsed_ms: net.elapsed_ms,
+                    spans: net.spans,
                 },
             ],
             net: EngineDet {
@@ -478,18 +653,62 @@ fn main() {
                 n: g.net_n,
                 seed: g.seed,
                 rounds: net_total,
-                snapshot: net_det,
+                snapshot: net.det,
             },
         },
     };
-    match &args.out {
+    let artifact_path = match &args.out {
         Some(dir) => {
             if let Err(err) = std::fs::create_dir_all(dir) {
                 eprintln!("warning: could not create {}: {err}", dir.display());
             }
-            write_bench_json_at(&dir.join(format!("BENCH_{exp}.json")), &doc);
+            dir.join(format!("BENCH_{exp}.json"))
         }
-        None => write_bench_json(exp, &doc),
+        None => PathBuf::from(format!("BENCH_{exp}.json")),
+    };
+    // The compare gate reads the committed bytes BEFORE the write below
+    // replaces them. Only the deterministic section is byte-compared — the
+    // timing section is wall clock and never byte-stable — and a committed
+    // artifact of the other grid shape (full vs --smoke) is no baseline.
+    let committed_det = args.compare.then(|| {
+        std::fs::read_to_string(&artifact_path)
+            .ok()
+            .and_then(|text| serde_json::parse_value(&text).ok())
+            .filter(|v| v.get("smoke").and_then(|s| s.as_bool()) == Some(smoke))
+            .and_then(|v| v.get("deterministic").map(|d| d.to_json_compact()))
+    });
+    write_bench_json_at(&artifact_path, &doc);
+    if let Some(committed_det) = committed_det {
+        let fresh_det =
+            serde_json::to_string(&doc.deterministic).expect("deterministic section serializes");
+        let report = tsa_bench::compare_artifact(exp, committed_det.as_deref(), &fresh_det);
+        let metrics = vec![
+            tsa_dash::MetricPoint {
+                name: "round_ms".to_string(),
+                value: doc.timing.engines[0].elapsed_ms as f64,
+            },
+            tsa_dash::MetricPoint {
+                name: "net_ms".to_string(),
+                value: doc.timing.engines[3].elapsed_ms as f64,
+            },
+        ];
+        match tsa_bench::compare::append_trajectory(
+            args.out.as_deref(),
+            exp,
+            report.det_match,
+            fresh_det.len() as u64,
+            metrics,
+        ) {
+            Ok(path) => reporter.note(&format!(
+                "[{exp}] trajectory row appended to {}",
+                path.display()
+            )),
+            Err(err) => eprintln!("warning: could not append trajectory row: {err}"),
+        }
+        println!("{}", report.render());
+        if !report.det_match {
+            std::process::exit(1);
+        }
     }
     if !all_checks_pass {
         eprintln!("{exp}: an observability pin failed");

@@ -13,7 +13,12 @@
 //! * `--threads <k>` — worker threads for sweep execution (default:
 //!   `TSA_THREADS` or the machine's parallelism);
 //! * `--quiet` — silence the stderr progress stream (resume summaries,
-//!   per-cell progress lines); results on stdout are unaffected.
+//!   per-cell progress lines); results on stdout are unaffected;
+//! * `--compare` — hold the fresh artifact against the committed
+//!   `BENCH_<exp>.json`, append a machine-tagged row to `TRAJECTORY.jsonl`,
+//!   and exit non-zero with a metric-level diff on deterministic drift;
+//! * `--trace <file>` — export the run's wall-clock placement (one track
+//!   per sweep worker, one slice per cell) as Chrome-trace/Perfetto JSON.
 
 use std::path::PathBuf;
 
@@ -32,6 +37,12 @@ pub struct ExpArgs {
     pub threads: Option<usize>,
     /// Silence the stderr progress stream (stdout results still print).
     pub quiet: bool,
+    /// Hold the fresh artifact against the committed one and append a
+    /// trajectory row; deterministic drift exits non-zero.
+    pub compare: bool,
+    /// Export the run's wall-clock worker/cell placement as trace-event
+    /// JSON to this file.
+    pub trace: Option<PathBuf>,
 }
 
 impl ExpArgs {
@@ -61,6 +72,11 @@ impl ExpArgs {
                     parsed.threads = Some(k);
                 }
                 "--quiet" => parsed.quiet = true,
+                "--compare" => parsed.compare = true,
+                "--trace" => {
+                    let file = args.next().ok_or("--trace requires a file argument")?;
+                    parsed.trace = Some(PathBuf::from(file));
+                }
                 other => return Err(format!("unknown flag {other:?} (try --help)")),
             }
         }
@@ -97,6 +113,7 @@ pub fn usage(exp: &str, about: &str) -> String {
         "{exp} — {about}\n\
          \n\
          USAGE: {exp} [--full] [--list] [--out <dir>] [--threads <k>] [--quiet]\n\
+         \x20       [--compare] [--trace <file>]\n\
          \n\
          OPTIONS:\n\
          \x20 --full         keep full-fidelity records (raw per-round metrics)\n\
@@ -108,6 +125,12 @@ pub fn usage(exp: &str, about: &str) -> String {
          \x20                or the machine's available parallelism)\n\
          \x20 --quiet        silence the stderr progress stream (resume summary,\n\
          \x20                per-cell progress); stdout results still print\n\
+         \x20 --compare      hold the fresh artifact against the committed\n\
+         \x20                BENCH_{exp}.json (exit 1 + metric-level diff on\n\
+         \x20                deterministic drift) and append one machine-tagged\n\
+         \x20                row to TRAJECTORY.jsonl\n\
+         \x20 --trace <file> export worker/cell wall-clock placement as\n\
+         \x20                Chrome-trace JSON (open in Perfetto)\n\
          \x20 --help         print this help"
     )
 }
@@ -130,6 +153,9 @@ mod tests {
             "--threads",
             "4",
             "--quiet",
+            "--compare",
+            "--trace",
+            "out.trace.json",
         ]))
         .unwrap()
         .unwrap();
@@ -138,6 +164,8 @@ mod tests {
         assert_eq!(args.out, Some(PathBuf::from("results")));
         assert_eq!(args.threads, Some(4));
         assert!(args.quiet);
+        assert!(args.compare);
+        assert_eq!(args.trace, Some(PathBuf::from("out.trace.json")));
         assert!(args.reporter().is_quiet());
         assert!(!ExpArgs::default().reporter().is_quiet());
         assert_eq!(
@@ -162,6 +190,7 @@ mod tests {
         assert!(ExpArgs::parse_from(strings(&["--threads"])).is_err());
         assert!(ExpArgs::parse_from(strings(&["--threads", "zero"])).is_err());
         assert!(ExpArgs::parse_from(strings(&["--threads", "0"])).is_err());
+        assert!(ExpArgs::parse_from(strings(&["--trace"])).is_err());
     }
 
     #[test]
@@ -173,6 +202,8 @@ mod tests {
             "--out",
             "--threads",
             "--quiet",
+            "--compare",
+            "--trace",
             "--help",
         ] {
             assert!(text.contains(flag), "usage must document {flag}");

@@ -7,9 +7,11 @@ use std::path::PathBuf;
 
 use serde::Serialize;
 use serde_json::Value;
+use tsa_dash::{MetricPoint, TraceBuilder};
 use tsa_sweep::{aggregate, CellRecord, SweepAggregate, SweepRun, SweepRunner, SweepSpec};
 
 use crate::cli::ExpArgs;
+use crate::compare::{append_trajectory, compare_artifact};
 
 /// The machine-readable artifact an experiment writes as `BENCH_<exp>.json`:
 /// per-axis aggregates plus per-cell records — compacted to their
@@ -40,6 +42,15 @@ pub fn shard_path(exp: &str, sweep: &str, args: &ExpArgs) -> PathBuf {
         .clone()
         .unwrap_or_else(|| PathBuf::from("target").join("sweeps"));
     dir.join(format!("{exp}.{sweep}.jsonl"))
+}
+
+/// Where the `BENCH_<exp>.json` artifact lands for this invocation
+/// (honouring `--out`).
+pub fn bench_artifact_path(exp: &str, args: &ExpArgs) -> PathBuf {
+    match &args.out {
+        Some(dir) => dir.join(format!("BENCH_{exp}.json")),
+        None => PathBuf::from(format!("BENCH_{exp}.json")),
+    }
 }
 
 /// Renders the sweeps' enumerated cells — one line per cell with its stable
@@ -152,10 +163,105 @@ pub fn write_bench_doc(exp: &str, args: &ExpArgs, doc: &BenchDoc) {
 }
 
 /// The standard tail of every sweep-driven experiment binary: aggregate,
-/// serialize, write.
+/// serialize, write — and, under `--compare` / `--trace`, gate the artifact
+/// against the committed one and export the run's worker trace.
+///
+/// Under `--compare`, deterministic drift (the fresh artifact not
+/// byte-matching the committed `BENCH_<exp>.json`) prints a metric-level
+/// diff and exits with status 1; either way one machine-tagged row lands in
+/// `TRAJECTORY.jsonl`. The committed bytes are read *before* the fresh
+/// write, since both live at the same path.
 pub fn finish(exp: &str, args: &ExpArgs, runs: &[SweepRun], extra: Value) {
     let doc = bench_doc(exp, args, runs, extra);
+    let artifact = bench_artifact_path(exp, args);
+    let committed = if args.compare {
+        Some(std::fs::read_to_string(&artifact).ok())
+    } else {
+        None
+    };
     write_bench_doc(exp, args, &doc);
+
+    if let Some(path) = &args.trace {
+        write_sweep_trace(exp, path, runs);
+    }
+
+    let Some(committed) = committed else { return };
+    let reporter = args.reporter();
+    let fresh = match std::fs::read_to_string(&artifact) {
+        Ok(text) => text,
+        Err(err) => {
+            reporter.error(&format!(
+                "{exp}: cannot re-read fresh artifact {}: {err}",
+                artifact.display()
+            ));
+            std::process::exit(1);
+        }
+    };
+    let report = compare_artifact(exp, committed.as_deref(), &fresh);
+    match append_trajectory(
+        args.out.as_deref(),
+        exp,
+        report.det_match,
+        fresh.len() as u64,
+        run_metrics(runs),
+    ) {
+        Ok(path) => reporter.note(&format!("{exp}: trajectory row -> {}", path.display())),
+        Err(err) => reporter.error(&format!("{exp}: could not append trajectory row: {err}")),
+    }
+    reporter.result(&report.render());
+    if !report.det_match {
+        std::process::exit(1);
+    }
+}
+
+/// The plottable scalars a sweep run contributes to its trajectory row:
+/// per-sweep wall-clock seconds (timing — machine-dependent, plotted but
+/// never gated) and executed-cell counts.
+fn run_metrics(runs: &[SweepRun]) -> Vec<MetricPoint> {
+    let mut metrics = Vec::new();
+    for run in runs {
+        let wall_us: u64 = run
+            .cell_timings
+            .iter()
+            .map(|t| t.start_us + t.dur_us)
+            .max()
+            .unwrap_or(0);
+        metrics.push(MetricPoint {
+            name: format!("wall_secs[{}]", run.spec.name),
+            value: wall_us as f64 / 1e6,
+        });
+        metrics.push(MetricPoint {
+            name: format!("cells[{}]", run.spec.name),
+            value: run.records.len() as f64,
+        });
+    }
+    metrics
+}
+
+/// Exports the sweeps' wall-clock placement as trace-event JSON: one
+/// process per sweep, one track per executor worker, one slice per cell.
+fn write_sweep_trace(exp: &str, path: &std::path::Path, runs: &[SweepRun]) {
+    let mut trace = TraceBuilder::new();
+    for (i, run) in runs.iter().enumerate() {
+        let pid = i as u64 + 1;
+        trace.process_name(pid, &format!("{exp}.{}", run.spec.name));
+        let workers: std::collections::BTreeSet<u64> =
+            run.cell_timings.iter().map(|t| t.worker).collect();
+        for worker in workers {
+            trace.thread_name(pid, worker + 1, &format!("worker {worker}"));
+        }
+        for t in &run.cell_timings {
+            trace.slice(pid, t.worker + 1, &t.label, t.start_us, t.dur_us);
+        }
+    }
+    let reporter = tsa_obs::Reporter::default();
+    match std::fs::write(path, trace.to_json()) {
+        Ok(()) => reporter.result(&format!("wrote {}", path.display())),
+        Err(err) => reporter.error(&format!(
+            "{exp}: could not write trace {}: {err}",
+            path.display()
+        )),
+    }
 }
 
 #[cfg(test)]

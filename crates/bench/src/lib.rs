@@ -30,10 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod compare;
 pub mod driver;
 
 pub use cli::{usage, ExpArgs};
-pub use driver::{bench_doc, finish, list_cells, run_sweeps, shard_path, BenchDoc};
+pub use compare::{compare_artifact, CompareReport};
+pub use driver::{
+    bench_artifact_path, bench_doc, finish, list_cells, run_sweeps, shard_path, BenchDoc,
+};
 
 use serde::Serialize;
 use tsa_core::MaintenanceParams;

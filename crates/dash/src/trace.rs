@@ -1,0 +1,193 @@
+//! Chrome-trace / Perfetto export.
+//!
+//! Renders wall-clock [`SpanSlice`]s — engine phase spans and sweep cells —
+//! as [trace-event JSON]: a `{"traceEvents": [...]}` document that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) open
+//! directly. One process per engine or sweep, one thread ("track") per
+//! worker, one complete (`"ph": "X"`) slice per span.
+//!
+//! Two design constraints, both enforced by construction rather than by
+//! checking:
+//!
+//! * **Always valid JSON.** The vendored serde derive has no `rename`
+//!   attribute, and trace-event keys (`traceEvents`, `ph`, `ts`, `pid`) do
+//!   not follow Rust naming — so the builder assembles a `serde` [`Value`]
+//!   tree directly and serializes through the shim's escaping writer.
+//!   Hostile span names (quotes, backslashes, control characters, non-BMP
+//!   codepoints) are escaped exactly like any other JSON string.
+//! * **No NaN, ever.** Timestamps and durations stay `u64` microseconds end
+//!   to end and are emitted as JSON integers; a non-finite number cannot be
+//!   represented in the input types. The hostile-name proptest pins both
+//!   properties.
+//!
+//! [trace-event JSON]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use serde::Value;
+
+use crate::journal::SpanSlice;
+
+/// One trace event, held as an ordered JSON object.
+fn event(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Builds a trace-event JSON document from span slices.
+///
+/// Tracks are addressed by `(pid, tid)` pairs chosen by the caller — one
+/// pid per engine (or per sweep), one tid per worker — and optionally named
+/// through metadata events so Perfetto shows labels instead of numbers.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Value>,
+}
+
+impl TraceBuilder {
+    /// An empty trace.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Number of events (slices + metadata) added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names process `pid` (one per engine or sweep) in the trace UI.
+    pub fn process_name(&mut self, pid: u64, name: &str) -> &mut Self {
+        self.events.push(event(vec![
+            ("name", Value::Str("process_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(0)),
+            (
+                "args",
+                Value::Object(vec![("name".to_string(), Value::Str(name.to_string()))]),
+            ),
+        ]));
+        self
+    }
+
+    /// Names thread (track) `tid` of process `pid` in the trace UI.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) -> &mut Self {
+        self.events.push(event(vec![
+            ("name", Value::Str("thread_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+            (
+                "args",
+                Value::Object(vec![("name".to_string(), Value::Str(name.to_string()))]),
+            ),
+        ]));
+        self
+    }
+
+    /// One complete (`"ph": "X"`) slice on track `(pid, tid)`, starting
+    /// `ts_us` microseconds into the trace and lasting `dur_us`.
+    pub fn slice(&mut self, pid: u64, tid: u64, name: &str, ts_us: u64, dur_us: u64) -> &mut Self {
+        self.events.push(event(vec![
+            ("name", Value::Str(name.to_string())),
+            ("ph", Value::Str("X".to_string())),
+            ("ts", Value::UInt(ts_us)),
+            ("dur", Value::UInt(dur_us)),
+            ("pid", Value::UInt(pid)),
+            ("tid", Value::UInt(tid)),
+        ]));
+        self
+    }
+
+    /// Every slice of `slices` onto track `(pid, tid)` — the bridge from a
+    /// [`JournalRecorder`](crate::JournalRecorder)'s collected spans.
+    pub fn slices_from(&mut self, pid: u64, tid: u64, slices: &[SpanSlice]) -> &mut Self {
+        for s in slices {
+            self.slice(pid, tid, &s.name, s.start_us, s.dur_us);
+        }
+        self
+    }
+
+    /// The finished document: `{"traceEvents": [...], "displayTimeUnit":
+    /// "ms"}` as compact JSON. Valid by construction — every string passes
+    /// through the serializer's escaping writer and every number is an
+    /// integer.
+    pub fn to_json(&self) -> String {
+        let doc = Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(self.events.clone())),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ]);
+        doc.to_json_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_minimal_trace_has_the_required_keys() {
+        let mut t = TraceBuilder::new();
+        t.process_name(1, "round engine")
+            .thread_name(1, 1, "rounds")
+            .slice(1, 1, "sim.deliver", 0, 250);
+        assert_eq!(t.len(), 3);
+        let json = t.to_json();
+        let doc = serde_json::parse_value(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        let slice = &events[2];
+        assert_eq!(slice.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(slice.get("ts").unwrap().as_u64(), Some(0));
+        assert_eq!(slice.get("dur").unwrap().as_u64(), Some(250));
+        assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+    }
+
+    #[test]
+    fn hostile_names_stay_valid_json() {
+        let mut t = TraceBuilder::new();
+        let hostile = "quote\" backslash\\ newline\n null\u{0} emoji\u{1F600} end";
+        t.process_name(7, hostile).thread_name(7, 3, hostile).slice(
+            7,
+            3,
+            hostile,
+            u64::MAX,
+            u64::MAX,
+        );
+        let json = t.to_json();
+        let doc = serde_json::parse_value(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[2].get("name").unwrap().as_str(), Some(hostile));
+    }
+
+    #[test]
+    fn slices_from_maps_every_span() {
+        let slices = vec![
+            SpanSlice {
+                name: "a".into(),
+                start_us: 10,
+                dur_us: 5,
+            },
+            SpanSlice {
+                name: "b".into(),
+                start_us: 20,
+                dur_us: 0,
+            },
+        ];
+        let mut t = TraceBuilder::new();
+        t.slices_from(2, 1, &slices);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let doc = serde_json::parse_value(&t.to_json()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("b"));
+        assert_eq!(events[1].get("dur").unwrap().as_u64(), Some(0));
+    }
+}

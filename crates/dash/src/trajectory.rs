@@ -1,0 +1,146 @@
+//! The cross-PR perf trajectory: one machine-tagged JSONL row per
+//! `tsa-bench --compare` run, appended to `TRAJECTORY.jsonl` at the repo
+//! root and plotted by the dashboard.
+//!
+//! The file is append-only history, not a byte-compared artifact: rows
+//! carry wall-clock timestamps, hostnames and timing-derived metrics, so
+//! two machines legitimately write different rows. What *is* checked is
+//! the `det_match` flag — the deterministic half of the compared artifact
+//! either matched the committed bytes or it did not, and the row records
+//! which, forever.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// The trajectory file's name at the repo root.
+pub const TRAJECTORY_FILE: &str = "TRAJECTORY.jsonl";
+
+/// One named scalar pulled out of a bench artifact for plotting (e.g.
+/// `rounds_per_sec[flood,n=4096,t=4]`). A `Vec` of these rather than a map
+/// so the row round-trips through the vendored serde derive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricPoint {
+    /// The metric's name (artifact-specific, stable across PRs).
+    pub name: String,
+    /// Its value in this run.
+    pub value: f64,
+}
+
+/// One `tsa-bench --compare` run's outcome.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryRow {
+    /// The experiment (`exp_perf`, `exp_table1`, …).
+    pub exp: String,
+    /// Wall-clock milliseconds since the Unix epoch when the run finished.
+    pub unix_ms: u64,
+    /// The machine tag ([`machine_tag`]): `host/os/arch`.
+    pub host: String,
+    /// Whether the fresh deterministic artifact byte-matched the committed
+    /// one.
+    pub det_match: bool,
+    /// Size of the freshly generated artifact in bytes.
+    pub artifact_bytes: u64,
+    /// Plottable scalars extracted from the fresh artifact.
+    pub metrics: Vec<MetricPoint>,
+}
+
+/// A `host/os/arch` tag identifying the machine a row came from. The host
+/// part prefers `$HOSTNAME`, falls back to `/proc/sys/kernel/hostname`,
+/// then to `"unknown"` — best effort, never an error.
+pub fn machine_tag() -> String {
+    let host = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.trim().is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/proc/sys/kernel/hostname")
+                .ok()
+                .map(|h| h.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    format!("{host}/{}/{}", std::env::consts::OS, std::env::consts::ARCH)
+}
+
+/// Appends one row to the trajectory file at `path`, creating it if absent.
+pub fn append_row(path: &Path, row: &TrajectoryRow) -> std::io::Result<()> {
+    let line = serde_json::to_string(row)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(file, "{line}")
+}
+
+/// Reads every parseable row from the trajectory file at `path`. Missing
+/// file means no history (empty vec); unparseable lines are skipped — the
+/// trajectory is observational, a torn append must not brick the dashboard.
+pub fn read_rows(path: &Path) -> Vec<TrajectoryRow> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str::<TrajectoryRow>(l).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(exp: &str, unix_ms: u64) -> TrajectoryRow {
+        TrajectoryRow {
+            exp: exp.to_string(),
+            unix_ms,
+            host: machine_tag(),
+            det_match: true,
+            artifact_bytes: 1234,
+            metrics: vec![MetricPoint {
+                name: "rounds_per_sec[flood,n=1024,t=1]".to_string(),
+                value: 41.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn rows_append_and_read_back_in_order() {
+        let dir = std::env::temp_dir().join("tsa-dash-trajectory-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(TRAJECTORY_FILE);
+        let _ = std::fs::remove_file(&path);
+        assert!(read_rows(&path).is_empty(), "missing file reads as empty");
+        append_row(&path, &sample("exp_perf", 1)).unwrap();
+        append_row(&path, &sample("exp_table1", 2)).unwrap();
+        let rows = read_rows(&path);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].exp, "exp_perf");
+        assert_eq!(rows[1].unix_ms, 2);
+        assert_eq!(rows[0].metrics[0].value, 41.5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join("tsa-dash-trajectory-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(TRAJECTORY_FILE);
+        let _ = std::fs::remove_file(&path);
+        append_row(&path, &sample("exp_perf", 9)).unwrap();
+        // Simulate a kill mid-append.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"exp\":\"torn").unwrap();
+        drop(f);
+        let rows = read_rows(&path);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].unix_ms, 9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn machine_tag_has_three_parts() {
+        let tag = machine_tag();
+        assert_eq!(tag.split('/').count(), 3, "{tag}");
+        assert!(tag.ends_with(std::env::consts::ARCH));
+    }
+}

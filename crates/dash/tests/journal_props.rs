@@ -1,0 +1,121 @@
+//! Pins for the flight-recorder journal's two load-bearing claims.
+//!
+//! * **The journal IS the snapshot.** Folding a [`RunJournal`] reproduces
+//!   the live recorder's `DetSnapshot` byte-for-byte — on the round engine
+//!   and the event engine, across seeds. The `tsa-dash --fold` path and the
+//!   dashboard's offline views rest on this.
+//! * **The stream is cap-invariant.** The ordered JSONL journal — event
+//!   order, not just folded totals — is byte-identical across rayon thread
+//!   caps 1, 2 and 4, because deterministic events only ever originate from
+//!   the engines' sequential sections. CI's byte-comparison of the exported
+//!   `journal.*.jsonl` streams rests on this.
+
+use std::sync::Arc;
+
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use tsa_adversary::RandomChurnAdversary;
+use tsa_core::{AsyncMaintenanceHarness, MaintenanceHarness, MaintenanceParams};
+use tsa_dash::{JournalRecorder, RunJournal};
+use tsa_event::{LatencyModel, NetModel};
+use tsa_obs::ObsHandle;
+
+fn small_params() -> MaintenanceParams {
+    MaintenanceParams::new(24)
+        .with_c(1.5)
+        .with_tau(3)
+        .with_replication(2)
+}
+
+/// Runs the round engine under a thread cap with a [`JournalRecorder`];
+/// returns (journal JSONL, live det snapshot JSON, fold JSON).
+fn round_journal(seed: u64, rounds: u64, cap: usize) -> (String, String, String) {
+    rayon::with_thread_cap(cap, || {
+        let params = small_params();
+        let mut h = MaintenanceHarness::assemble(
+            params,
+            RandomChurnAdversary::new(1, seed),
+            seed,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+        );
+        let rec = Arc::new(JournalRecorder::new());
+        h.set_obs(ObsHandle::new(rec.clone()));
+        h.run_bootstrap();
+        h.run(rounds);
+        digest(&rec)
+    })
+}
+
+/// Like [`round_journal`], on the event engine under super-round latency
+/// (1500 ticks — delivery genuinely straddles round boundaries).
+fn event_journal(seed: u64, rounds: u64, cap: usize) -> (String, String, String) {
+    rayon::with_thread_cap(cap, || {
+        let params = small_params();
+        let mut h = AsyncMaintenanceHarness::assemble(
+            params,
+            RandomChurnAdversary::new(1, seed),
+            seed,
+            params.paper_churn_rules(),
+            params.paper_lateness(),
+            NetModel::new(LatencyModel::constant(1500)),
+        );
+        let rec = Arc::new(JournalRecorder::new());
+        h.set_obs(ObsHandle::new(rec.clone()));
+        h.run_bootstrap();
+        h.run(rounds);
+        digest(&rec)
+    })
+}
+
+fn digest(rec: &JournalRecorder) -> (String, String, String) {
+    let journal = rec.journal();
+    (
+        journal.to_jsonl(),
+        serde_json::to_string(&rec.det_snapshot()).unwrap(),
+        serde_json::to_string(&journal.fold()).unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn round_journal_folds_to_the_live_snapshot_across_caps(seed in 0u64..1000) {
+        let (jsonl_cap1, live, fold) = round_journal(seed, 3, 1);
+        prop_assert_eq!(&fold, &live, "cap 1: fold must reproduce the live snapshot");
+        prop_assert!(!jsonl_cap1.is_empty(), "an instrumented run must journal events");
+        for cap in [2usize, 4] {
+            let (jsonl, live, fold) = round_journal(seed, 3, cap);
+            prop_assert_eq!(&fold, &live, "cap {}: fold must reproduce the live snapshot", cap);
+            prop_assert_eq!(
+                &jsonl, &jsonl_cap1,
+                "cap {}: the ordered journal stream must not depend on the thread cap", cap
+            );
+        }
+    }
+
+    #[test]
+    fn event_journal_folds_to_the_live_snapshot_across_caps(seed in 0u64..1000) {
+        let (jsonl_cap1, live, fold) = event_journal(seed, 3, 1);
+        prop_assert_eq!(&fold, &live, "cap 1: fold must reproduce the live snapshot");
+        for cap in [2usize, 4] {
+            let (jsonl, live, fold) = event_journal(seed, 3, cap);
+            prop_assert_eq!(&fold, &live, "cap {}: fold must reproduce the live snapshot", cap);
+            prop_assert_eq!(
+                &jsonl, &jsonl_cap1,
+                "cap {}: the ordered journal stream must not depend on the thread cap", cap
+            );
+        }
+    }
+
+    #[test]
+    fn journal_streams_round_trip_through_jsonl(seed in 0u64..1000) {
+        let (jsonl, live, _) = round_journal(seed, 2, 1);
+        let reparsed = RunJournal::from_jsonl(&jsonl).expect("exported journal parses");
+        prop_assert_eq!(reparsed.to_jsonl(), jsonl, "serialize∘parse must be identity");
+        prop_assert_eq!(
+            serde_json::to_string(&reparsed.fold()).unwrap(), live,
+            "a journal read back from disk must still fold to the live snapshot"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The trace exporter's robustness pin: whatever the span and counter names
+//! contain — quotes, backslashes, control bytes, non-ASCII, JSON syntax —
+//! and whatever the timestamps are, [`TraceBuilder::to_json`] emits valid
+//! JSON, and durations are u64 microseconds by construction so `NaN` can
+//! never appear. Perfetto refuses whole files over one bad byte, so this is
+//! the exporter's contract.
+
+use proptest::{collection::vec, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+use tsa_dash::{SpanSlice, TraceBuilder};
+
+/// The hostile alphabet: every character class that has ever broken a JSON
+/// escaper, indexed by a plain integer so the shim's integer strategies can
+/// drive it.
+const HOSTILE: &[&str] = &[
+    "\"",
+    "\\",
+    "\n",
+    "\r",
+    "\t",
+    "\u{0}",
+    "\u{1}",
+    "\u{7f}",
+    "{",
+    "}",
+    "[",
+    "]",
+    ":",
+    ",",
+    "</script>",
+    "𝕊",
+    "é",
+    "☃",
+    "\u{2028}",
+    "\u{2029}",
+    "a",
+    "b",
+    "span.name",
+    " ",
+];
+
+/// A hostile name: a short sequence of draws from [`HOSTILE`].
+fn hostile_name() -> impl Strategy<Value = String> {
+    vec(0usize..HOSTILE.len(), 0..8)
+        .prop_map(|picks| picks.into_iter().map(|i| HOSTILE[i]).collect::<String>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hostile_names_and_extreme_times_still_export_valid_json(
+        process in hostile_name(),
+        thread in hostile_name(),
+        names in vec(0usize..HOSTILE.len(), 1..6),
+        start in 0u64..u64::MAX,
+        dur in 0u64..u64::MAX,
+    ) {
+        let mut trace = TraceBuilder::new();
+        trace.process_name(1, &process);
+        trace.thread_name(1, 1, &thread);
+        let slices: Vec<SpanSlice> = names
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| SpanSlice {
+                name: HOSTILE[pick].to_string(),
+                start_us: start.wrapping_add(i as u64),
+                dur_us: dur,
+            })
+            .collect();
+        trace.slices_from(1, 1, &slices);
+        let json = trace.to_json();
+        let value = serde_json::parse_value(&json)
+            .expect("trace export must be valid JSON whatever the names");
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array present");
+        // Two metadata events plus one slice per span, nothing dropped.
+        prop_assert_eq!(events.len(), 2 + slices.len());
+        prop_assert!(!json.contains("NaN"), "durations are u64 by construction");
+    }
+}

@@ -55,6 +55,11 @@ pub trait Recorder: Send + Sync {
     fn observe_region(&self, name: &'static str, region: u32, value: u64);
     /// Records one completed wall-clock span of `nanos` under `name`.
     fn span_ns(&self, name: &'static str, nanos: u64);
+    /// Marks the end of protocol round `index`. Round boundaries are
+    /// deterministic punctuation for stream-keeping recorders (the
+    /// `tsa-dash` flight recorder); aggregate recorders ignore them, so the
+    /// default is a no-op and existing snapshots are byte-unchanged.
+    fn round_mark(&self, _index: u64) {}
 }
 
 /// A recorder that drops everything: the explicit no-op implementation, for
@@ -409,6 +414,14 @@ impl ObsHandle {
         }
     }
 
+    /// Marks a round boundary (no-op when off, and for aggregate-only
+    /// recorders).
+    pub fn round_mark(&self, index: u64) {
+        if let Some(r) = &self.0 {
+            r.round_mark(index);
+        }
+    }
+
     /// Starts a wall-clock span: reads the clock only when a recorder is
     /// attached. Pair with [`span_end`](ObsHandle::span_end).
     pub fn span_start(&self) -> Option<Instant> {
@@ -474,9 +487,18 @@ impl Reporter {
     }
 }
 
+/// Recently completed item details kept for [`ProgressSnapshot`]s. Bounded
+/// so a million-cell sweep cannot grow the sidecar without limit.
+const PROGRESS_RECENT_CAP: usize = 512;
+
 /// Shared progress over a known number of items: each completion prints one
 /// `[done/total, eta]` note through the reporter. Thread-safe — sweep
 /// workers call [`item_done`](Progress::item_done) concurrently.
+///
+/// Beyond the stderr notes, a `Progress` can render its state as a
+/// machine-readable [`ProgressSnapshot`] at any time — the sweep executor
+/// writes one to a JSON sidecar after every cell, and `--quiet` suppresses
+/// only the stderr notes, never the sidecar.
 #[derive(Debug)]
 pub struct Progress {
     reporter: Reporter,
@@ -484,6 +506,7 @@ pub struct Progress {
     total: usize,
     done: AtomicUsize,
     started: Instant,
+    recent: Mutex<Vec<String>>,
 }
 
 impl Progress {
@@ -496,6 +519,7 @@ impl Progress {
             total,
             done: AtomicUsize::new(already_done),
             started: Instant::now(),
+            recent: Mutex::new(Vec::new()),
         }
     }
 
@@ -508,6 +532,15 @@ impl Progress {
     /// The ETA extrapolates from the items completed since `start`.
     pub fn item_done(&self, detail: &str) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            // Keep the rollup for snapshots even under `quiet`: the sidecar
+            // is machine-facing and quiet only governs the stderr notes.
+            let mut recent = self.recent.lock().expect("progress recent lock");
+            if recent.len() == PROGRESS_RECENT_CAP {
+                recent.remove(0);
+            }
+            recent.push(detail.to_string());
+        }
         if self.reporter.is_quiet() {
             return;
         }
@@ -524,6 +557,46 @@ impl Progress {
             self.label, self.total
         ));
     }
+
+    /// The current state as a serializable snapshot: done/total, elapsed
+    /// seconds, an ETA extrapolated the same way the stderr notes do it, and
+    /// the most recent per-item rollup lines (bounded).
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let done = self.done();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let remaining = self.total.saturating_sub(done);
+        let eta_secs = if remaining == 0 || done == 0 {
+            0.0
+        } else {
+            elapsed / done as f64 * remaining as f64
+        };
+        ProgressSnapshot {
+            label: self.label.clone(),
+            total: self.total as u64,
+            done: done as u64,
+            elapsed_secs: elapsed,
+            eta_secs,
+            recent: self.recent.lock().expect("progress recent lock").clone(),
+        }
+    }
+}
+
+/// One [`Progress`] state, frozen for machines: what the stderr note says,
+/// as data. Contains wall-clock durations, so it is never byte-compared.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSnapshot {
+    /// The progress label (typically `exp/sweep`).
+    pub label: String,
+    /// Total items.
+    pub total: u64,
+    /// Items completed (resumed included).
+    pub done: u64,
+    /// Seconds since tracking started.
+    pub elapsed_secs: f64,
+    /// Extrapolated seconds to completion (0 when done or not started).
+    pub eta_secs: f64,
+    /// The most recent per-item rollup lines, oldest first (bounded).
+    pub recent: Vec<String>,
 }
 
 /// Renders seconds compactly (`42s`, `3m10s`, `1h04m`).
@@ -672,6 +745,45 @@ mod tests {
         assert_eq!(p.done(), 3);
         assert!(Reporter::silent().is_quiet());
         assert!(!Reporter::new(false).is_quiet());
+    }
+
+    #[test]
+    fn progress_snapshot_is_machine_readable_even_when_quiet() {
+        let p = Progress::start(Reporter::silent(), "exp/sweep", 3, 0);
+        p.item_done("n=64 delivered=10");
+        let snap = p.snapshot();
+        assert_eq!(snap.label, "exp/sweep");
+        assert_eq!((snap.total, snap.done), (3, 1));
+        assert!(snap.eta_secs >= 0.0);
+        // Quiet suppresses stderr notes only — rollups still land here.
+        assert_eq!(snap.recent, vec!["n=64 delivered=10".to_string()]);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ProgressSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.recent, snap.recent);
+    }
+
+    #[test]
+    fn progress_recent_is_bounded() {
+        let p = Progress::start(Reporter::silent(), "big", 2000, 0);
+        for i in 0..(PROGRESS_RECENT_CAP + 5) {
+            p.item_done(&format!("cell {i}"));
+        }
+        let snap = p.snapshot();
+        assert_eq!(snap.recent.len(), PROGRESS_RECENT_CAP);
+        assert_eq!(
+            snap.recent.last().unwrap(),
+            &format!("cell {}", PROGRESS_RECENT_CAP + 4)
+        );
+    }
+
+    #[test]
+    fn round_mark_defaults_to_a_no_op() {
+        let r = ObsRecorder::new();
+        r.round_mark(7);
+        assert_eq!(r.det_snapshot(), DetSnapshot::default());
+        let h = ObsHandle::new(Arc::new(ObsRecorder::new()));
+        h.round_mark(0);
+        ObsHandle::off().round_mark(1);
     }
 
     #[test]

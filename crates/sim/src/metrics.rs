@@ -261,6 +261,9 @@ pub fn record_round_obs(obs: &tsa_obs::ObsHandle, row: &RoundMetrics) {
     obs.add("proto.joins", row.joins as u64);
     obs.observe("proto.round_sent", row.messages_sent as u64);
     obs.observe("proto.node_count", row.node_count as u64);
+    // Close the round in the deterministic stream: flight recorders use the
+    // boundary for per-round attribution; aggregate recorders ignore it.
+    obs.round_mark(row.round);
 }
 
 /// How an engine retains the metrics it collects.

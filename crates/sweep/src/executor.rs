@@ -16,9 +16,13 @@
 //! always capped by [`SweepSpec::max_parallel`] and by the number of pending
 //! cells.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
 
+use serde::{Deserialize, Serialize};
 use tsa_obs::{Progress, Reporter};
 use tsa_scenario::Scenario;
 
@@ -52,6 +56,27 @@ pub struct SweepRun {
     pub discarded: usize,
     /// Worker threads the executor actually used.
     pub threads: usize,
+    /// Wall-clock timing of every cell executed in this run (resumed cells
+    /// have none), in completion order. Observational data for trace export
+    /// — machine-dependent, never byte-compared.
+    pub cell_timings: Vec<CellTiming>,
+}
+
+/// When and where one sweep cell ran: worker track, start offset from the
+/// run's epoch and duration, all in microseconds. Feeds the Perfetto
+/// export's one-track-per-worker, one-slice-per-cell view.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// The cell index within the sweep grid.
+    pub cell: u64,
+    /// Dense worker index (0-based) of the thread that ran the cell.
+    pub worker: u64,
+    /// Microseconds from the run's start to the cell's start.
+    pub start_us: u64,
+    /// The cell's wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// The cell's rollup label (axis point, seed, headline numbers).
+    pub label: String,
 }
 
 impl SweepRunner {
@@ -140,9 +165,17 @@ impl SweepRunner {
                 threads
             ));
         }
-        let progress = self
-            .reporter
-            .map(|r| Progress::start(r, &self.spec.name, cells.len(), done.len()));
+        // Progress exists even without a reporter: the stderr notes need a
+        // non-quiet reporter, but the machine-readable sidecar (written
+        // whenever a shard path is set) must not.
+        let progress = Progress::start(
+            self.reporter.unwrap_or_else(Reporter::silent),
+            &self.spec.name,
+            cells.len(),
+            done.len(),
+        );
+        let sidecar = self.shard_path.as_deref().map(progress_sidecar_path);
+        write_progress_sidecar(sidecar.as_deref(), &progress);
 
         let writer = self
             .shard_path
@@ -150,37 +183,67 @@ impl SweepRunner {
             .map(|path| Mutex::new(open_shard_for_append(path).expect("shard file is writable")));
         let fresh: Mutex<Vec<CellRecord>> = Mutex::new(Vec::with_capacity(pending.len()));
 
+        // Per-cell wall-clock placement for the trace export: worker track
+        // indices are assigned densely in order of first appearance.
+        let epoch = Instant::now();
+        let workers: Mutex<HashMap<ThreadId, u64>> = Mutex::new(HashMap::new());
+        let timings: Mutex<Vec<CellTiming>> = Mutex::new(Vec::with_capacity(pending.len()));
+
         // Sweep workers and the simulator's own parallel compute phase would
         // otherwise multiply into `workers × cores` threads; cap each
         // worker's inner parallelism so the total tracks the machine.
         let inner_cap = (rayon::current_num_threads() / threads).max(1);
         rayon::for_each_index(pending.len(), threads, |slot| {
             let cell = &cells[pending[slot]];
+            let cell_started = Instant::now();
             let outcome = rayon::with_thread_cap(inner_cap, || {
                 Scenario::from_spec(cell.spec.clone()).run(cell.rounds)
             });
+            let dur_us = cell_started.elapsed().as_micros() as u64;
             let record = CellRecord {
                 cell: cell.index,
                 rounds: cell.rounds,
                 outcome,
             };
+            let label = cell_rollup(&record);
             // Stream the record out the moment the cell completes, so a
             // killed sweep keeps everything finished so far.
             if let Some(writer) = &writer {
                 let mut writer = writer.lock().expect("shard writer lock");
                 append_record(&mut *writer, &record).expect("shard record appends");
             }
-            if let Some(progress) = &progress {
-                progress.item_done(&cell_rollup(&record));
+            {
+                let worker = {
+                    let mut workers = workers.lock().expect("worker index lock");
+                    let next = workers.len() as u64;
+                    *workers.entry(std::thread::current().id()).or_insert(next)
+                };
+                timings
+                    .lock()
+                    .expect("timing collector lock")
+                    .push(CellTiming {
+                        cell: cell.index as u64,
+                        worker,
+                        start_us: (cell_started - epoch).as_micros() as u64,
+                        dur_us,
+                        label: label.clone(),
+                    });
             }
+            progress.item_done(&label);
+            write_progress_sidecar(sidecar.as_deref(), &progress);
             fresh.lock().expect("record collector lock").push(record);
         });
+        // One final snapshot so a resumed-to-complete sweep (zero pending
+        // cells) still leaves a done-state sidecar behind.
+        write_progress_sidecar(sidecar.as_deref(), &progress);
 
         let executed = pending.len();
         let resumed = done.len();
         let mut records: Vec<CellRecord> = done.into_values().collect();
         records.append(&mut fresh.into_inner().expect("record collector lock"));
         records.sort_by_key(|r| r.cell);
+        let mut cell_timings = timings.into_inner().expect("timing collector lock");
+        cell_timings.sort_by_key(|t| (t.start_us, t.cell));
         SweepRun {
             spec: self.spec.clone(),
             records,
@@ -188,7 +251,34 @@ impl SweepRunner {
             executed,
             discarded,
             threads,
+            cell_timings,
         }
+    }
+}
+
+/// Where a shard file's progress sidecar lives: `<exp>.<sweep>.jsonl` →
+/// `<exp>.<sweep>.progress.json`, next to the shards so the dashboard finds
+/// both in one directory.
+pub fn progress_sidecar_path(shard_path: &Path) -> PathBuf {
+    shard_path.with_extension("progress.json")
+}
+
+/// Writes the progress snapshot atomically (tmp + rename), so a dashboard
+/// poll never reads a torn document. Failures are swallowed: the sidecar is
+/// observational and must never fail the sweep it observes.
+fn write_progress_sidecar(path: Option<&Path>, progress: &Progress) {
+    let Some(path) = path else { return };
+    let Ok(json) = serde_json::to_string(&progress.snapshot()) else {
+        return;
+    };
+    // Per-thread tmp names keep concurrent workers from truncating each
+    // other's in-flight writes; the rename itself is atomic.
+    let tmp = path.with_extension(format!(
+        "progress.json.tmp-{:?}",
+        std::thread::current().id()
+    ));
+    if std::fs::write(&tmp, json).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
     }
 }
 
@@ -278,5 +368,55 @@ mod tests {
             assert_eq!(r.cell, i);
             assert!(r.outcome.sampling.is_some());
         }
+        // Every executed cell leaves a timing with its rollup label, on a
+        // worker track within the thread budget.
+        assert_eq!(run.cell_timings.len(), 4);
+        for t in &run.cell_timings {
+            assert!(t.worker < 2, "worker {} outside budget", t.worker);
+            assert!(t.label.starts_with("cell "));
+        }
+    }
+
+    #[test]
+    fn progress_sidecar_tracks_the_sweep_even_under_quiet() {
+        let dir = std::env::temp_dir().join("tsa-sweep-sidecar-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let shards = dir.join("exp.sidecar.jsonl");
+        let sidecar = progress_sidecar_path(&shards);
+        let _ = std::fs::remove_file(&shards);
+        let _ = std::fs::remove_file(&sidecar);
+        assert_eq!(
+            sidecar.file_name().unwrap().to_str().unwrap(),
+            "exp.sidecar.progress.json"
+        );
+
+        // No reporter at all: the sidecar must still appear.
+        let run = SweepRunner::new(small_sampling_sweep("sidecar"))
+            .threads(2)
+            .shard_path(&shards)
+            .run();
+        assert_eq!(run.executed, 4);
+        let text = std::fs::read_to_string(&sidecar).unwrap();
+        let snap: tsa_obs::ProgressSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap.label, "sidecar");
+        assert_eq!((snap.done, snap.total), (4, 4));
+        assert_eq!(snap.recent.len(), 4);
+
+        // A fully resumed re-run rewrites a done-state sidecar.
+        std::fs::remove_file(&sidecar).unwrap();
+        let rerun = SweepRunner::new(small_sampling_sweep("sidecar"))
+            .threads(2)
+            .shard_path(&shards)
+            .run();
+        assert_eq!(rerun.resumed, 4);
+        assert!(
+            rerun.cell_timings.is_empty(),
+            "resumed cells have no timings"
+        );
+        let text = std::fs::read_to_string(&sidecar).unwrap();
+        let snap: tsa_obs::ProgressSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!((snap.done, snap.total), (4, 4));
+        std::fs::remove_file(&shards).unwrap();
+        std::fs::remove_file(&sidecar).unwrap();
     }
 }

@@ -39,6 +39,6 @@ pub mod shard;
 pub mod spec;
 
 pub use aggregate::{aggregate, outcome_metrics, GroupSummary, SweepAggregate};
-pub use executor::{SweepRun, SweepRunner};
+pub use executor::{progress_sidecar_path, CellTiming, SweepRun, SweepRunner};
 pub use shard::{read_shards, CellRecord};
 pub use spec::{RoundsSpec, SeedRange, SweepCell, SweepSpec};

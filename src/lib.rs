@@ -23,6 +23,9 @@
 //! * [`analysis`] — statistics, uniformity tests and table rendering;
 //! * [`obs`] — observability: deterministic counters/histograms and
 //!   wall-clock phase spans, streaming metrics, progress reporting;
+//! * [`dash`] — the presentation layer over [`obs`]: the flight-recorder
+//!   journal, Chrome-trace/Perfetto export, the cross-PR perf trajectory
+//!   and the live experiment dashboard;
 //! * [`scenario`] — the fluent [`Scenario`](scenario::Scenario) builder that
 //!   composes all of the above into runnable, serializable experiments;
 //! * [`sweep`] — declarative parameter sweeps over `Scenario`: grid
@@ -38,6 +41,7 @@ pub use tsa_adversary as adversary;
 pub use tsa_analysis as analysis;
 pub use tsa_baselines as baselines;
 pub use tsa_core as maintenance;
+pub use tsa_dash as dash;
 pub use tsa_event as event;
 pub use tsa_net as net;
 pub use tsa_obs as obs;
@@ -54,12 +58,13 @@ pub mod prelude {
         AsyncMaintenanceHarness, ByzantineSpec, MaintenanceHarness, MaintenanceParams,
         MaintenanceReport, MisbehaviorKind, NetMaintenanceHarness,
     };
+    pub use tsa_dash::{DashConfig, JournalRecorder, RunJournal, TraceBuilder, TrajectoryRow};
     pub use tsa_event::{
         ExecutionModel, FaultAction, FaultPlan, FaultRule, LatencyModel, MessageTrace, NetModel,
         NodeSelector, PartitionSchedule, RegionAssign, RoundWindow, Topology,
     };
     pub use tsa_net::{NetConfig, NetRunner};
-    pub use tsa_obs::{ObsHandle, ObsRecorder, Reporter};
+    pub use tsa_obs::{ObsHandle, ObsRecorder, ProgressSnapshot, Reporter};
     pub use tsa_overlay::{Lds, OverlayParams, Position};
     pub use tsa_routing::{RoutableSeries, RoutingConfig, RoutingSim};
     pub use tsa_scenario::{
