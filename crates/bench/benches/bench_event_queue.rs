@@ -1,0 +1,156 @@
+//! Criterion benchmark of the event engine's hot structures in isolation.
+//!
+//! Three groups bracket what the `event_loop` row of `exp_perf` measures in
+//! aggregate:
+//!
+//! * `event_queue/churn` — the calendar queue alone, under a steady-state
+//!   push/boundary-drain churn at several live depths: the number is the
+//!   per-operation cost the wheel replaced the `BinaryHeap` for;
+//! * `event_queue/fate_block` — batched fate derivation: one ChaCha8 block
+//!   serving 64 consecutive message fates, versus the 64 one-shot `route`
+//!   calls it replaces;
+//! * `event_queue/engine_round` — one full event-engine round of a lossy,
+//!   jittery flood, the end-to-end composition of the two.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tsa_event::queue::{CalendarQueue, Pending};
+use tsa_event::{EventConfig, EventSimulator, FateBlock, LatencyModel, NetModel};
+use tsa_sim::prelude::*;
+use tsa_sim::{NullAdversary, SimConfig};
+
+/// Every node floods a counter to its two id-adjacent peers each round.
+struct Flood;
+
+impl Process for Flood {
+    type Msg = u64;
+    fn on_round(&mut self, ctx: &mut Ctx<'_, u64>, inbox: &[Envelope<u64>]) {
+        let heard = inbox.len() as u64;
+        let me = ctx.id().raw();
+        ctx.send(NodeId(me.wrapping_add(1)), heard);
+        if me > 0 {
+            ctx.send(NodeId(me - 1), heard);
+        }
+    }
+}
+
+fn pending(arrival: u64, seq: u64) -> Pending<u64> {
+    Pending {
+        arrival,
+        seq,
+        env: Envelope::new(NodeId(0), NodeId(seq % 64), 0, 0),
+    }
+}
+
+/// Steady-state queue churn: each iteration pushes `depth / 8` events with
+/// bounded pseudo-random deltas, advances one bucket, and drains what came
+/// due — the live depth hovers around `depth`.
+fn bench_queue_churn(c: &mut Criterion) {
+    const WIDTH: u64 = 64;
+    let mut group = c.benchmark_group("event_queue/churn");
+    for &depth in &[256usize, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut queue: CalendarQueue<u64> = CalendarQueue::new(WIDTH);
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            // Pre-fill to the target depth before timing.
+            while queue.len() < depth {
+                let delta = (seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % (8 * WIDTH);
+                queue.push(pending(now + delta, seq));
+                seq += 1;
+            }
+            b.iter(|| {
+                for _ in 0..depth / 8 {
+                    let delta = (seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % (8 * WIDTH);
+                    queue.push(pending(now + delta, seq));
+                    seq += 1;
+                }
+                now += WIDTH;
+                let mut popped = 0u64;
+                while queue.pop_at_or_before(now).is_some() {
+                    popped += 1;
+                }
+                std::hint::black_box(popped)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// 64 consecutive fates through one cached block versus 64 one-shot
+/// `route` calls (each of which derives, uses, and discards a block).
+fn bench_fate_block(c: &mut Criterion) {
+    let net = NetModel {
+        latency: LatencyModel::uniform(100, 2600),
+        jitter: 300,
+        loss: 0.02,
+    };
+    let mut group = c.benchmark_group("event_queue/fate_block");
+    group.bench_function("batched_64", |b| {
+        let mut base = 0u64;
+        b.iter(|| {
+            let block = FateBlock::containing(5, base);
+            let mut delivered = 0u64;
+            for seq in base..base + 64 {
+                if net.route_with(&block, seq).is_some() {
+                    delivered += 1;
+                }
+            }
+            base += 64;
+            std::hint::black_box(delivered)
+        });
+    });
+    group.bench_function("one_shot_64", |b| {
+        let mut base = 0u64;
+        b.iter(|| {
+            let mut delivered = 0u64;
+            for seq in base..base + 64 {
+                if net.route(5, seq).is_some() {
+                    delivered += 1;
+                }
+            }
+            base += 64;
+            std::hint::black_box(delivered)
+        });
+    });
+    group.finish();
+}
+
+/// One full event-engine round: queue drain, inbox dispatch, fate-batched
+/// routing of the new sends.
+fn bench_engine_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/engine_round");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let net = NetModel {
+                latency: LatencyModel::uniform(100, 2600),
+                jitter: 300,
+                loss: 0.02,
+            };
+            let config = EventConfig::new(
+                SimConfig::default()
+                    .with_seed(5)
+                    .with_history_window(8)
+                    .with_parallel(false),
+                net,
+            );
+            let mut sim = EventSimulator::new(config, NullAdversary, Box::new(|_, _| Flood));
+            sim.seed_nodes(n);
+            sim.run(2); // reach queue steady state before timing
+            b.iter(|| {
+                sim.step();
+                std::hint::black_box(sim.in_flight_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue_churn,
+    bench_fate_block,
+    bench_engine_round
+);
+criterion_main!(benches);

@@ -9,15 +9,17 @@
 //!
 //! # Determinism
 //!
-//! A rule's probability coin is a private ChaCha8 stream seeded from
-//! `(master seed, message sequence number, rule index)` — never from shared
-//! RNG state — so the decision for a message is a pure function of
-//! `(seed, seq)` and the plan itself. The same plan therefore injects the
-//! same faults into the same messages on the event engine and on the
-//! loopback transport (which assign identical sequence numbers), at any
-//! thread cap, on any host. Mutation entropy comes from the same
-//! domain-separated stream, so a mutated payload is byte-identical across
-//! engines too.
+//! A rule's probability coin is one lane of a private ChaCha8 block keyed on
+//! `(master seed, seq / 64, rule index)` — 64 consecutive sequence numbers
+//! share one stream, never any shared RNG state — so the decision for a
+//! message is a pure function of `(seed, seq)` and the plan itself. The same
+//! plan therefore injects the same faults into the same messages on the
+//! event engine and on the loopback transport (which assign identical
+//! sequence numbers), at any thread cap, on any host; both engines cache the
+//! current block in a [`FaultCoins`] so the key schedule runs once per 64
+//! messages instead of once per message. Mutation entropy comes from the
+//! same domain-separated label, so a mutated payload is byte-identical
+//! across engines too.
 //!
 //! # Fault semantics at the two boundaries
 //!
@@ -40,16 +42,66 @@
 //! assignment and the payload bytes of the replay aligned with the
 //! recording.
 
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use tsa_sim::rng::mix;
 use tsa_sim::{NodeId, Round};
 
-use crate::model::RegionAssign;
+use crate::model::{unit_f64, RegionAssign};
 
 /// Domain-separation label of the per-message fault streams.
 const FAULT_LABEL: u64 = 0x4641_554C_5450_4C4E; // "FAULTPLN"
+
+/// Consecutive sequence numbers served by one cached coin block.
+const COIN_BLOCK_LANES: u64 = 64;
+
+/// A cache of per-rule probability-coin blocks.
+///
+/// Rule `idx`'s coin for message `seq` is lane `seq % 64` of a ChaCha8
+/// block keyed on `(seed, seq / 64, rule index)`. Hot loops hand out
+/// sequence numbers monotonically, so caching the current block per rule
+/// amortizes the RNG key schedule over 64 messages. The coin values are a
+/// pure function of `(seed, seq, idx)` — the cache changes *when* blocks
+/// are generated, never *what* a coin is, so [`FaultPlan::decide`] (which
+/// builds a throwaway cache) and [`FaultPlan::decide_with`] agree exactly.
+#[derive(Clone, Debug)]
+pub struct FaultCoins {
+    seed: u64,
+    /// Per-rule `(block index, lanes)`. `u64::MAX` marks an unfilled entry
+    /// (unreachable as a real index: `seq / 64 ≤ 2^58`).
+    blocks: Vec<(u64, Box<[u64; COIN_BLOCK_LANES as usize]>)>,
+}
+
+impl FaultCoins {
+    /// An empty cache for runs under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultCoins {
+            seed,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The raw coin word of `(seq, rule idx)`, from the cached block when
+    /// it is current, regenerating it otherwise.
+    fn word(&mut self, seq: u64, idx: usize) -> u64 {
+        let block = seq / COIN_BLOCK_LANES;
+        while self.blocks.len() <= idx {
+            self.blocks
+                .push((u64::MAX, Box::new([0u64; COIN_BLOCK_LANES as usize])));
+        }
+        let entry = &mut self.blocks[idx];
+        if entry.0 != block {
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(mix(&[self.seed, block, FAULT_LABEL, idx as u64]));
+            for w in entry.1.iter_mut() {
+                *w = rng.next_u64();
+            }
+            entry.0 = block;
+        }
+        entry.1[(seq % COIN_BLOCK_LANES) as usize]
+    }
+}
 
 /// A half-open round window `[from, until)`. `until = u64::MAX` means
 /// "forever"; the default window matches every round.
@@ -321,16 +373,34 @@ impl FaultPlan {
     /// `to` with kind tag `kind`, under master seed `seed`.
     ///
     /// A pure function: the rules are scanned in order, each matching rule
-    /// flips its private coin (seeded from `(seed, seq, rule index)` — no
-    /// shared stream), and the first rule whose coin fires decides. Hostile
-    /// plans (empty, overlapping windows, all-match selectors) degrade to
-    /// ordinary rule priority and can never panic.
-    // The negated comparisons are deliberate: they send NaN probabilities
-    // into the never-fires arm instead of the always-fires one.
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    /// flips its private coin (one lane of the `(seed, seq / 64, rule
+    /// index)` block — no shared stream), and the first rule whose coin
+    /// fires decides. Hostile plans (empty, overlapping windows, all-match
+    /// selectors) degrade to ordinary rule priority and can never panic.
+    ///
+    /// This one-shot form builds a throwaway coin cache; hot loops keep a
+    /// [`FaultCoins`] across messages and call
+    /// [`decide_with`](Self::decide_with) instead, for the identical result.
     pub fn decide(
         &self,
         seed: u64,
+        seq: u64,
+        round: Round,
+        from: NodeId,
+        to: NodeId,
+        kind: u8,
+    ) -> FaultDecision {
+        self.decide_with(&mut FaultCoins::new(seed), seq, round, from, to, kind)
+    }
+
+    /// [`decide`](Self::decide) with an explicit coin cache (seeded with the
+    /// same master seed) — the hot-loop form both engines use.
+    // The negated comparisons are deliberate: they send NaN probabilities
+    // into the never-fires arm instead of the always-fires one.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn decide_with(
+        &self,
+        coins: &mut FaultCoins,
         seq: u64,
         round: Round,
         from: NodeId,
@@ -347,8 +417,7 @@ impl FaultPlan {
                 if !(prob > 0.0) {
                     continue;
                 }
-                let mut rng = ChaCha8Rng::seed_from_u64(mix(&[seed, seq, FAULT_LABEL, idx as u64]));
-                if rng.gen::<f64>() >= prob {
+                if unit_f64(coins.word(seq, idx)) >= prob {
                     continue;
                 }
             }

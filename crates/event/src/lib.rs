@@ -7,12 +7,14 @@
 //! boundaries, or is lost outright?
 //!
 //! * [`EventSimulator`] is a discrete-event engine over a virtual tick clock
-//!   ([`TICKS_PER_ROUND`] ticks per protocol round) with a binary-heap event
-//!   queue ordered by `(time, seq, node)`;
+//!   ([`TICKS_PER_ROUND`] ticks per protocol round) with a calendar
+//!   (timing-wheel) event queue ([`queue::CalendarQueue`]) popping in the
+//!   total order `(time, seq, node)`;
 //! * [`LatencyModel`] / [`NetModel`] are ChaCha8-seeded per-message
 //!   latency/jitter/loss models — every message's fate is a pure function of
-//!   `(master seed, send sequence number)`, so identical seeds give
-//!   byte-identical traces at any thread/host configuration;
+//!   `(master seed, send sequence number)` (derived in 64-message
+//!   [`FateBlock`] batches that amortize the RNG key schedule), so identical
+//!   seeds give byte-identical traces at any thread/host configuration;
 //! * [`Topology`] makes the network addressable by link: one global model,
 //!   regional partitions ([`RegionAssign`] is a pure function of the node
 //!   id) joined by a possibly slow/lossy — and [`PartitionSchedule`]d —
@@ -65,16 +67,17 @@
 pub mod engine;
 pub mod fault;
 pub mod model;
+pub mod queue;
 pub mod trace;
 
 pub use engine::{EventConfig, EventSimulator, NetStats};
 pub use fault::{
-    FaultAction, FaultAdapter, FaultDecision, FaultPlan, FaultRule, FaultStats, NodeSelector,
-    RoundWindow,
+    FaultAction, FaultAdapter, FaultCoins, FaultDecision, FaultPlan, FaultRule, FaultStats,
+    NodeSelector, RoundWindow,
 };
 pub use model::{
-    ExecutionModel, LatencyModel, LinkOverride, NetModel, PartitionSchedule, RegionAssign,
-    RegionEntry, Topology,
+    ExecutionModel, FateBlock, LatencyModel, LinkOverride, NetModel, PartitionSchedule,
+    RegionAssign, RegionEntry, Topology, FATE_BLOCK_LANES,
 };
 pub use trace::{MessageFate, MessageTrace};
 

@@ -4,24 +4,97 @@
 //! # Determinism
 //!
 //! Every message is assigned its fate (dropped or not, and its delay in
-//! ticks) by a private ChaCha8 stream seeded from `(master seed, message
-//! sequence number)`. The stream depends on *what* the message is (its global
-//! send order), never on *when* the sampling happens or which queue state
-//! surrounds it — so a fixed seed produces byte-identical traces at any
-//! thread or host configuration. The only floating-point operations used are
-//! IEEE-754 basic operations plus `sqrt` (all correctly rounded and therefore
-//! bit-stable across conforming hosts); in particular the heavy-tail model
-//! restricts its tail index to powers of two so it can be computed by
-//! repeated square roots instead of `powf`.
+//! ticks) from a [`FateBlock`]: one ChaCha8 stream keyed on
+//! `(master seed, seq / 64)` that serves 64 consecutive sequence numbers,
+//! three fixed stream words per message (loss coin, latency, jitter). The
+//! fate is still a pure function of `(master seed, sequence number)` — it
+//! depends on *what* the message is (its global send order), never on *when*
+//! the sampling happens or which queue state surrounds it — so a fixed seed
+//! produces byte-identical traces at any thread or host configuration; the
+//! block is merely an amortization of the RNG key schedule, which dominated
+//! the per-message cost when each message seeded its own stream. The only
+//! floating-point operations used are IEEE-754 basic operations plus `sqrt`
+//! (all correctly rounded and therefore bit-stable across conforming hosts);
+//! in particular the heavy-tail model restricts its tail index to powers of
+//! two so it can be computed by repeated square roots instead of `powf`.
 
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use tsa_sim::rng::mix;
 use tsa_sim::{NodeId, Round};
 
-/// Domain-separation label of the per-message network streams.
+/// Domain-separation label of the batched network fate streams.
 const NET_LABEL: u64 = 0x4E45_545F_4C41_5433; // "NET_LAT3"
+
+/// Stream words consumed per message lane: loss coin, latency, jitter. The
+/// count is fixed per message (no rejection loops), which is what lets 64
+/// lanes pack into one block at stable positions.
+const LANE_WORDS: usize = 3;
+
+/// Consecutive sequence numbers served by one [`FateBlock`].
+pub const FATE_BLOCK_LANES: u64 = 64;
+
+/// Maps one stream word onto the unit interval `[0, 1)` with a full 53-bit
+/// mantissa (the same conversion the `rand` shim's `f64` sampling uses).
+#[inline]
+pub(crate) fn unit_f64(w: u64) -> f64 {
+    (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps one stream word uniformly onto `[min, max]` (inclusive) by the
+/// multiply-shift method: `min + (w · span) >> 64`. One word per draw, no
+/// rejection loop — the (at most `span / 2^64`) bias is far below anything a
+/// simulation could resolve, and the fixed word count is what keeps every
+/// lane of a [`FateBlock`] at a stable stream position.
+#[inline]
+fn word_range(w: u64, min: u64, max: u64) -> u64 {
+    let span = (max - min).wrapping_add(1); // 0 encodes the full u64 domain
+    if span == 0 {
+        w
+    } else {
+        min + (((w as u128 * span as u128) >> 64) as u64)
+    }
+}
+
+/// One block of pre-generated network fate entropy: three stream words for
+/// each of the 64 sequence numbers `[64·b, 64·b + 63]`, drawn from a single
+/// ChaCha8 stream keyed on `(master seed, block index)`. Generating one
+/// block amortizes the RNG key schedule that used to run once per message
+/// (~6 µs/message per the ROADMAP profile) over 64 messages, while keeping
+/// every fate a pure function of `(seed, seq)`.
+#[derive(Clone)]
+pub struct FateBlock {
+    seed: u64,
+    block: u64,
+    words: [u64; LANE_WORDS * FATE_BLOCK_LANES as usize],
+}
+
+impl FateBlock {
+    /// Generates the block covering sequence number `seq` under `seed`.
+    pub fn containing(seed: u64, seq: u64) -> Self {
+        let block = seq / FATE_BLOCK_LANES;
+        let mut rng = ChaCha8Rng::seed_from_u64(mix(&[seed, block, NET_LABEL]));
+        let mut words = [0u64; LANE_WORDS * FATE_BLOCK_LANES as usize];
+        for w in words.iter_mut() {
+            *w = rng.next_u64();
+        }
+        FateBlock { seed, block, words }
+    }
+
+    /// `true` when this block serves `seq` under `seed` — the engine's
+    /// cache check before reusing a block for the next message.
+    pub fn covers(&self, seed: u64, seq: u64) -> bool {
+        self.seed == seed && seq / FATE_BLOCK_LANES == self.block
+    }
+
+    /// The three stream words of `seq`'s lane.
+    fn lane(&self, seq: u64) -> &[u64] {
+        debug_assert_eq!(seq / FATE_BLOCK_LANES, self.block, "wrong fate block");
+        let i = (seq % FATE_BLOCK_LANES) as usize * LANE_WORDS;
+        &self.words[i..i + LANE_WORDS]
+    }
+}
 
 /// How long a message spends in the network, in virtual ticks
 /// ([`TICKS_PER_ROUND`](crate::TICKS_PER_ROUND) ticks make one protocol
@@ -87,13 +160,24 @@ impl LatencyModel {
 
     /// Draws one delay in ticks from the model.
     ///
+    /// Consumes exactly one stream word ([`sample_word`](Self::sample_word)
+    /// on `rng.next_u64()`), so every model variant advances the stream by
+    /// the same amount.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        self.sample_word(rng.next_u64())
+    }
+
+    /// Maps one stream word to a delay in ticks — the single sampling path
+    /// shared by the streaming [`sample`](Self::sample) and the batched
+    /// [`FateBlock`] route.
+    ///
     /// A malformed `Uniform` with `max < min` (possible via deserialization,
     /// which bypasses the [`LatencyModel::uniform`] assertion) degrades to
     /// the constant `min` rather than panicking mid-run.
-    pub fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+    pub fn sample_word(&self, w: u64) -> u64 {
         match *self {
             LatencyModel::Constant { ticks } => ticks,
-            LatencyModel::Uniform { min, max } => rng.gen_range(min..=max.max(min)),
+            LatencyModel::Uniform { min, max } => word_range(w, min, max.max(min)),
             LatencyModel::Pareto {
                 base,
                 scale,
@@ -102,7 +186,7 @@ impl LatencyModel {
             } => {
                 // u ∈ (0, 1]: flip the [0, 1) draw so the heavy tail sits at
                 // small u without ever dividing by zero.
-                let u = 1.0 - rng.gen::<f64>();
+                let u = 1.0 - unit_f64(w);
                 // u^(−1/2^k) by repeated square roots (IEEE-correct, so the
                 // value is identical on every conforming host).
                 let mut v = u;
@@ -115,7 +199,7 @@ impl LatencyModel {
                 } else {
                     cap
                 };
-                base + extra
+                base.saturating_add(extra)
             }
         }
     }
@@ -161,16 +245,28 @@ impl NetModel {
     /// Decides the fate of message `seq` under master seed `seed`: `None`
     /// if the message is lost, otherwise its total delay in ticks.
     ///
-    /// The draw order inside the per-message stream is fixed (loss, latency,
-    /// jitter), so a model that disables a component still consumes the same
-    /// stream positions as one that enables it — adding jitter to a sweep
-    /// axis never perturbs the loss coin flips of its neighbours.
+    /// Generates `seq`'s [`FateBlock`] and reads one lane — the one-shot
+    /// convenience over [`route_with`](Self::route_with), which hot loops
+    /// use with a cached block (sequence numbers are handed out
+    /// monotonically, so one block serves 64 consecutive messages).
     pub fn route(&self, seed: u64, seq: u64) -> Option<u64> {
-        let mut rng = ChaCha8Rng::seed_from_u64(mix(&[seed, seq, NET_LABEL]));
-        let lost = rng.gen::<f64>() < self.loss;
-        let mut delay = self.latency.sample(&mut rng);
+        self.route_with(&FateBlock::containing(seed, seq), seq)
+    }
+
+    /// Decides the fate of message `seq` from its pre-generated fate block.
+    ///
+    /// Each lane's word positions are fixed (loss, latency, jitter), so a
+    /// model that disables a component still reads the same stream positions
+    /// as one that enables it — adding jitter to a sweep axis never perturbs
+    /// the loss coin flips of its neighbours. All delay additions saturate:
+    /// a hostile model summing to beyond `u64::MAX` ticks parks the message
+    /// in the far future instead of wrapping it into the past.
+    pub fn route_with(&self, fates: &FateBlock, seq: u64) -> Option<u64> {
+        let lane = fates.lane(seq);
+        let lost = unit_f64(lane[0]) < self.loss;
+        let mut delay = self.latency.sample_word(lane[1]);
         if self.jitter > 0 {
-            delay += rng.gen_range(0..=self.jitter);
+            delay = delay.saturating_add(word_range(lane[2], 0, self.jitter));
         }
         if lost {
             None

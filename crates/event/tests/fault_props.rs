@@ -11,8 +11,8 @@
 
 use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
 use tsa_event::{
-    EventConfig, EventSimulator, FaultAction, FaultAdapter, FaultPlan, FaultRule, LatencyModel,
-    NetModel, NodeSelector, RegionAssign, RoundWindow,
+    EventConfig, EventSimulator, FaultAction, FaultAdapter, FaultCoins, FaultPlan, FaultRule,
+    LatencyModel, NetModel, NodeSelector, RegionAssign, RoundWindow,
 };
 use tsa_sim::prelude::*;
 use tsa_sim::SimConfig;
@@ -180,6 +180,9 @@ proptest! {
         let a = plan.decide(seed, seq, round, NodeId(from), NodeId(to), kind);
         let b = plan.decide(seed, seq, round, NodeId(from), NodeId(to), kind);
         prop_assert_eq!(a, b, "same inputs must give the same decision");
+        let mut coins = FaultCoins::new(seed);
+        let c = plan.decide_with(&mut coins, seq, round, NodeId(from), NodeId(to), kind);
+        prop_assert_eq!(c, a, "the cached coin path must agree with the one-shot path");
         prop_assert_eq!(
             FaultPlan::mutation_entropy(seed, seq),
             FaultPlan::mutation_entropy(seed, seq),
@@ -243,4 +246,62 @@ proptest! {
         let fp = faulted_fingerprint(&hostile, seed, 6, 3);
         prop_assert!(!fp.is_empty(), "the run completes");
     }
+}
+
+/// Regression: a hostile `Delay { ticks: u64::MAX }` plan used to wrap the
+/// arrival tick (`now + latency + delay`) back into the past, reordering
+/// the queue and re-delivering history. With saturating tick arithmetic the
+/// message parks at the end of time instead: counted, in flight, and never
+/// delivered.
+#[test]
+fn u64_max_delays_park_messages_instead_of_wrapping() {
+    let plan = FaultPlan::new().with_rule(FaultRule::every(FaultAction::Delay { ticks: u64::MAX }));
+    let config = EventConfig::new(
+        SimConfig::default().with_seed(7),
+        NetModel::new(LatencyModel::constant(500)),
+    );
+    let mut sim = EventSimulator::new(config, NullAdversary, Box::new(|_, _| Ping::default()));
+    sim.set_faults(plan, ADAPTER);
+    sim.seed_nodes(6);
+    sim.run(5);
+    let stats = sim.net_stats();
+    assert!(stats.sent > 0);
+    assert_eq!(stats.lost, 0);
+    let delivered: usize = sim
+        .metrics()
+        .rounds()
+        .iter()
+        .map(|m| m.messages_delivered)
+        .sum();
+    assert_eq!(delivered, 0, "every message is parked at the end of time");
+    assert_eq!(sim.in_flight_count() as u64, stats.sent);
+    assert_eq!(sim.fault_stats().delayed, stats.sent);
+    assert_eq!(stats.max_delay_ticks, u64::MAX, "the delay saturated");
+}
+
+/// Regression: a huge `ticks_per_round` used to panic the engine at the
+/// second boundary (`round × ticks_per_round` was a checked multiply). The
+/// clock now saturates: boundaries keep firing, sub-round traffic keeps
+/// flowing, and the virtual clock pins at `u64::MAX`.
+#[test]
+fn huge_ticks_per_round_saturates_the_clock_instead_of_panicking() {
+    let mut config = EventConfig::new(
+        SimConfig::default().with_seed(3),
+        NetModel::new(LatencyModel::constant(1)),
+    );
+    config.ticks_per_round = u64::MAX / 2 + 3;
+    let mut sim = EventSimulator::new(config, NullAdversary, Box::new(|_, _| Ping::default()));
+    sim.seed_nodes(4);
+    sim.run(4);
+    assert_eq!(sim.virtual_time(), u64::MAX);
+    let delivered: usize = sim
+        .metrics()
+        .rounds()
+        .iter()
+        .map(|m| m.messages_delivered)
+        .sum();
+    assert!(
+        delivered > 0,
+        "sub-round delays still deliver at boundaries"
+    );
 }

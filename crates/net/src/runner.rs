@@ -42,8 +42,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use tsa_event::{
-    FaultAdapter, FaultDecision, FaultPlan, FaultStats, MessageFate, MessageTrace, NetStats,
-    TICKS_PER_ROUND,
+    FaultAdapter, FaultCoins, FaultDecision, FaultPlan, FaultStats, MessageFate, MessageTrace,
+    NetStats, TICKS_PER_ROUND,
 };
 use tsa_obs::ObsHandle;
 use tsa_sim::knowledge::{KnowledgeView, MemberInfo, RoundRecord};
@@ -326,6 +326,10 @@ where
     /// before it is written (the same pure `(seed, seq)` decisions the
     /// event engine takes at its delivery boundary).
     faults: Option<(FaultPlan, FaultAdapter<P::Msg>)>,
+    /// The cached per-rule fault-coin blocks: one ChaCha8 key schedule per
+    /// 64 consecutive sequence numbers (identical values to the event
+    /// engine's cache — the coins are pure functions of `(seed, seq)`).
+    fault_coins: FaultCoins,
     /// Whole-run counters of injected faults (separate from [`NetStats`]).
     fault_stats: FaultStats,
     /// Fault-delayed frames: `(release round, seq, envelope)`, written to
@@ -343,6 +347,7 @@ where
     /// initial node set with [`seed_nodes`](NetRunner::seed_nodes).
     pub fn new(config: NetConfig, adversary: A, factory: NodeFactory<P>) -> Self {
         assert!(config.ticks_per_round > 0, "ticks_per_round must be > 0");
+        let fault_coins = FaultCoins::new(config.sim.seed);
         let hub: Arc<Mutex<Hub<P::Msg>>> = Arc::new(Mutex::new(Hub::default()));
         let (ctl, ctl_rx) = mpsc::channel();
         let poller_hub = Arc::clone(&hub);
@@ -382,6 +387,7 @@ where
             wire_sent_frames: 0,
             wire_sent_bytes: 0,
             faults: None,
+            fault_coins,
             fault_stats: FaultStats::default(),
             held: Vec::new(),
         }
@@ -827,8 +833,14 @@ where
                 let (fault_drop, delay_rounds, duplicate) = match self.faults.as_ref() {
                     None => (false, 0u64, false),
                     Some((plan, adapter)) => {
-                        match plan.decide(seed, self.seq, t, from, to, (adapter.kind_of)(&payload))
-                        {
+                        match plan.decide_with(
+                            &mut self.fault_coins,
+                            self.seq,
+                            t,
+                            from,
+                            to,
+                            (adapter.kind_of)(&payload),
+                        ) {
                             FaultDecision::Pass => (false, 0, false),
                             FaultDecision::Drop => {
                                 self.fault_stats.dropped += 1;

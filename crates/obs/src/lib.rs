@@ -549,8 +549,7 @@ impl Progress {
         let eta = if remaining == 0 {
             String::from("done")
         } else {
-            let per_item = elapsed / done.max(1) as f64;
-            format!("eta {}", fmt_secs(per_item * remaining as f64))
+            format!("eta {}", fmt_secs(eta_secs(elapsed, done, remaining)))
         };
         self.reporter.note(&format!(
             "[{} {done}/{}, {eta}] {detail}",
@@ -565,17 +564,12 @@ impl Progress {
         let done = self.done();
         let elapsed = self.started.elapsed().as_secs_f64();
         let remaining = self.total.saturating_sub(done);
-        let eta_secs = if remaining == 0 || done == 0 {
-            0.0
-        } else {
-            elapsed / done as f64 * remaining as f64
-        };
         ProgressSnapshot {
             label: self.label.clone(),
             total: self.total as u64,
             done: done as u64,
-            elapsed_secs: elapsed,
-            eta_secs,
+            elapsed_secs: if elapsed.is_finite() { elapsed } else { 0.0 },
+            eta_secs: eta_secs(elapsed, done, remaining),
             recent: self.recent.lock().expect("progress recent lock").clone(),
         }
     }
@@ -597,6 +591,22 @@ pub struct ProgressSnapshot {
     pub eta_secs: f64,
     /// The most recent per-item rollup lines, oldest first (bounded).
     pub recent: Vec<String>,
+}
+
+/// Extrapolated seconds to completion, guarded so a zero-duration cell (or
+/// any other degenerate timing) can never leak `inf`/`NaN` into the
+/// schema-versioned sidecar JSON: 0 items done or 0 remaining yield 0, and a
+/// non-finite extrapolation clamps to 0.
+fn eta_secs(elapsed: f64, done: usize, remaining: usize) -> f64 {
+    if done == 0 || remaining == 0 {
+        return 0.0;
+    }
+    let eta = elapsed / done as f64 * remaining as f64;
+    if eta.is_finite() && eta >= 0.0 {
+        eta
+    } else {
+        0.0
+    }
 }
 
 /// Renders seconds compactly (`42s`, `3m10s`, `1h04m`).
@@ -760,6 +770,32 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: ProgressSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.recent, snap.recent);
+    }
+
+    #[test]
+    fn zero_duration_cells_never_leak_inf_or_nan_into_the_sidecar() {
+        // The degenerate timings directly: zero elapsed, zero done, and
+        // non-finite extrapolations all clamp to 0 instead of poisoning the
+        // schema-versioned JSON.
+        assert_eq!(eta_secs(0.0, 0, 10), 0.0);
+        assert_eq!(eta_secs(0.0, 1, 10), 0.0);
+        assert_eq!(eta_secs(5.0, 3, 0), 0.0);
+        assert_eq!(eta_secs(f64::INFINITY, 1, 1), 0.0);
+        assert_eq!(eta_secs(f64::NAN, 1, 1), 0.0);
+        assert_eq!(eta_secs(-1.0, 1, 1), 0.0);
+        assert_eq!(eta_secs(6.0, 3, 2), 4.0);
+        // End to end: a snapshot taken the instant tracking starts (the
+        // zero-elapsed cell) round-trips through serde with finite fields.
+        let p = Progress::start(Reporter::silent(), "exp/sweep", 4, 0);
+        p.item_done("cell 0");
+        let snap = p.snapshot();
+        assert!(snap.elapsed_secs.is_finite());
+        assert!(snap.eta_secs.is_finite());
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(!json.contains("inf") && !json.contains("NaN") && !json.contains("null"));
+        let back: ProgressSnapshot = serde_json::from_str(&json).unwrap();
+        assert!(back.eta_secs.is_finite() && back.eta_secs >= 0.0);
+        assert_eq!(back.done, 1);
     }
 
     #[test]
