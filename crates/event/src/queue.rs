@@ -29,7 +29,11 @@
 //!
 //! All tick arithmetic saturates: an event at `arrival = u64::MAX` (a
 //! hostile `FaultAction::Delay` plan) parks in the overflow list instead of
-//! wrapping into the past and reordering the queue.
+//! wrapping into the past and reordering the queue, and folds back into the
+//! ring once the wheel catches up — the in-ring test compares bucket
+//! *distances* rather than a `cur + WHEEL_SLOTS` horizon, so even bucket
+//! `u64::MAX` (width 1) is reachable rather than stuck beyond a horizon
+//! that saturates at `u64::MAX`.
 
 use std::cmp::Ordering;
 
@@ -113,11 +117,12 @@ pub struct CalendarQueue<M> {
     ring_len: usize,
     /// Far-future events (arrival beyond the ring horizon), unordered.
     overflow: Vec<Pending<M>>,
-    /// Smallest absolute bucket index present in `overflow`
-    /// (`u64::MAX` when empty — unreachable as a real index, since
-    /// `arrival / width ≤ u64::MAX / 1` only at width 1 where the horizon
-    /// check still routes it through the overflow list correctly).
-    overflow_min: u64,
+    /// Smallest absolute bucket index present in `overflow`, `None` when
+    /// the overflow list is empty. An `Option` rather than a `u64::MAX`
+    /// sentinel: at width 1 an event at `arrival = u64::MAX` really lives
+    /// in bucket `u64::MAX`, and a sentinel collision there once made
+    /// `seek_to_live_bucket` spin forever.
+    overflow_min: Option<u64>,
 }
 
 impl<M> CalendarQueue<M> {
@@ -130,7 +135,7 @@ impl<M> CalendarQueue<M> {
             cur: 0,
             ring_len: 0,
             overflow: Vec::new(),
-            overflow_min: u64::MAX,
+            overflow_min: None,
         }
     }
 
@@ -151,21 +156,26 @@ impl<M> CalendarQueue<M> {
         (arrival / self.width).max(self.cur)
     }
 
-    /// First absolute bucket index *beyond* the ring.
-    fn horizon(&self) -> u64 {
-        self.cur.saturating_add(WHEEL_SLOTS)
+    /// Whether absolute bucket `b` currently falls inside the ring. The
+    /// check compares the *distance* from `cur` (saturating, for the
+    /// clamped-late-push case where `b` sits below `cur`): a
+    /// `b < cur + WHEEL_SLOTS` horizon comparison would saturate at
+    /// `u64::MAX` near the top of the tick range and never admit bucket
+    /// `u64::MAX` itself.
+    fn in_ring(&self, b: u64) -> bool {
+        b.saturating_sub(self.cur) < WHEEL_SLOTS
     }
 
     /// Queues an event.
     pub fn push(&mut self, p: Pending<M>) {
         let b = self.bucket_of(p.arrival);
-        if b < self.horizon() {
+        if self.in_ring(b) {
             let slot = &mut self.ring[(b % WHEEL_SLOTS) as usize];
             slot.items.push(p);
             slot.sorted = false;
             self.ring_len += 1;
         } else {
-            self.overflow_min = self.overflow_min.min(b);
+            self.overflow_min = Some(self.overflow_min.map_or(b, |m| m.min(b)));
             self.overflow.push(p);
         }
     }
@@ -173,19 +183,18 @@ impl<M> CalendarQueue<M> {
     /// Folds every overflow event whose bucket has come inside the ring
     /// horizon back into the ring, and recomputes the overflow minimum.
     fn refill_from_overflow(&mut self) {
-        let horizon = self.horizon();
-        let mut min = u64::MAX;
+        let mut min: Option<u64> = None;
         let mut i = 0;
         while i < self.overflow.len() {
             let b = self.bucket_of(self.overflow[i].arrival);
-            if b < horizon {
+            if self.in_ring(b) {
                 let p = self.overflow.swap_remove(i);
                 let slot = &mut self.ring[(b % WHEEL_SLOTS) as usize];
                 slot.items.push(p);
                 slot.sorted = false;
                 self.ring_len += 1;
             } else {
-                min = min.min(b);
+                min = Some(min.map_or(b, |m| m.min(b)));
                 i += 1;
             }
         }
@@ -197,17 +206,20 @@ impl<M> CalendarQueue<M> {
     /// `false` when the queue is empty.
     fn seek_to_live_bucket(&mut self) -> bool {
         loop {
-            if self.overflow_min < self.horizon() {
+            if self.overflow_min.is_some_and(|m| self.in_ring(m)) {
                 self.refill_from_overflow();
             }
             if self.ring_len == 0 {
-                if self.overflow.is_empty() {
+                let Some(min) = self.overflow_min else {
                     return false;
-                }
+                };
                 // Everything queued is far-future: jump the wheel straight
                 // to the earliest overflow bucket (cur is monotone, the
                 // overflow minimum is always at or past the old horizon).
-                self.cur = self.cur.max(self.overflow_min);
+                // The next iteration's refill then folds that bucket into
+                // the ring — `in_ring` admits it even at `u64::MAX` — so
+                // `ring_len` becomes nonzero and the loop terminates.
+                self.cur = self.cur.max(min);
                 continue;
             }
             if !self.ring[(self.cur % WHEEL_SLOTS) as usize]
@@ -260,8 +272,16 @@ impl<M> CalendarQueue<M> {
             let bucket = &mut self.ring[(self.cur % WHEEL_SLOTS) as usize];
             // The current bucket's window ends at (cur + 1) · width − 1;
             // if that is within `now` the whole bucket is due (clamped late
-            // pushes are even earlier) and moves without any sort.
-            let bucket_end = self.cur.saturating_add(1).saturating_mul(width) - 1;
+            // pushes are even earlier) and moves without any sort. Checked
+            // arithmetic throughout: near the top of the tick range the
+            // true end meets or exceeds `u64::MAX`, and a clamped
+            // `u64::MAX − 1` end would bulk-move an `arrival = u64::MAX`
+            // event one tick early.
+            let bucket_end = self
+                .cur
+                .checked_add(1)
+                .and_then(|b| b.checked_mul(width))
+                .map_or(u64::MAX, |e| e - 1);
             if bucket_end <= now {
                 self.ring_len -= bucket.items.len();
                 out.append(&mut bucket.items);
@@ -372,6 +392,67 @@ mod tests {
         assert_eq!(q.pop_at_or_before(0).unwrap().seq, 1);
         assert!(q.pop_at_or_before(u64::MAX - 1).is_none());
         assert_eq!(q.pop_at_or_before(u64::MAX).unwrap().seq, 7);
+    }
+
+    #[test]
+    fn width_one_saturated_arrival_pops_instead_of_hanging() {
+        // Regression: at width 1 an arrival of u64::MAX lives in bucket
+        // u64::MAX, which collided with the old overflow-min empty sentinel
+        // and could never satisfy a `< cur + WHEEL_SLOTS` horizon check that
+        // saturates at u64::MAX — pop_at_or_before(u64::MAX) spun forever.
+        let mut q = CalendarQueue::new(1);
+        q.push(pending(u64::MAX, 0, 0));
+        assert!(q.pop_at_or_before(u64::MAX - 1).is_none());
+        assert_eq!(q.pop_at_or_before(u64::MAX).unwrap().seq, 0);
+        assert!(q.is_empty());
+        assert!(q.pop_at_or_before(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn width_one_pops_in_order_near_saturation() {
+        // Buckets u64::MAX - 2 and u64::MAX both sit past any reachable
+        // horizon; the wheel must jump to the first and still admit the
+        // second, in key order.
+        let mut q = CalendarQueue::new(1);
+        q.push(pending(u64::MAX, 1, 0));
+        q.push(pending(u64::MAX - 2, 0, 0));
+        assert_eq!(q.pop_at_or_before(u64::MAX).unwrap().seq, 0);
+        assert_eq!(q.pop_at_or_before(u64::MAX).unwrap().seq, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_near_saturation_keeps_the_not_yet_due_max_arrival() {
+        // Regression: the bulk-move bucket end was computed saturating then
+        // minus one, clamping the last bucket's end to u64::MAX - 1, so
+        // drain_at_or_before(u64::MAX - 1) moved an arrival = u64::MAX
+        // event one tick early. Width 1000 exercises the saturated-multiply
+        // arm (both events share the final partial bucket).
+        let mut q = CalendarQueue::new(1000);
+        q.push(pending(u64::MAX, 0, 0));
+        q.push(pending(u64::MAX - 1, 1, 0));
+        let mut out = Vec::new();
+        q.drain_at_or_before(u64::MAX - 1, &mut out);
+        assert_eq!(out.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(q.len(), 1);
+        out.clear();
+        q.drain_at_or_before(u64::MAX, &mut out);
+        assert_eq!(out.iter().map(|p| p.seq).collect::<Vec<_>>(), vec![0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_at_width_one_respects_the_saturated_bucket_end() {
+        // The saturated-add arm: at width 1 the final bucket IS u64::MAX,
+        // whose inclusive end is u64::MAX, not u64::MAX - 1.
+        let mut q = CalendarQueue::new(1);
+        q.push(pending(u64::MAX, 0, 0));
+        let mut out = Vec::new();
+        q.drain_at_or_before(u64::MAX - 1, &mut out);
+        assert!(out.is_empty(), "arrival u64::MAX is not yet due");
+        q.drain_at_or_before(u64::MAX, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(q.is_empty());
     }
 
     #[test]
